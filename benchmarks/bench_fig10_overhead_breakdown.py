@@ -1,0 +1,26 @@
+"""Fig 10: baseline / overhead / total per metric (Table 5, visually).
+
+Paper: response time is the largest overhead component relative to its
+baseline; traffic is the smallest.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import fig10_overhead_breakdown, table5_txt_overhead
+
+
+def test_fig10_overhead_breakdown(benchmark):
+    sizes = tuple(
+        int(part)
+        for part in os.environ.get("REPRO_TABLE5_SIZES", "100,1000").split(",")
+    )
+    rows5, _ = table5_txt_overhead(sizes=sizes, filler_count=20000)
+    rows, text = benchmark.pedantic(
+        fig10_overhead_breakdown, args=(rows5,), rounds=1, iterations=1
+    )
+    emit(text)
+    for row in rows:
+        # Paper: latency is the largest relative overhead component.
+        assert row["time_ratio"] >= row["traffic_ratio"]

@@ -1,0 +1,27 @@
+"""Fig 11: standard DLV vs the TXT and Z-bit remedies, three metrics.
+
+Paper: the TXT option incurs the highest overhead; the Z bit is minimal
+because the signal rides in existing responses.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import fig11_remedy_comparison
+
+
+def test_fig11_remedy_comparison(benchmark):
+    size = int(os.environ.get("REPRO_FIG11_SIZE", "300"))
+    rows, text = benchmark.pedantic(
+        fig11_remedy_comparison,
+        kwargs={"size": size, "filler_count": 20000},
+        rounds=1,
+        iterations=1,
+    )
+    emit(text)
+    by_option = {r["option"]: r for r in rows}
+    assert by_option["TXT"]["time_s"] > by_option["DLV"]["time_s"]
+    assert by_option["TXT"]["queries"] > by_option["Z bit"]["queries"]
+    assert by_option["Z bit"]["time_s"] == by_option["DLV"]["time_s"]
+    assert by_option["TXT"]["leaked"] == by_option["Z bit"]["leaked"] == 0

@@ -1,0 +1,25 @@
+"""Fig 12: large-scale trace-driven experiment (DITL).
+
+Paper: 92.7M queries over 7 h (160-360k qpm); TXT signalling adds
+~1.2 GB cumulative overhead (~0.38 Mbps) — small next to the baseline.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import fig12_ditl
+
+
+def test_fig12_ditl_trace(benchmark):
+    scale = float(os.environ.get("REPRO_DITL_SCALE", "0.02"))
+    summary, text = benchmark.pedantic(
+        fig12_ditl, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(text)
+    assert summary["minutes"] == 420
+    assert 85_000_000 <= summary["total_queries_rescaled"] <= 100_000_000
+    assert 160_000 <= summary["rate_min_qpm"]
+    assert summary["rate_max_qpm"] <= 360_000
+    assert 0.4 <= summary["overhead_gb_rescaled"] <= 2.5
+    assert summary["overhead_gb_rescaled"] * 1e9 < summary["baseline_gb_rescaled"] * 1e9

@@ -1,0 +1,22 @@
+"""Fig 8: number of DLV queries / leaked domains vs queried domains.
+
+Paper: the leaked-domain count increases steadily but sub-linearly (84
+at 100 domains; 67,838 at 1M) because aggressive negative caching
+suppresses repeats within cached NSEC ranges.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig8_dlv_queries
+
+
+def test_fig8_dlv_queries(benchmark, sweep_points):
+    rows, text = benchmark.pedantic(
+        fig8_dlv_queries, args=(sweep_points,), rounds=1, iterations=1
+    )
+    emit(text)
+    counts = [row["leaked_domains"] for row in rows]
+    assert counts == sorted(counts)
+    assert all(
+        row["dlv_queries"] >= row["leaked_domains"] for row in rows
+    )

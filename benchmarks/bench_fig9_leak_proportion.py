@@ -1,0 +1,18 @@
+"""Fig 9: proportion of leaked domains vs N (decays, log-x).
+
+Paper: ~84 % at 100 domains, decaying to ~6.8 % at 1M.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig9_leak_proportion
+
+
+def test_fig9_leak_proportion(benchmark, sweep_points):
+    rows, text = benchmark.pedantic(
+        fig9_leak_proportion, args=(sweep_points,), rounds=1, iterations=1
+    )
+    emit(text)
+    proportions = [row["proportion"] for row in rows]
+    assert proportions[0] > proportions[-1]
+    assert 0.70 <= proportions[0] <= 0.95  # paper: 84 % at N=100

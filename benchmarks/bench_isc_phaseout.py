@@ -1,0 +1,58 @@
+"""Section 7.3.2: ISC's phase-out — the empty zone keeps collecting.
+
+Paper: ISC removed all delegated zones but kept the (empty) service
+running, so every remaining query is a Case-2 leak — the problem became
+*more* severe, not less.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core import LeakageExperiment, standard_universe, standard_workload
+from repro.resolver import correct_bind_config
+
+
+def run_phaseout(size, filler_count):
+    workload = standard_workload(size)
+    rows = []
+    for label, kwargs in (
+        ("populated", {"filler_count": filler_count}),
+        ("phase-out (empty)", {"filler_count": 0, "registry_empty": True}),
+    ):
+        universe = standard_universe(workload, **kwargs)
+        experiment = LeakageExperiment(universe, correct_bind_config())
+        result = experiment.run(workload.names(size))
+        leak = result.leakage
+        rows.append(
+            {
+                "registry": label,
+                "dlv_queries": leak.dlv_queries,
+                "case1": leak.case1_queries,
+                "case2": leak.case2_queries,
+                "case2_fraction": leak.case2_fraction,
+                "authenticated": result.authenticated_answers,
+            }
+        )
+    return rows
+
+
+def test_isc_phaseout(benchmark):
+    size = int(os.environ.get("REPRO_PHASEOUT_SIZE", "300"))
+    rows = benchmark.pedantic(
+        run_phaseout, args=(size, 20000), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["Registry", "DLV queries", "Case-1", "Case-2", "Case-2 share", "AD answers"],
+        [
+            (r["registry"], r["dlv_queries"], r["case1"], r["case2"], f"{r['case2_fraction']:.1%}", r["authenticated"])
+            for r in rows
+        ],
+        title="Section 7.3.2: ISC phase-out — every query becomes a leak",
+    )
+    emit(text)
+    populated, empty = rows
+    assert empty["case1"] == 0
+    assert empty["case2_fraction"] == 1.0
+    assert empty["authenticated"] <= populated["authenticated"]

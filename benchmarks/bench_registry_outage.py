@@ -1,0 +1,57 @@
+"""Section 8.4: DLV registry outages break off-path validation.
+
+Paper: "it is argued that a DLV server should be continuously running
+in order for the DLV to serve its intended purpose.  However, this is
+not always guaranteed, given several reported outages."  The bench
+measures what an outage costs: island-of-security domains lose their
+AD bit while everything else resolves normally.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core import LeakageExperiment, take_down
+from repro.resolver import correct_bind_config
+from repro.workloads import Universe, UniverseParams, secured_domains
+
+
+def run_outage():
+    specs = secured_domains()
+    rows = []
+    for label, outage in (("registry up", False), ("registry outage", True)):
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        if outage:
+            take_down(universe.network, universe.registry_address)
+        experiment = LeakageExperiment(
+            universe, correct_bind_config(), ptr_fraction=0.0
+        )
+        result = experiment.run([s.name for s in specs])
+        rows.append(
+            {
+                "condition": label,
+                "authenticated": result.authenticated_answers,
+                "servfail": result.rcode_counts.get("SERVFAIL", 0),
+                "noerror": result.rcode_counts.get("NOERROR", 0),
+            }
+        )
+    return rows
+
+
+def test_registry_outage(benchmark):
+    rows = benchmark.pedantic(run_outage, rounds=1, iterations=1)
+    text = format_table(
+        ["Condition", "AD answers (of 45)", "SERVFAIL", "NOERROR"],
+        [
+            (r["condition"], r["authenticated"], r["servfail"], r["noerror"])
+            for r in rows
+        ],
+        title="Section 8.4: registry outage vs the secured-45 set "
+        "(5 islands depend on DLV)",
+    )
+    emit(text)
+    up, down = rows
+    assert up["authenticated"] == 45
+    assert down["authenticated"] == 40  # islands lose validation
+    assert down["noerror"] == 45  # resolution itself survives

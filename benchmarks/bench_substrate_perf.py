@@ -1,0 +1,85 @@
+"""Substrate micro-benchmarks: how fast is the simulator itself?
+
+Unlike the table/figure benches (single-shot experiment regenerations),
+these time the hot primitives with proper statistics — useful when
+tuning the simulator or scaling sweeps toward the paper's top-1M runs.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import KeyPool, generate_keypair
+from repro.core import LeakageExperiment, standard_universe, standard_workload
+from repro.dnscore import Message, Name, RRType, decode_message, encode_message
+from repro.resolver import correct_bind_config
+from repro.zones import ZoneBuilder, standard_ns_hosts
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def signed_zone():
+    pool = KeyPool(seed=161, pool_size=8, modulus_bits=256)
+    builder = ZoneBuilder(n("perf.test"))
+    builder.with_ns(standard_ns_hosts(n("perf.test"), ["10.5.0.1"]))
+    for index in range(200):
+        from repro.dnscore import A
+
+        builder.with_rrset(
+            Name([f"host{index}", "perf", "test"]),
+            RRType.A,
+            [A(f"10.5.{index // 250}.{index % 250 + 1}")],
+        )
+    return builder.signed(pool.keys_for_zone(n("perf.test")))
+
+
+@pytest.fixture(scope="module")
+def sample_wire():
+    query = Message.make_query(1, n("www.example.com"), RRType.A, dnssec_ok=True)
+    return encode_message(query)
+
+
+def test_perf_wire_encode(benchmark):
+    message = Message.make_query(1, n("www.example.com"), RRType.A, dnssec_ok=True)
+    benchmark(encode_message, message)
+
+
+def test_perf_wire_decode(benchmark, sample_wire):
+    benchmark(decode_message, sample_wire)
+
+
+def test_perf_rsa_sign(benchmark):
+    keypair = generate_keypair(random.Random(5), 256)
+    benchmark(keypair.sign, b"benchmark payload")
+
+
+def test_perf_rsa_verify(benchmark):
+    keypair = generate_keypair(random.Random(5), 256)
+    signature = keypair.sign(b"benchmark payload")
+    benchmark(keypair.public_key.verify, b"benchmark payload", signature)
+
+
+def test_perf_zone_lookup_hit(benchmark, signed_zone):
+    benchmark(signed_zone.lookup, n("host7.perf.test"), RRType.A, True)
+
+
+def test_perf_zone_lookup_nxdomain(benchmark, signed_zone):
+    benchmark(signed_zone.lookup, n("nope.perf.test"), RRType.A, True)
+
+
+def test_perf_full_resolution(benchmark):
+    """End-to-end resolutions per second, warm caches for the chain."""
+    workload = standard_workload(300)
+    universe = standard_universe(workload, filler_count=2000)
+    experiment = LeakageExperiment(
+        universe, correct_bind_config(), ptr_fraction=0.0
+    )
+    names = iter(workload.names(300))
+
+    def resolve_next():
+        experiment.resolver.resolve(next(names), RRType.A)
+
+    benchmark.pedantic(resolve_next, rounds=250, iterations=1)

@@ -1,0 +1,43 @@
+"""Section 5.2: the DNS-OARC operator survey and prevalence modelling.
+
+Paper: 56 respondents — 30.35 % package defaults, 8.9 % manual
+defaults, 60.7 % own configuration; 62.5 % use ISC's DLV registry.
+"""
+
+from conftest import emit
+
+from repro.analysis import (
+    format_table,
+    model_population,
+    prevalence_estimate,
+    survey_breakdown,
+)
+
+
+def run_survey():
+    breakdown = survey_breakdown()
+    population = model_population()
+    estimate = prevalence_estimate()
+    return breakdown, population, estimate
+
+
+def test_survey_prevalence(benchmark):
+    breakdown, population, estimate = benchmark.pedantic(
+        run_survey, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["Answer", "Respondents", "Share"],
+        [(r["answer"], r["respondents"], f"{r['share']:.1%}") for r in breakdown],
+        title="DNS-OARC 2015 survey (published figures)",
+    )
+    risky = sum(1 for r in population if r.leaks_everything())
+    text += (
+        f"\n\nModelled population of {len(population)} resolvers:\n"
+        f"  DLV-enabled:          {estimate['dlv_enabled_fraction']:.1%}\n"
+        f"  leak-everything risk: {estimate['leaks_everything_fraction']:.1%} "
+        f"({risky} resolvers with look-aside on and no usable root anchor)"
+    )
+    emit(text)
+    assert breakdown[0]["respondents"] == 17
+    assert estimate["isc_dlv_share_published"] == 0.625
+    assert 0 < estimate["leaks_everything_fraction"] < 0.5

@@ -1,0 +1,13 @@
+"""Table 1: resolver versions and settings across the 16 environments."""
+
+from conftest import emit
+
+from repro.analysis import table1_environments
+
+
+def test_table1_environments(benchmark):
+    rows, text = benchmark.pedantic(
+        table1_environments, rounds=1, iterations=1
+    )
+    emit(text)
+    assert len(rows) == 8

@@ -1,0 +1,15 @@
+"""Table 2: default-configuration variations per installation method."""
+
+from conftest import emit
+
+from repro.analysis import table2_config_variations
+
+
+def test_table2_config_variations(benchmark):
+    rows, text = benchmark.pedantic(
+        table2_config_variations, rounds=1, iterations=1
+    )
+    emit(text)
+    verdicts = {r["installer"]: r["arm_compliant"] for r in rows}
+    # The paper's finding: none of the defaults follow the ARM.
+    assert not any(verdicts.values())

@@ -1,0 +1,26 @@
+"""Table 3 + Section 5.2: DNSSEC-secured domains per configuration.
+
+Paper: apt-get No, apt-get(ARM-edited) Yes, yum No, manual Yes — and
+under the correct configuration exactly the 5 islands of security are
+sent to (and served by) the registry.
+"""
+
+from conftest import emit
+
+from repro.analysis import table3_secured_domains
+
+
+def test_table3_secured_domains(benchmark):
+    rows, text = benchmark.pedantic(
+        table3_secured_domains, kwargs={"filler_count": 2000}, rounds=1, iterations=1
+    )
+    emit(text)
+    verdicts = {r["config"]: r["leaks"] for r in rows}
+    assert verdicts == {
+        "apt-get": False,
+        "apt-get+ARM-edit": True,
+        "yum": False,
+        "manual": True,
+    }
+    yum = next(r for r in rows if r["config"] == "yum")
+    assert yum["islands_via_dlv"] == 5

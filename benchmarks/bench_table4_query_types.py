@@ -1,0 +1,31 @@
+"""Table 4: number of DNS queries by type per dataset size.
+
+Paper (per 100 domains): A 467, AAAA 243, DNSKEY 32, DS 221, NS 36,
+PTR 2.  The simulator reproduces the mix's shape: A dominates, DS and
+AAAA follow, DNSKEY/NS/PTR are small.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import table4_query_types
+
+
+def test_table4_query_types(benchmark):
+    sizes = tuple(
+        int(part)
+        for part in os.environ.get("REPRO_TABLE4_SIZES", "100,1000").split(",")
+    )
+    rows, text = benchmark.pedantic(
+        table4_query_types,
+        kwargs={"sizes": sizes, "filler_count": 20000},
+        rounds=1,
+        iterations=1,
+    )
+    emit(text)
+    for row in rows:
+        assert row["A"] > row["AAAA"]
+        assert row["A"] > row["DS"]
+        assert row["NS"] < row["AAAA"]
+        assert row["PTR"] <= row["NS"]

@@ -1,0 +1,29 @@
+"""Table 5: overhead of the TXT-signalling remedy.
+
+Paper ratios grow with N: response time 18.7→29.2 %, traffic volume
+6.7→9.8 %, issued queries 10.8→19.7 % (100 → 100k domains).
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import table5_txt_overhead
+
+
+def test_table5_txt_overhead(benchmark):
+    sizes = tuple(
+        int(part)
+        for part in os.environ.get("REPRO_TABLE5_SIZES", "100,1000").split(",")
+    )
+    rows, text = benchmark.pedantic(
+        table5_txt_overhead,
+        kwargs={"sizes": sizes, "filler_count": 20000},
+        rounds=1,
+        iterations=1,
+    )
+    emit(text)
+    for row in rows:
+        assert 0.05 < row["time_ratio"] < 0.50
+        assert 0.01 < row["traffic_ratio"] < 0.25
+        assert 0.05 < row["queries_ratio"] < 0.40

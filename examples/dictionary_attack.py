@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Dictionary attack against privacy-preserving DLV (Section 6.2.4).
+
+The hashed-DLV remedy replaces domain names with digests in look-aside
+queries.  This example plays the registry operator: it captures the
+hashed queries of a 120-domain browsing session, then tries to invert
+them with dictionaries of increasing size and relevance.
+
+Run:  python examples/dictionary_attack.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    DictionaryAttack,
+    LeakageExperiment,
+    Remedy,
+    coverage_curve,
+    resolver_config_for,
+    standard_universe,
+    standard_workload,
+)
+from repro.resolver import correct_bind_config
+
+SIZE = 120
+
+
+def main() -> None:
+    workload = standard_workload(SIZE)
+    universe = standard_universe(
+        workload, filler_count=5000, registry_hashed=True
+    )
+    config = resolver_config_for(Remedy.HASHED, correct_bind_config())
+    experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+    result = experiment.run(workload.names(SIZE))
+
+    print(f"plaintext domains leaked:  {result.leakage.leaked_count}")
+    attack = DictionaryAttack(universe.registry_origin, universe.registry_address)
+    digests = attack.observed_digest_labels(result.capture)
+    print(f"digests observed:          {len(digests)}")
+    print(f"example digest query:      {digests[0]}.{universe.registry_origin.to_text()}\n")
+
+    # An attacker with an irrelevant dictionary recovers nothing...
+    decoys = standard_workload(SIZE, seed=909).names(SIZE)
+    futile = attack.attack(result.capture, decoys)
+    print(
+        f"decoy dictionary ({len(decoys)} names): recovered "
+        f"{futile.recovered_count} after {futile.hash_evaluations} hashes"
+    )
+
+    # ...but a targeted dictionary (the popular-domain list the queries
+    # came from) recovers everything — the paper's caveat.
+    targeted = workload.names(SIZE)
+    rows = coverage_curve(
+        attack, result.capture, targeted, checkpoints=(10, 30, 60, 120)
+    )
+    print()
+    print(
+        format_table(
+            ["Dictionary size", "Recovered", "Recovery rate"],
+            [
+                (r["dictionary_size"], r["recovered"], f"{r['recovery_rate']:.0%}")
+                for r in rows
+            ],
+            title="Targeted dictionary: recovery vs size",
+        )
+    )
+    print(
+        "\nConclusion (paper Section 6.2.4): hashing defeats a blind\n"
+        "observer, but a determined adversary with a good candidate list\n"
+        "still learns which *known* domains were queried — so the authors\n"
+        "recommend combining it with the DLV-aware signalling remedies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Leakage growth and decay (Figs. 8/9) at example scale.
+
+Sweeps the top-N popular domains for N in {100, 500, 2000} against a
+correctly configured look-aside resolver and prints the leaked-domain
+counts and proportions, visualising the aggressive-negative-caching
+effect the paper identifies.
+
+Run:  python examples/leakage_sweep.py
+"""
+
+from repro.analysis import (
+    fig8_dlv_queries,
+    fig9_leak_proportion,
+    leakage_sweep,
+)
+
+SIZES = (100, 500, 2000)
+
+
+def main() -> None:
+    points = leakage_sweep(sizes=SIZES, filler_count=20000)
+    _, fig8_text = fig8_dlv_queries(points)
+    _, fig9_text = fig9_leak_proportion(points)
+    print(fig8_text)
+    print()
+    print(fig9_text)
+    print()
+    print("Why the proportion decays: every 'No such name' from the")
+    print("registry carries a validated NSEC record proving an entire")
+    print("canonical-order *range* of names absent.  The resolver caches")
+    print("these ranges aggressively (RFC 5074), so the more you query,")
+    print("the more future look-aside queries are answered locally —")
+    print("the registry still sees most of a small browsing session.")
+    for point in points:
+        print(
+            f"  top-{point.domains:<6} leaked {point.leaked_domains:>5} "
+            f"({point.proportion:.0%}), utility {point.utility:.2%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

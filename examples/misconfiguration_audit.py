@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Misconfiguration audit across the paper's 16 environments.
+
+For every (OS, installer) environment of Table 1, takes the default
+resolver configuration that installation produces, runs the 45
+DNSSEC-secured domains (5 of them islands of security) through it, and
+reports whether secured domains leak to the DLV registry — the Table 2
++ Table 3 story end to end.
+
+Run:  python examples/misconfiguration_audit.py
+"""
+
+from repro.analysis import format_table
+from repro.configs import all_environments
+from repro.core import LeakageExperiment, standard_workload
+from repro.workloads import Universe, UniverseParams, secured_domains
+
+
+def audit_environment(env, specs, filler):
+    universe = Universe(
+        specs,
+        UniverseParams(modulus_bits=256, registry_filler=filler),
+    )
+    config = env.default_config()
+    experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+    result = experiment.run([spec.name for spec in specs])
+    return {
+        "environment": env.describe(),
+        "validates": config.validation_machinery_active,
+        "dlv": config.lookaside_enabled,
+        "anchor": config.root_anchor_available,
+        "leaked": result.leakage.leaked_count,
+        "ad": result.authenticated_answers,
+    }
+
+
+def main() -> None:
+    specs = secured_domains()
+    filler = tuple(standard_workload(10).registry_filler(2000))
+    rows = []
+    for resolver in ("bind", "unbound"):
+        for env in all_environments(resolver):
+            rows.append(audit_environment(env, specs, filler))
+    print(
+        format_table(
+            ["Environment", "Validates", "DLV", "Anchor", "Leaked", "AD answers"],
+            [
+                (
+                    r["environment"],
+                    "yes" if r["validates"] else "no",
+                    "yes" if r["dlv"] else "no",
+                    "yes" if r["anchor"] else "MISSING",
+                    r["leaked"],
+                    r["ad"],
+                )
+                for r in rows
+            ],
+            title="Default-configuration audit: 45 secured domains per environment",
+        )
+    )
+    risky = [r for r in rows if r["leaked"] > 0]
+    print(
+        f"\n{len(risky)} of {len(rows)} environments leak DNSSEC-secured "
+        f"domains out of the box — all of them BIND installs whose default "
+        f"config enables look-aside without a usable trust anchor."
+    )
+
+
+if __name__ == "__main__":
+    main()

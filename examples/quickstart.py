@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: watch a DLV registry observe your browsing.
+
+Builds a small simulated DNS world (root, TLDs, leaf zones, the
+``dlv.isc.org`` registry), points a correctly configured validating
+resolver at it, resolves a handful of popular domains, and prints what
+the registry operator saw — the paper's Case-1/Case-2 leakage split.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LeakageExperiment, standard_universe, standard_workload
+from repro.dnscore import RRType
+from repro.resolver import correct_bind_config
+
+
+def main() -> None:
+    # 1. A seeded world: 50 popular domains, the calibrated registry.
+    workload = standard_workload(50)
+    universe = standard_universe(workload, filler_count=5000)
+
+    # 2. A *correctly* configured BIND-style resolver: root trust anchor
+    #    installed, dnssec-lookaside auto (the paper's Fig. 6 config).
+    config = correct_bind_config()
+    print(f"resolver config: {config.describe()}\n")
+
+    # 3. Query every domain once from a stub, capturing all packets.
+    experiment = LeakageExperiment(universe, config)
+    result = experiment.run(workload.names(50))
+
+    # 4. What did the DLV registry learn?
+    leak = result.leakage
+    print(f"domains queried:            {leak.domains_queried}")
+    print(f"DLV queries at registry:    {leak.dlv_queries}")
+    print(f"  Case-1 (deposited):       {leak.case1_queries}")
+    print(f"  Case-2 (privacy leak):    {leak.case2_queries}")
+    print(f"leaked domains:             {leak.leaked_count} "
+          f"({leak.leaked_proportion:.0%} of what you browsed)")
+    print(f"validation utility:         {leak.utility_fraction:.1%} "
+          f"of DLV queries got a useful answer\n")
+
+    print("a sample of what the registry operator saw:")
+    for domain in sorted(leak.leaked_domains, key=str)[:10]:
+        print(f"  {domain.to_text():40s} (no DLV record: pure leakage)")
+
+    # 5. The registry had nothing to do with most of these domains:
+    #    none of them even deployed DNSSEC.
+    print(f"\nvalidation statuses: {result.status_counts}")
+    print(f"simulated time: {result.overhead.response_time:.1f}s, "
+          f"traffic {result.overhead.traffic_mb:.2f} MB, "
+          f"{result.overhead.queries_issued} queries")
+    a_queries = result.overhead.type_count(RRType.A)
+    print(f"(of which {a_queries} were A queries)")
+
+
+if __name__ == "__main__":
+    main()

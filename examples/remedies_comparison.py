@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Side-by-side comparison of the paper's remedies (Section 6.2).
+
+Runs the same 150-domain workload under vanilla DLV, TXT signalling,
+Z-bit signalling, and privacy-preserving (hashed) DLV, then prints
+leakage and cost for each — including the paper-style additive overhead
+accounting and the fully-deployed totals.
+
+Run:  python examples/remedies_comparison.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    Remedy,
+    compare_all,
+    standard_workload,
+)
+from repro.core.overhead import SignalingCost
+from repro.core.setup import EXPERIMENT_MODULUS_BITS
+from repro.dnscore import RRType
+from repro.resolver import correct_bind_config
+from repro.workloads import UniverseParams
+
+SIZE = 150
+
+
+def main() -> None:
+    workload = standard_workload(SIZE)
+    base_params = UniverseParams(
+        modulus_bits=EXPERIMENT_MODULUS_BITS,
+        registry_filler=tuple(workload.registry_filler(10000)),
+    )
+    runs = compare_all(
+        workload.domains,
+        workload.names(SIZE),
+        correct_bind_config(),
+        base_params,
+        remedies=(Remedy.NONE, Remedy.TXT, Remedy.ZBIT, Remedy.HASHED),
+    )
+    rows = []
+    for remedy, run in runs.items():
+        result = run.result
+        txt_cost = SignalingCost.of_query_type(result.capture, RRType.TXT)
+        rows.append(
+            (
+                remedy.value,
+                result.leakage.leaked_count,
+                result.leakage.dlv_queries,
+                result.authenticated_answers,
+                f"{result.overhead.response_time:.1f}",
+                f"{result.overhead.traffic_mb:.3f}",
+                result.overhead.queries_issued,
+                txt_cost.exchanges,
+            )
+        )
+    print(
+        format_table(
+            [
+                "Option", "Leaked", "DLV queries", "AD answers",
+                "Time (s)", "Traffic (MB)", "Queries", "TXT exchanges",
+            ],
+            rows,
+            title=f"Remedy comparison over {SIZE} popular domains",
+        )
+    )
+    print(
+        "\nTakeaways (matching the paper's Section 6.2):\n"
+        "  * TXT and Z-bit signalling eliminate Case-2 leakage entirely;\n"
+        "  * the Z bit is free (no extra packets), TXT costs ~1 cacheable\n"
+        "    query per zone;\n"
+        "  * hashed DLV keeps look-aside functional while exposing only\n"
+        "    digests (see examples/dictionary_attack.py for its limits);\n"
+        "  * islands of security still validate (AD count unchanged)."
+    )
+
+
+if __name__ == "__main__":
+    main()

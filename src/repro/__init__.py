@@ -1,0 +1,25 @@
+"""Reproduction of "Privacy Implications of DNSSEC Look-Aside Validation".
+
+A pure-Python DNS/DNSSEC/DLV simulator and measurement framework that
+reproduces the leakage experiments, root-cause analysis, and remedy
+evaluations of Mohaisen et al. (ICDCS 2017 / IEEE TDSC 2018).
+
+Layers, bottom to top:
+
+* :mod:`repro.dnscore`   — names, records, messages, wire format.
+* :mod:`repro.crypto`    — textbook RSA, DNSSEC keys, DS digests, NSEC3.
+* :mod:`repro.netsim`    — simulated clock, latency, network, capture.
+* :mod:`repro.zones`     — zone model and DNSSEC signer.
+* :mod:`repro.servers`   — authoritative servers and the DLV registry.
+* :mod:`repro.resolver`  — recursive resolver with DNSSEC validation and
+  RFC 5074 look-aside, including aggressive negative caching.
+* :mod:`repro.configs`   — BIND/Unbound behavioural configuration models
+  and the paper's 16 measurement environments.
+* :mod:`repro.workloads` — synthetic Alexa-like domains, the Huque-45
+  secured set, DITL-style traces, and the Universe builder.
+* :mod:`repro.core`      — the paper's contribution: leakage
+  classification, experiments, remedies, overhead, dictionary attacks.
+* :mod:`repro.analysis`  — regeneration of every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,59 @@
+"""Regeneration of every table and figure in the paper's evaluation."""
+
+from .breakdown import per_tld_leakage, render_per_tld
+from .figures import (
+    LeakageSweepPoint,
+    fig8_dlv_queries,
+    fig9_leak_proportion,
+    fig10_overhead_breakdown,
+    fig11_remedy_comparison,
+    fig12_ditl,
+    leakage_sweep,
+)
+from .render import format_series, format_table, percent
+from .report import ReportScale, build_report
+from .survey import (
+    ISC_DLV_USERS,
+    TOTAL_RESPONDENTS,
+    Respondent,
+    model_population,
+    prevalence_estimate,
+    survey_breakdown,
+)
+from .tables import (
+    TABLE4_TYPES,
+    table1_environments,
+    table2_config_variations,
+    table3_secured_domains,
+    table4_query_types,
+    table5_txt_overhead,
+)
+
+__all__ = [
+    "ISC_DLV_USERS",
+    "LeakageSweepPoint",
+    "ReportScale",
+    "Respondent",
+    "TABLE4_TYPES",
+    "build_report",
+    "TOTAL_RESPONDENTS",
+    "fig10_overhead_breakdown",
+    "fig11_remedy_comparison",
+    "fig12_ditl",
+    "fig8_dlv_queries",
+    "fig9_leak_proportion",
+    "format_series",
+    "format_table",
+    "leakage_sweep",
+    "model_population",
+    "per_tld_leakage",
+    "percent",
+    "render_per_tld",
+    "prevalence_estimate",
+    "survey_breakdown",
+    "table1_environments",
+    "table2_config_variations",
+    "table3_secured_domains",
+    "table4_query_types",
+    "table5_txt_overhead",
+]

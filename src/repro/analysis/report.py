@@ -1,0 +1,132 @@
+"""Full-report builder: regenerate the paper's evaluation in one call.
+
+Produces a single text document with every table and figure at a
+selectable scale — the programmatic face of the benchmark harness, also
+used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from .figures import (
+    fig8_dlv_queries,
+    fig9_leak_proportion,
+    fig10_overhead_breakdown,
+    fig11_remedy_comparison,
+    fig12_ditl,
+    leakage_sweep,
+)
+from .render import format_table
+from .survey import prevalence_estimate, survey_breakdown
+from .tables import (
+    table1_environments,
+    table2_config_variations,
+    table3_secured_domains,
+    table4_query_types,
+    table5_txt_overhead,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportScale:
+    """How big a report run should be."""
+
+    sweep_sizes: Sequence[int] = (100, 1000)
+    table_sizes: Sequence[int] = (100,)
+    filler_count: int = 20000
+    fig11_size: int = 200
+    ditl_scale: float = 0.01
+
+    @classmethod
+    def tiny(cls) -> "ReportScale":
+        """Seconds-scale report for smoke tests and demos."""
+        return cls(
+            sweep_sizes=(50, 150),
+            table_sizes=(50,),
+            filler_count=1500,
+            fig11_size=50,
+            ditl_scale=0.003,
+        )
+
+    @classmethod
+    def quick(cls) -> "ReportScale":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ReportScale":
+        """Closer to publication scale (minutes, not seconds)."""
+        return cls(
+            sweep_sizes=(100, 1000, 10000),
+            table_sizes=(100, 1000),
+            filler_count=60000,
+            fig11_size=500,
+            ditl_scale=0.02,
+        )
+
+
+def _heading(title: str) -> str:
+    bar = "=" * len(title)
+    return f"{title}\n{bar}"
+
+
+def build_report(scale: Optional[ReportScale] = None) -> str:
+    """Run every experiment and assemble the text report."""
+    scale = scale or ReportScale.quick()
+    sections: List[str] = [
+        _heading(
+            "Reproduction report: Privacy Implications of DNSSEC "
+            "Look-Aside Validation"
+        )
+    ]
+
+    sections.append(table1_environments()[1])
+    sections.append(table2_config_variations()[1])
+
+    points = leakage_sweep(
+        sizes=scale.sweep_sizes, filler_count=scale.filler_count
+    )
+    sections.append(fig8_dlv_queries(points)[1])
+    sections.append(fig9_leak_proportion(points)[1])
+
+    sections.append(table3_secured_domains(filler_count=2000)[1])
+
+    sections.append(
+        table4_query_types(
+            sizes=scale.table_sizes, filler_count=scale.filler_count
+        )[1]
+    )
+
+    rows5, text5 = table5_txt_overhead(
+        sizes=scale.table_sizes, filler_count=scale.filler_count
+    )
+    sections.append(text5)
+    sections.append(fig10_overhead_breakdown(rows5)[1])
+
+    sections.append(
+        fig11_remedy_comparison(
+            size=scale.fig11_size, filler_count=scale.filler_count
+        )[1]
+    )
+
+    sections.append(fig12_ditl(scale=scale.ditl_scale)[1])
+
+    survey_rows = survey_breakdown()
+    estimate = prevalence_estimate()
+    sections.append(
+        format_table(
+            ["Answer", "Respondents", "Share"],
+            [
+                (r["answer"], r["respondents"], f"{r['share']:.1%}")
+                for r in survey_rows
+            ],
+            title="DNS-OARC 2015 survey (Section 5.2)",
+        )
+        + (
+            f"\nmodelled leak-everything prevalence: "
+            f"{estimate['leaks_everything_fraction']:.1%} of respondents"
+        )
+    )
+
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,129 @@
+"""The DNS-OARC 2015 operator survey (paper Section 5.2).
+
+The paper surveyed 56 attendees who run their own recursive resolvers:
+
+* 17 (30.35 %) use defaults produced by a package installer;
+* 5 (8.9 %) use defaults of a manual installation;
+* 34 (60.7 %) use their own configuration;
+* 35 (62.5 %) use ISC's DLV server; 21 (37.5 %) use other anchors.
+
+We reproduce the published breakdown as data, and provide a seeded
+population model that maps respondents onto the configuration classes of
+Table 2/3 — used by the misconfiguration-prevalence bench to estimate
+how many operators' resolvers would leak.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+from ..configs import InstallMethod, config_from_install
+from ..resolver import ResolverConfig
+
+TOTAL_RESPONDENTS = 56
+PACKAGE_DEFAULTS = 17
+MANUAL_DEFAULTS = 5
+OWN_CONFIGURATION = 34
+ISC_DLV_USERS = 35
+
+
+def survey_breakdown() -> List[dict]:
+    """The published response counts and shares."""
+    rows = [
+        ("package-installer defaults", PACKAGE_DEFAULTS),
+        ("manual-install defaults", MANUAL_DEFAULTS),
+        ("own configuration", OWN_CONFIGURATION),
+    ]
+    return [
+        {
+            "answer": label,
+            "respondents": count,
+            "share": count / TOTAL_RESPONDENTS,
+        }
+        for label, count in rows
+    ] + [
+        {
+            "answer": "uses ISC DLV server",
+            "respondents": ISC_DLV_USERS,
+            "share": ISC_DLV_USERS / TOTAL_RESPONDENTS,
+        }
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class Respondent:
+    """One modelled survey respondent's resolver."""
+
+    index: int
+    config_class: str
+    config: ResolverConfig
+
+    def leaks_everything(self) -> bool:
+        """Would this resolver send every domain to DLV?  True when the
+        validation machinery runs without a usable root anchor while
+        look-aside is on."""
+        return (
+            self.config.lookaside_enabled
+            and not self.config.root_anchor_available
+        )
+
+    def queries_dlv(self) -> bool:
+        return self.config.lookaside_enabled
+
+
+def model_population(seed: int = 56) -> List[Respondent]:
+    """Map the 56 respondents onto configuration classes.
+
+    Package-default users split between apt-get (no DLV) and yum (DLV
+    on, anchor present); manual-default users run the paper's risky
+    manual scenario; own-configuration users mostly configure correctly
+    but a seeded minority reproduce the missing-anchor mistake the paper
+    demonstrates is easy to make.
+    """
+    rng = random.Random(seed)
+    respondents: List[Respondent] = []
+    index = 0
+    for _ in range(PACKAGE_DEFAULTS):
+        method = rng.choice([InstallMethod.APT_GET, InstallMethod.YUM])
+        respondents.append(
+            Respondent(index, f"package:{method.value}", config_from_install(method))
+        )
+        index += 1
+    for _ in range(MANUAL_DEFAULTS):
+        respondents.append(
+            Respondent(index, "manual-default", config_from_install(InstallMethod.MANUAL))
+        )
+        index += 1
+    for _ in range(OWN_CONFIGURATION):
+        # 1 in 5 own-config operators forget the anchor include —
+        # the paper's "unlikely to correctly make the configuration"
+        # observation, kept conservative.
+        forgot_anchor = rng.random() < 0.2
+        config = config_from_install(
+            InstallMethod.MANUAL, anchor_included=not forgot_anchor
+        )
+        respondents.append(
+            Respondent(
+                index,
+                "own-config" + (":broken-anchor" if forgot_anchor else ""),
+                config,
+            )
+        )
+        index += 1
+    return respondents
+
+
+def prevalence_estimate(seed: int = 56) -> Dict[str, float]:
+    """Fractions of the modelled population in each risk class."""
+    population = model_population(seed)
+    total = len(population)
+    dlv_users = sum(1 for r in population if r.queries_dlv())
+    leak_all = sum(1 for r in population if r.leaks_everything())
+    return {
+        "respondents": float(total),
+        "dlv_enabled_fraction": dlv_users / total,
+        "leaks_everything_fraction": leak_all / total,
+        "isc_dlv_share_published": ISC_DLV_USERS / TOTAL_RESPONDENTS,
+    }

@@ -1,0 +1,316 @@
+"""Regeneration of the paper's tables (1-5).
+
+Each ``tableN_*`` function returns structured rows plus a text rendering
+via :func:`repro.analysis.render.format_table`.  Tables 3-5 run actual
+simulations; their entry points take size/seed parameters so benches can
+scale them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..configs import (
+    Environment,
+    InstallMethod,
+    all_environments,
+    config_from_install,
+)
+from ..dnscore import Name, RRType
+from ..resolver import ResolverConfig, correct_bind_config
+from ..workloads import (
+    AlexaWorkload,
+    Universe,
+    UniverseParams,
+    secured_domains,
+)
+from ..core import (
+    LeakageExperiment,
+    Remedy,
+    RemedyRun,
+    run_remedy,
+    standard_experiment,
+    standard_workload,
+)
+from ..core.overhead import SignalingCost
+from ..core.setup import EXPERIMENT_MODULUS_BITS
+from .render import format_table, percent
+
+
+# ----------------------------------------------------------------------
+# Table 1 — resolver versions and settings per environment
+# ----------------------------------------------------------------------
+
+def table1_environments() -> Tuple[List[dict], str]:
+    """Table 1: the 16 hosts with their package/manual versions."""
+    rows = []
+    for env_bind in all_environments("bind"):
+        if env_bind.manual_install:
+            continue
+        os_name = env_bind.os.name
+        bind_p = env_bind.os.bind_package_version
+        unbound_p = env_bind.os.unbound_package_version
+        rows.append(
+            {
+                "os": os_name,
+                "bind_package": bind_p,
+                "bind_manual": "9.10.3",
+                "unbound_package": unbound_p,
+                "unbound_manual": "1.5.7",
+            }
+        )
+    text = format_table(
+        ["Operating System", "BIND (P)", "BIND (M)", "Unbound (P)", "Unbound (M)"],
+        [
+            (r["os"], r["bind_package"], r["bind_manual"], r["unbound_package"], r["unbound_manual"])
+            for r in rows
+        ],
+        title="Table 1: resolver versions per environment",
+    )
+    return rows, text
+
+
+# ----------------------------------------------------------------------
+# Table 2 — default configuration variations
+# ----------------------------------------------------------------------
+
+def table2_config_variations() -> Tuple[List[dict], str]:
+    """Table 2: what each installation method configures by default."""
+    rows = []
+    for method, label in (
+        (InstallMethod.APT_GET, "apt-get"),
+        (InstallMethod.YUM, "yum"),
+        (InstallMethod.MANUAL, "manual"),
+    ):
+        if method is InstallMethod.MANUAL:
+            # Manual install ships no config at all: everything N/A.
+            rows.append(
+                {
+                    "installer": label,
+                    "dnssec": "N/A",
+                    "validation": "N/A",
+                    "dlv": "N/A",
+                    "trust_anchor": "N/A",
+                    "arm_compliant": False,
+                }
+            )
+            continue
+        config = config_from_install(method)
+        rows.append(
+            {
+                "installer": label,
+                "dnssec": "Yes" if config.dnssec_enable else "No",
+                "validation": config.dnssec_validation.value.capitalize(),
+                "dlv": (
+                    "Auto"
+                    if config.lookaside_enabled
+                    else "N/A"
+                ),
+                "trust_anchor": "Yes" if config.trust_anchor_included else "N/A",
+                # The ARM says: validation defaults to yes, DLV to no.
+                "arm_compliant": (
+                    config.dnssec_validation.value == "yes"
+                    and not config.lookaside_enabled
+                ),
+            }
+        )
+    text = format_table(
+        ["Installer", "DNSSEC", "validation", "DLV", "trust anchor", "ARM-compliant"],
+        [
+            (r["installer"], r["dnssec"], r["validation"], r["dlv"], r["trust_anchor"], "yes" if r["arm_compliant"] else "NO")
+            for r in rows
+        ],
+        title="Table 2: default configuration variations",
+    )
+    return rows, text
+
+
+# ----------------------------------------------------------------------
+# Table 3 — do DNSSEC-secured domains leak to DLV, per configuration?
+# ----------------------------------------------------------------------
+
+_TABLE3_CONFIGS: Tuple[Tuple[str, ResolverConfig], ...] = (
+    ("apt-get", config_from_install(InstallMethod.APT_GET)),
+    ("apt-get+ARM-edit", config_from_install(InstallMethod.APT_GET, arm_edited=True)),
+    ("yum", config_from_install(InstallMethod.YUM)),
+    ("manual", config_from_install(InstallMethod.MANUAL)),
+)
+
+
+def table3_secured_domains(
+    filler_count: int = 2000,
+) -> Tuple[List[dict], str]:
+    """Table 3 + Section 5.2: query the 45 secured domains under each
+    default configuration; do they reach the DLV registry?
+
+    Expected: apt-get No, apt-get(ARM-edited) Yes, yum No (only the five
+    islands), manual Yes.
+    """
+    rows = []
+    specs = secured_domains()
+    island_count = sum(1 for s in specs if s.is_island_of_security())
+    # Any small workload provides the seeded filler-name generator.
+    workload = standard_workload(10)
+    filler = workload.registry_filler(filler_count)
+    for label, config in _TABLE3_CONFIGS:
+        universe = Universe(
+            specs,
+            UniverseParams(
+                modulus_bits=EXPERIMENT_MODULUS_BITS,
+                registry_filler=filler,
+            ),
+        )
+        experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+        result = experiment.run([s.name for s in specs])
+        leak = result.leakage
+        secured_leaked = leak.leaked_count
+        islands_served = len(leak.served_domains)
+        rows.append(
+            {
+                "config": label,
+                # Table 3's Yes/No: do secured domains *leak* (Case-2)?
+                "leaks": secured_leaked > 0,
+                "dlv_queried": leak.dlv_queries > 0,
+                "secured_domains_leaked": secured_leaked,
+                "islands_via_dlv": islands_served,
+                "dlv_queries": leak.dlv_queries,
+                "authenticated": result.authenticated_answers,
+            }
+        )
+    text = format_table(
+        ["Configuration", "Leak (Table 3)", "Case-2 leaked", "Islands served", "DLV queries", "AD answers"],
+        [
+            (
+                r["config"],
+                "Yes" if r["leaks"] else "No",
+                r["secured_domains_leaked"],
+                r["islands_via_dlv"],
+                r["dlv_queries"],
+                r["authenticated"],
+            )
+            for r in rows
+        ],
+        title=(
+            "Table 3: 45 DNSSEC-secured domains "
+            f"({island_count} islands of security) per configuration"
+        ),
+    )
+    return rows, text
+
+
+# ----------------------------------------------------------------------
+# Table 4 — query-type mix per dataset size
+# ----------------------------------------------------------------------
+
+TABLE4_TYPES = (RRType.A, RRType.AAAA, RRType.DNSKEY, RRType.DS, RRType.NS, RRType.PTR)
+
+
+def table4_query_types(
+    sizes: Sequence[int] = (100, 1000),
+    seed: int = 2016,
+    filler_count: int = 20000,
+) -> Tuple[List[dict], str]:
+    """Table 4: number of issued queries per type and dataset size.
+
+    One incremental experiment per size list (shared caches, like the
+    paper's sequential runs on one resolver would *not* share — so each
+    size gets a fresh resolver, as in the paper)."""
+    rows = []
+    for size in sizes:
+        workload = standard_workload(size, seed=seed)
+        experiment = standard_experiment(
+            size, correct_bind_config(), filler_count=filler_count, seed=seed
+        )
+        result = experiment.run(workload.names(size))
+        counts = result.overhead.query_type_counts
+        row = {"size": size}
+        for rtype in TABLE4_TYPES:
+            row[rtype.name] = counts.get(rtype, 0)
+        row["DLV"] = counts.get(RRType.DLV, 0)
+        rows.append(row)
+    text = format_table(
+        ["# Domains"] + [t.name for t in TABLE4_TYPES] + ["DLV"],
+        [
+            tuple([r["size"]] + [r[t.name] for t in TABLE4_TYPES] + [r["DLV"]])
+            for r in rows
+        ],
+        title="Table 4: number of DNS queries by type",
+    )
+    return rows, text
+
+
+# ----------------------------------------------------------------------
+# Table 5 — overhead of the TXT remedy
+# ----------------------------------------------------------------------
+
+def table5_txt_overhead(
+    sizes: Sequence[int] = (100, 1000),
+    seed: int = 2016,
+    filler_count: int = 20000,
+) -> Tuple[List[dict], str]:
+    """Table 5: baseline vs TXT-signalling overhead per dataset size.
+
+    Accounting follows the paper (Section 6.2.3): the run executes DLV
+    with TXT signalling *inserted*; the overhead is the cost of the TXT
+    exchanges themselves (their RTTs, bytes, and count); the baseline is
+    the run's remaining traffic.
+    """
+    rows = []
+    for size in sizes:
+        workload = standard_workload(size, seed=seed)
+        run = run_remedy(
+            Remedy.TXT,
+            workload.domains,
+            workload.names(size),
+            correct_bind_config(),
+            base_params=UniverseParams(
+                modulus_bits=EXPERIMENT_MODULUS_BITS,
+                registry_filler=tuple(workload.registry_filler(filler_count)),
+            ),
+        )
+        result = run.result
+        # The TXT exchange cost within the run, measured packet by
+        # packet from the run's own capture.
+        cost = SignalingCost.of_query_type(result.capture, RRType.TXT)
+        total_time = result.overhead.response_time
+        total_bytes = result.overhead.traffic_bytes
+        total_queries = result.overhead.queries_issued
+        base_time = total_time - cost.seconds
+        base_bytes = total_bytes - cost.bytes
+        base_queries = total_queries - cost.exchanges
+        rows.append(
+            {
+                "size": size,
+                "time_baseline": base_time,
+                "time_overhead": cost.seconds,
+                "time_ratio": cost.seconds / base_time if base_time else 0.0,
+                "traffic_baseline_mb": base_bytes / 1e6,
+                "traffic_overhead_mb": cost.bytes / 1e6,
+                "traffic_ratio": cost.bytes / base_bytes if base_bytes else 0.0,
+                "queries_baseline": base_queries,
+                "queries_overhead": cost.exchanges,
+                "queries_ratio": cost.exchanges / base_queries if base_queries else 0.0,
+            }
+        )
+    text = format_table(
+        [
+            "# Domains",
+            "Time base (s)", "Time ovh (s)", "Time %",
+            "Traffic base (MB)", "Traffic ovh (MB)", "Traffic %",
+            "Queries base", "Queries ovh", "Queries %",
+        ],
+        [
+            (
+                r["size"],
+                f"{r['time_baseline']:.2f}", f"{r['time_overhead']:.2f}", percent(r["time_ratio"]),
+                f"{r['traffic_baseline_mb']:.3f}", f"{r['traffic_overhead_mb']:.3f}", percent(r["traffic_ratio"]),
+                r["queries_baseline"], r["queries_overhead"], percent(r["queries_ratio"]),
+            )
+            for r in rows
+        ],
+        title="Table 5: TXT-remedy overhead (baseline / overhead / ratio)",
+    )
+    return rows, text
+
+

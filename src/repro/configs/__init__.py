@@ -1,0 +1,40 @@
+"""Resolver configuration models: BIND/Unbound defaults and the 16
+measurement environments of the paper's Table 1."""
+
+from .bind import (
+    AptGetVariant,
+    InstallMethod,
+    config_from_install,
+    named_conf_for,
+)
+from .environments import (
+    Environment,
+    MANUAL_BIND_VERSION,
+    MANUAL_UNBOUND_VERSION,
+    OPERATING_SYSTEMS,
+    OperatingSystem,
+    OsFamily,
+    all_environments,
+)
+from .unbound import (
+    UnboundInstall,
+    config_from_unbound_install,
+    unbound_conf_for,
+)
+
+__all__ = [
+    "AptGetVariant",
+    "Environment",
+    "InstallMethod",
+    "MANUAL_BIND_VERSION",
+    "MANUAL_UNBOUND_VERSION",
+    "OPERATING_SYSTEMS",
+    "OperatingSystem",
+    "OsFamily",
+    "UnboundInstall",
+    "all_environments",
+    "config_from_install",
+    "config_from_unbound_install",
+    "named_conf_for",
+    "unbound_conf_for",
+]

@@ -1,0 +1,138 @@
+"""BIND installation models: default configs per installer (Section 4.3).
+
+The paper finds that BIND's *default* configuration differs by
+installation method, and that two of the three defaults contradict the
+BIND Administrator Reference Manual (ARM):
+
+* ``apt-get`` (Debian/Ubuntu): ``dnssec-validation auto`` only — DLV is
+  absent and the DLV trust anchor is not included (non-ARM default);
+* ``yum`` (Fedora/CentOS): validation ``yes``, ``dnssec-lookaside
+  auto``, and ``include "/etc/bind.keys"`` — DLV enabled *by default*
+  (contradicts the ARM, which says DLV defaults to off);
+* manual (source build): **no configuration file at all** — the operator
+  writes one, typically following the ARM, and the trust-anchor include
+  is the step that gets forgotten.
+
+:func:`named_conf_for` reproduces the Fig. 4-6 file contents;
+:func:`config_from_install` maps an installation (plus optional operator
+edits) to the behavioural :class:`~repro.resolver.ResolverConfig`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..resolver import (
+    LookasideSetting,
+    ResolverConfig,
+    ResolverFlavor,
+    ValidationSetting,
+)
+
+
+class InstallMethod(enum.Enum):
+    APT_GET = "apt-get"
+    YUM = "yum"
+    MANUAL = "manual"
+
+
+class AptGetVariant(enum.Enum):
+    """The paper's apt-get scenarios."""
+
+    #: Pure distro default: dnssec-validation auto, no DLV.
+    DEFAULT = "default"
+    #: Table 3's `apt-get†`: the operator read the ARM and changed
+    #: dnssec-validation to ``yes`` and enabled DLV — but the anchor
+    #: include line is still missing.
+    ARM_EDITED = "arm-edited"
+
+
+def named_conf_for(method: InstallMethod, arm_edited: bool = False) -> str:
+    """The named.conf.options content each installation produces
+    (paper Figs. 4, 5, 6)."""
+    if method is InstallMethod.APT_GET and not arm_edited:
+        return (
+            "options {\n"
+            "    dnssec-validation auto;\n"
+            "};\n"
+        )
+    if method is InstallMethod.APT_GET and arm_edited:
+        return (
+            "options {\n"
+            "    dnssec-enable yes;\n"
+            "    dnssec-validation yes;\n"
+            "    dnssec-lookaside auto;\n"
+            "};\n"
+        )
+    if method is InstallMethod.YUM:
+        return (
+            "options {\n"
+            "    dnssec-enable yes;\n"
+            "    dnssec-validation yes;\n"
+            "    dnssec-lookaside auto;\n"
+            "};\n"
+            'include "/etc/bind.keys";\n'
+        )
+    # Manual install: Fig. 6 is the *correct* config an expert writes.
+    return (
+        "options {\n"
+        "    dnssec-enable yes;\n"
+        "    dnssec-validation yes;\n"
+        "    dnssec-lookaside auto;\n"
+        "};\n"
+        'include "/etc/bind.keys";  // frequently forgotten\n'
+    )
+
+
+def config_from_install(
+    method: InstallMethod,
+    arm_edited: bool = False,
+    anchor_included: Optional[bool] = None,
+) -> ResolverConfig:
+    """Behavioural config for a BIND installation.
+
+    ``anchor_included`` overrides the installation's default
+    trust-anchor state (e.g. a careful operator adding the include line
+    after a manual install).
+    """
+    if method is InstallMethod.APT_GET and not arm_edited:
+        # dnssec-validation auto uses the built-in anchor; no DLV.
+        return ResolverConfig(
+            flavor=ResolverFlavor.BIND,
+            dnssec_enable=True,
+            dnssec_validation=ValidationSetting.AUTO,
+            dnssec_lookaside=LookasideSetting.NO,
+            trust_anchor_included=False if anchor_included is None else anchor_included,
+            dlv_anchor_included=True,
+        )
+    if method is InstallMethod.APT_GET and arm_edited:
+        # Table 3's apt-get†: validation yes + DLV on, anchor missing.
+        return ResolverConfig(
+            flavor=ResolverFlavor.BIND,
+            dnssec_enable=True,
+            dnssec_validation=ValidationSetting.YES,
+            dnssec_lookaside=LookasideSetting.AUTO,
+            trust_anchor_included=False if anchor_included is None else anchor_included,
+            dlv_anchor_included=True,
+        )
+    if method is InstallMethod.YUM:
+        # bind.keys included by default: anchor present, DLV on.
+        return ResolverConfig(
+            flavor=ResolverFlavor.BIND,
+            dnssec_enable=True,
+            dnssec_validation=ValidationSetting.YES,
+            dnssec_lookaside=LookasideSetting.AUTO,
+            trust_anchor_included=True if anchor_included is None else anchor_included,
+            dlv_anchor_included=True,
+        )
+    # Manual: DNSSEC on by default, anchor must be included by hand —
+    # the paper's scenario is that it is not.
+    return ResolverConfig(
+        flavor=ResolverFlavor.BIND,
+        dnssec_enable=True,
+        dnssec_validation=ValidationSetting.YES,
+        dnssec_lookaside=LookasideSetting.AUTO,
+        trust_anchor_included=False if anchor_included is None else anchor_included,
+        dlv_anchor_included=True,
+    )

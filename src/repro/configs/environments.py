@@ -1,0 +1,107 @@
+"""The paper's 16 measurement environments (Table 1).
+
+Eight operating-system releases × two installation methods (package
+installer vs. manual source build), each carrying the resolver versions
+the paper records and the default configuration that installation
+produces on that OS family:
+
+* Debian-family systems (Debian, Ubuntu) use ``apt-get``;
+* Fedora-family systems (Fedora, CentOS) use ``yum``;
+* manual installs behave identically everywhere (no config file).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Tuple
+
+from ..resolver import ResolverConfig
+from .bind import InstallMethod, config_from_install
+from .unbound import UnboundInstall, config_from_unbound_install
+
+
+class OsFamily(enum.Enum):
+    DEBIAN = "debian"   # apt-get
+    FEDORA = "fedora"   # yum
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingSystem:
+    name: str
+    family: OsFamily
+    bind_package_version: str
+    unbound_package_version: str
+
+
+#: Table 1's rows: OS, package-installed versions; manual installs used
+#: BIND 9.10.3 and Unbound 1.5.7 everywhere.
+OPERATING_SYSTEMS: Tuple[OperatingSystem, ...] = (
+    OperatingSystem("CentOS 6.7", OsFamily.FEDORA, "9.9.4", "1.4.20"),
+    OperatingSystem("CentOS 7.1", OsFamily.FEDORA, "9.9.4", "1.4.29"),
+    OperatingSystem("Debian 7", OsFamily.DEBIAN, "9.8.4", "1.4.17"),
+    OperatingSystem("Debian 8", OsFamily.DEBIAN, "9.9.5", "1.4.22"),
+    OperatingSystem("Fedora 21", OsFamily.FEDORA, "9.9.6", "1.5.7"),
+    OperatingSystem("Fedora 22", OsFamily.FEDORA, "9.10.2", "1.5.7"),
+    OperatingSystem("Ubuntu 12.04", OsFamily.DEBIAN, "9.9.5", "1.4.16"),
+    OperatingSystem("Ubuntu 14.04", OsFamily.DEBIAN, "9.9.5", "1.4.22"),
+)
+
+MANUAL_BIND_VERSION = "9.10.3"
+MANUAL_UNBOUND_VERSION = "1.5.7"
+
+
+@dataclasses.dataclass(frozen=True)
+class Environment:
+    """One of the 16 (OS, installer) measurement hosts."""
+
+    os: OperatingSystem
+    manual_install: bool
+    resolver: str  # "bind" or "unbound"
+
+    @property
+    def installer(self) -> str:
+        if self.manual_install:
+            return "manual"
+        return "apt-get" if self.os.family is OsFamily.DEBIAN else "yum"
+
+    @property
+    def version(self) -> str:
+        if self.resolver == "bind":
+            return MANUAL_BIND_VERSION if self.manual_install else self.os.bind_package_version
+        return (
+            MANUAL_UNBOUND_VERSION
+            if self.manual_install
+            else self.os.unbound_package_version
+        )
+
+    def default_config(self) -> ResolverConfig:
+        """The configuration this environment starts with out of the box."""
+        if self.resolver == "bind":
+            if self.manual_install:
+                return config_from_install(InstallMethod.MANUAL)
+            method = (
+                InstallMethod.APT_GET
+                if self.os.family is OsFamily.DEBIAN
+                else InstallMethod.YUM
+            )
+            return config_from_install(method)
+        if self.manual_install:
+            return config_from_unbound_install(UnboundInstall.MANUAL_DEFAULT)
+        return config_from_unbound_install(UnboundInstall.PACKAGE)
+
+    def describe(self) -> str:
+        return f"{self.os.name} / {self.installer} / {self.resolver} {self.version}"
+
+
+def all_environments(resolver: str = "bind") -> List[Environment]:
+    """The 16 hosts of Table 1 for one resolver implementation."""
+    if resolver not in ("bind", "unbound"):
+        raise ValueError("resolver must be 'bind' or 'unbound'")
+    environments: List[Environment] = []
+    for os_spec in OPERATING_SYSTEMS:
+        for manual in (False, True):
+            environments.append(
+                Environment(os=os_spec, manual_install=manual, resolver=resolver)
+            )
+    return environments

@@ -1,0 +1,70 @@
+"""Unbound configuration model (paper Section 4.4).
+
+Unbound has no explicit enable switches: DNSSEC validation exists iff an
+``auto-trust-anchor-file`` is configured, and DLV iff a
+``dlv-anchor-file`` is.  The paper credits this implicit style with
+avoiding BIND's misconfiguration class: you cannot turn validation on
+without simultaneously supplying the key material it needs, so the
+"validation on, anchor missing" state is unrepresentable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..resolver import ResolverConfig, ResolverFlavor
+
+
+class UnboundInstall(enum.Enum):
+    #: Package install: root anchor set up by the package, DLV off.
+    PACKAGE = "package"
+    #: Manual install, statements left commented out: nothing enabled.
+    MANUAL_DEFAULT = "manual-default"
+    #: Manual install with both anchors uncommented (Fig. 7).
+    MANUAL_CONFIGURED = "manual-configured"
+
+
+def unbound_conf_for(install: UnboundInstall) -> str:
+    """The unbound.conf fragment each scenario uses (paper Fig. 7)."""
+    if install is UnboundInstall.PACKAGE:
+        return (
+            "server:\n"
+            '    auto-trust-anchor-file: "/var/lib/unbound/root.key"\n'
+        )
+    if install is UnboundInstall.MANUAL_DEFAULT:
+        return (
+            "server:\n"
+            '    # auto-trust-anchor-file: "/usr/local/etc/unbound/root.key"\n'
+            '    # dlv-anchor-file: "dlv.isc.org.key"\n'
+        )
+    return (
+        "server:\n"
+        '    auto-trust-anchor-file: "/usr/local/etc/unbound/root.key"\n'
+        '    dlv-anchor-file: "dlv.isc.org.key"\n'
+    )
+
+
+def config_from_unbound_install(install: UnboundInstall) -> ResolverConfig:
+    """Behavioural config for an Unbound installation.
+
+    The invariant (and the point of Section 4.4): in Unbound,
+    ``trust_anchor_included`` and validation are the same switch, so the
+    leaky "validating without an anchor" state cannot arise.
+    """
+    if install is UnboundInstall.PACKAGE:
+        return ResolverConfig(
+            flavor=ResolverFlavor.UNBOUND,
+            trust_anchor_included=True,
+            dlv_anchor_included=False,
+        )
+    if install is UnboundInstall.MANUAL_DEFAULT:
+        return ResolverConfig(
+            flavor=ResolverFlavor.UNBOUND,
+            trust_anchor_included=False,
+            dlv_anchor_included=False,
+        )
+    return ResolverConfig(
+        flavor=ResolverFlavor.UNBOUND,
+        trust_anchor_included=True,
+        dlv_anchor_included=True,
+    )

@@ -1,0 +1,90 @@
+"""The paper's contribution: leakage measurement, remedies, attacks."""
+
+from .attacks import (
+    OutageServer,
+    TamperingProxy,
+    interpose_tampering,
+    restore,
+    take_down,
+)
+from .dictionary import AttackResult, DictionaryAttack, coverage_curve
+from .enumeration import NsecZoneWalker, WalkResult
+from .observability import (
+    ObserverExposure,
+    observer_exposures,
+    universe_observers,
+)
+from .experiment import ExperimentResult, LeakageExperiment
+from .leakage import (
+    ClassifiedDlvQuery,
+    LeakageCase,
+    LeakageClassifier,
+    LeakageReport,
+)
+from .overhead import MetricComparison, OverheadComparison, OverheadMetrics
+from .population import (
+    PopulationResult,
+    UserProfile,
+    make_profiles,
+    run_population,
+)
+from .trace_replay import ReplayResult, replay_zipf_stream
+from .setup import (
+    DEFAULT_REGISTRY_FILLER_COUNT,
+    EXPERIMENT_MODULUS_BITS,
+    standard_experiment,
+    standard_universe,
+    standard_workload,
+)
+from .remedies import (
+    Remedy,
+    RemedyRun,
+    compare_all,
+    comparisons_against_baseline,
+    resolver_config_for,
+    run_remedy,
+    universe_params_for,
+)
+
+__all__ = [
+    "AttackResult",
+    "DEFAULT_REGISTRY_FILLER_COUNT",
+    "EXPERIMENT_MODULUS_BITS",
+    "standard_experiment",
+    "standard_universe",
+    "standard_workload",
+    "ClassifiedDlvQuery",
+    "DictionaryAttack",
+    "ExperimentResult",
+    "LeakageCase",
+    "LeakageClassifier",
+    "LeakageExperiment",
+    "LeakageReport",
+    "MetricComparison",
+    "NsecZoneWalker",
+    "ObserverExposure",
+    "OutageServer",
+    "observer_exposures",
+    "universe_observers",
+    "OverheadComparison",
+    "OverheadMetrics",
+    "PopulationResult",
+    "Remedy",
+    "ReplayResult",
+    "UserProfile",
+    "replay_zipf_stream",
+    "make_profiles",
+    "run_population",
+    "TamperingProxy",
+    "WalkResult",
+    "interpose_tampering",
+    "restore",
+    "take_down",
+    "RemedyRun",
+    "compare_all",
+    "comparisons_against_baseline",
+    "coverage_curve",
+    "resolver_config_for",
+    "run_remedy",
+    "universe_params_for",
+]

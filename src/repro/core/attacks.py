@@ -1,0 +1,128 @@
+"""Active attacks against the DLV-aware signalling remedies, and
+registry failure modes.
+
+Paper Section 6.2.3 ("Attacks"): the TXT and Z-bit remedies are carried
+in ordinary DNS responses, so a man-in-the-middle (or a zone poisoner)
+can flip the signal:
+
+* forcing the signal **on** (``dlv=0 → dlv=1`` or setting the Z bit)
+  re-enables the leak the remedy was supposed to close;
+* forcing it **off** suppresses legitimate look-aside queries, breaking
+  validation for island-of-security zones (a downgrade/DoS).
+
+The paper's suggested hardening is to *sign* the signalling response so
+the resolver can verify it before acting; the resolver config exposes
+``validate_txt_signal`` in :class:`HardenedTxtConfig` below.
+
+Section 8.4 also documents DLV registry *outages* breaking validation;
+:class:`OutageServer` simulates one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from ..dnscore import Message, RCode, RRType, RRset, TXT
+from ..netsim import DnsServer, Network
+
+
+class TamperingProxy:
+    """A man-in-the-middle in front of an authoritative server.
+
+    Intercepts responses and rewrites the remedy signals.  Leaves all
+    DNSSEC material untouched — which is exactly why signature checking
+    defeats the TXT rewrite (the RRSIG no longer matches) but nothing
+    protects the unsigned Z header bit.
+    """
+
+    def __init__(
+        self,
+        upstream: DnsServer,
+        force_z_bit: Optional[bool] = None,
+        rewrite_txt_signal: Optional[int] = None,
+    ):
+        self.upstream = upstream
+        self.force_z_bit = force_z_bit
+        self.rewrite_txt_signal = rewrite_txt_signal
+        self.tampered_responses = 0
+
+    def handle(self, query: Message) -> Message:
+        response = self.upstream.handle(query)
+        tampered = False
+        flags = response.flags
+        if self.force_z_bit is not None and flags.z != self.force_z_bit:
+            flags = flags.replace(z=self.force_z_bit)
+            tampered = True
+        answer = response.answer
+        if self.rewrite_txt_signal is not None:
+            rewritten = []
+            changed = False
+            for rrset in answer:
+                if rrset.rtype is RRType.TXT:
+                    new_rdatas = []
+                    for txt in rrset.rdatas:
+                        signal = txt.dlv_signal()  # type: ignore[attr-defined]
+                        if signal is not None and signal != self.rewrite_txt_signal:
+                            new_rdatas.append(
+                                TXT((f"dlv={self.rewrite_txt_signal}",))
+                            )
+                            changed = True
+                        else:
+                            new_rdatas.append(txt)
+                    rrset = RRset(
+                        rrset.name, rrset.rtype, rrset.ttl, tuple(new_rdatas)
+                    )
+                rewritten.append(rrset)
+            if changed:
+                answer = tuple(rewritten)
+                tampered = True
+        if not tampered:
+            return response
+        self.tampered_responses += 1
+        return dataclasses.replace(response, flags=flags, answer=answer)
+
+
+class OutageServer:
+    """A dead (or overloaded) server: every query fails.
+
+    Models the DLV registry outages the paper cites (Section 8.4,
+    Osterweil's 2009 report): resolvers depending on look-aside trust
+    anchors lose validation while the registry is down.
+    """
+
+    def __init__(self, rcode: RCode = RCode.SERVFAIL):
+        self.rcode = rcode
+        self.queries_seen = 0
+
+    def handle(self, query: Message) -> Message:
+        self.queries_seen += 1
+        return query.make_response(rcode=self.rcode)
+
+
+def interpose_tampering(
+    network: Network,
+    address: str,
+    force_z_bit: Optional[bool] = None,
+    rewrite_txt_signal: Optional[int] = None,
+) -> TamperingProxy:
+    """Put a :class:`TamperingProxy` in front of the server at *address*."""
+    proxy = TamperingProxy(
+        upstream=network.server_at(address),
+        force_z_bit=force_z_bit,
+        rewrite_txt_signal=rewrite_txt_signal,
+    )
+    network.replace(address, proxy)
+    return proxy
+
+
+def take_down(network: Network, address: str, rcode: RCode = RCode.SERVFAIL) -> OutageServer:
+    """Replace the server at *address* with an outage."""
+    outage = OutageServer(rcode=rcode)
+    network.replace(address, outage)
+    return outage
+
+
+def restore(network: Network, address: str, server: DnsServer) -> None:
+    """Bring the original server back after an attack/outage."""
+    network.replace(address, server)

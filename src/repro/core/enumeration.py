@@ -1,0 +1,102 @@
+"""NSEC zone enumeration against the DLV registry (paper Section 7.3).
+
+The aggressive-negative-caching performance that DLV relies on comes
+from NSEC records — but NSEC famously allows *zone walking*: each
+denial names the next existing owner in canonical order, so an attacker
+can enumerate every registered domain by repeatedly probing just past
+the last learned owner.  The paper points out the resulting trade-off:
+NSEC leaks the registry's contents, NSEC3 protects them but disables
+the caching that limits query leakage.
+
+:class:`NsecZoneWalker` implements the attack as a network client; it
+also demonstrates (by collecting only opaque hashes) why NSEC3 defeats
+it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set
+
+from ..dnscore import Message, Name, RCode, RRType
+from ..netsim import Network
+
+
+@dataclasses.dataclass
+class WalkResult:
+    """Outcome of an enumeration attempt."""
+
+    owners: List[Name]
+    queries_sent: int
+    complete: bool
+
+    def enumerated_domains(self, origin: Name) -> List[Name]:
+        """Registered names relative to the registry origin."""
+        domains = []
+        for owner in self.owners:
+            if owner == origin:
+                continue
+            domains.append(Name(owner.relativize(origin)))
+        return domains
+
+
+class NsecZoneWalker:
+    """Walks a zone's NSEC chain from the outside."""
+
+    def __init__(
+        self,
+        network: Network,
+        registry_address: str,
+        origin: Name,
+        attacker_address: str = "203.0.113.66",
+    ):
+        self._network = network
+        self._registry_address = registry_address
+        self.origin = origin
+        self._attacker_address = attacker_address
+        self._next_id = 1
+
+    def _query(self, qname: Name) -> Message:
+        message_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFF or 1
+        query = Message.make_query(
+            message_id, qname, RRType.DLV, recursion_desired=False, dnssec_ok=True
+        )
+        return self._network.query(
+            self._attacker_address, self._registry_address, query
+        )
+
+    @staticmethod
+    def _probe_after(owner: Name) -> Name:
+        """A name canonically just after *owner*: any child of it sorts
+        immediately after the owner itself (RFC 4034 section 6.1)."""
+        return owner.prepend("0")
+
+    def walk(self, max_queries: int = 100_000) -> WalkResult:
+        """Enumerate the zone.  Completes when the chain wraps back to
+        the apex; returns partial results if the probe responses carry
+        no NSEC (e.g. an NSEC3 zone) or the budget runs out."""
+        owners: List[Name] = [self.origin]
+        seen: Set[Name] = {self.origin}
+        queries = 0
+        current = self.origin
+        while queries < max_queries:
+            response = self._query(self._probe_after(current))
+            queries += 1
+            next_owner = self._next_from_response(response)
+            if next_owner is None:
+                return WalkResult(owners=owners, queries_sent=queries, complete=False)
+            if next_owner == self.origin or next_owner in seen:
+                return WalkResult(owners=owners, queries_sent=queries, complete=True)
+            owners.append(next_owner)
+            seen.add(next_owner)
+            current = next_owner
+        return WalkResult(owners=owners, queries_sent=queries, complete=False)
+
+    def _next_from_response(self, response: Message) -> Optional[Name]:
+        if response.rcode is not RCode.NXDOMAIN:
+            return None
+        for rrset in response.authority:
+            if rrset.rtype is RRType.NSEC:
+                return rrset.first().next_name  # type: ignore[attr-defined]
+        return None

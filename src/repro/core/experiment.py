@@ -1,0 +1,188 @@
+"""The measurement harness: drive a workload, capture, classify.
+
+This is the reproduction of the paper's experimental procedure
+(Section 4.1): configure a resolver, query the sample domains from a
+stub, capture all packets, and analyse (1) whether DNSSEC succeeded,
+(2) which queries went to the DLV registry, and (3) whether the
+registry provided validation utility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from ..dnscore import Name, RCode, RRType
+from ..resolver import RecursiveResolver, ResolverConfig, ValidationStatus
+from ..workloads import Universe
+from .leakage import LeakageClassifier, LeakageReport
+from .overhead import OverheadMetrics
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Everything one run produced."""
+
+    names: List[Name]
+    leakage: LeakageReport
+    overhead: OverheadMetrics
+    #: Validation status distribution over stub queries.
+    status_counts: Dict[str, int]
+    #: rcode distribution of stub answers.
+    rcode_counts: Dict[str, int]
+    #: Number of answers carrying AD (validated secure).
+    authenticated_answers: int
+    #: Read-only view over this run's captured packets.
+    capture: "_CaptureSlice" = dataclasses.field(default=None, repr=False)  # type: ignore[assignment]
+
+    def summary(self) -> str:
+        leak = self.leakage
+        return (
+            f"{leak.domains_queried} domains; {leak.dlv_queries} DLV queries "
+            f"({leak.case2_queries} case-2); leaked domains: "
+            f"{leak.leaked_count} ({leak.leaked_proportion:.1%}); "
+            f"utility: {leak.utility_fraction:.2%}; "
+            f"time {self.overhead.response_time:.2f}s, "
+            f"{self.overhead.traffic_mb:.2f} MB, "
+            f"{self.overhead.queries_issued} queries"
+        )
+
+
+class LeakageExperiment:
+    """Runs one workload against one resolver configuration."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        config: ResolverConfig,
+        ptr_fraction: float = 0.01,
+        dnssec_ok_stub: bool = True,
+    ):
+        self.universe = universe
+        self.config = config
+        self.resolver = universe.make_resolver(config)
+        self.stub = universe.make_stub(self.resolver)
+        self.classifier = LeakageClassifier(
+            registry=universe.registry_zone,
+            registry_address=universe.registry_address,
+        )
+        self._ptr_fraction = ptr_fraction
+        self._dnssec_ok_stub = dnssec_ok_stub
+
+    def run(self, names: Sequence[Name]) -> ExperimentResult:
+        """Query every name (type A, plus a deterministic PTR fraction),
+        then classify the capture."""
+        capture = self.universe.capture
+        start_index = len(capture)
+        start_time = self.universe.clock.now
+        start_bytes = capture.total_bytes()
+        rcode_counts: Dict[str, int] = {}
+        authenticated = 0
+        for name in names:
+            response = self.stub.query(
+                name, RRType.A, dnssec_ok=self._dnssec_ok_stub
+            )
+            rcode_counts[response.rcode.name] = (
+                rcode_counts.get(response.rcode.name, 0) + 1
+            )
+            if response.flags.ad:
+                authenticated += 1
+            if self._wants_ptr(name):
+                reverse = self._reverse_name(name)
+                if reverse is not None:
+                    self.stub.query(reverse, RRType.PTR, dnssec_ok=False)
+        # Slice the capture to this run's packets.
+        run_records = list(capture)[start_index:]
+        run_capture = _CaptureSlice(run_records)
+        leakage = self.classifier.report(run_capture, list(names))
+        overhead = OverheadMetrics.from_capture(
+            run_capture,
+            response_time=self.universe.clock.now - start_time,
+        )
+        status_counts = self._status_histogram(names)
+        return ExperimentResult(
+            names=list(names),
+            leakage=leakage,
+            overhead=overhead,
+            status_counts=status_counts,
+            rcode_counts=rcode_counts,
+            authenticated_answers=authenticated,
+            capture=run_capture,
+        )
+
+    # ------------------------------------------------------------------
+    # PTR side traffic (small, deterministic — see Table 4's PTR column)
+    # ------------------------------------------------------------------
+
+    def _wants_ptr(self, name: Name) -> bool:
+        if self._ptr_fraction <= 0:
+            return False
+        digest = hashlib.md5(name.to_text().encode("ascii")).digest()
+        return digest[3] / 255.0 < self._ptr_fraction
+
+    def _reverse_name(self, name: Name) -> Optional[Name]:
+        address = self.universe.apex_address(name)
+        if address is None:
+            return None
+        octets = address.split(".")
+        return Name(list(reversed(octets)) + ["in-addr", "arpa"])
+
+    # ------------------------------------------------------------------
+    # Validation-status bookkeeping
+    # ------------------------------------------------------------------
+
+    def _status_histogram(self, names: Sequence[Name]) -> Dict[str, int]:
+        """Read the resolver's memoised conclusions for the queried
+        zones — a pure cache read, so it adds no traffic and cannot
+        perturb the captured run.
+        """
+        counts: Dict[str, int] = {}
+        if not self.config.validation_machinery_active:
+            return counts
+        memo = self.resolver.validator._zone_security
+        for name in names:
+            security = memo.get(name)
+            key = security.status.value if security is not None else "unknown"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+class _CaptureSlice:
+    """A read-only view over a subset of capture records, exposing the
+    Capture analysis API the classifier and metrics need."""
+
+    def __init__(self, records):
+        self._records = list(records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+    def queries(self):
+        return [r for r in self._records if r.is_query]
+
+    def queries_of_type(self, rtype: RRType):
+        return [
+            r for r in self._records if r.is_query and r.qtype is rtype
+        ]
+
+    def queries_to(self, address: str):
+        return [
+            r for r in self._records if r.is_query and r.dst == address
+        ]
+
+    def total_bytes(self) -> int:
+        return sum(r.wire_size for r in self._records)
+
+    def query_count(self) -> int:
+        return sum(1 for r in self._records if r.is_query)
+
+    def query_type_histogram(self):
+        counts: Dict[RRType, int] = {}
+        for record in self._records:
+            if record.is_query and record.qtype is not None:
+                counts[record.qtype] = counts.get(record.qtype, 0) + 1
+        return counts

@@ -1,0 +1,111 @@
+"""Per-observer exposure analysis: who on the resolution path learned
+which of the user's domains?
+
+The paper's threat model (Section 3) distinguishes involved parties
+(root, TLD, target authoritative) from uninvolved ones (the DLV
+registry for non-deposited names).  This module generalises the
+measurement: for every observation point in the capture, compute how
+many of the queried domains were *visible* in the query names it
+received.
+
+Used by the qname-minimisation bench to show that RFC 7816 removes
+full names from the root and TLDs, while the DLV registry keeps seeing
+them — look-aside queries embed the whole domain regardless of how the
+original resolution was minimised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..dnscore import Name
+from ..workloads import Universe
+
+
+@dataclasses.dataclass
+class ObserverExposure:
+    """What one observation point (server address) saw."""
+
+    address: str
+    role: str
+    queries_received: int
+    distinct_qnames: int
+    #: Queried workload domains whose full name appeared inside at
+    #: least one query name this observer received.
+    exposed_domains: Set[Name]
+
+    def exposure_fraction(self, total_domains: int) -> float:
+        if total_domains == 0:
+            return 0.0
+        return len(self.exposed_domains) / total_domains
+
+
+def _contains_domain(qname: Name, domain: Name) -> bool:
+    """Is *domain* visible inside *qname*?
+
+    True when the domain's labels occur as a contiguous run in the
+    query name — covering ``example.com`` itself, ``www.example.com``,
+    and the look-aside form ``example.com.dlv.isc.org``.
+    """
+    q = qname.labels
+    d = domain.labels
+    if len(d) > len(q):
+        return False
+    for start in range(len(q) - len(d) + 1):
+        if q[start : start + len(d)] == d:
+            return True
+    return False
+
+
+def observer_exposures(
+    capture,
+    queried_domains: Sequence[Name],
+    observers: Dict[str, str],
+) -> List[ObserverExposure]:
+    """Exposure per observation point.
+
+    ``observers`` maps server address → human-readable role (e.g.
+    ``{"10.0.0.1": "dlv-registry", ...}``); addresses not listed are
+    ignored (e.g. the leaf servers, which are involved by definition).
+    """
+    domains = list(queried_domains)
+    qname_sets: Dict[str, Set[Name]] = {address: set() for address in observers}
+    exposed: Dict[str, Set[Name]] = {address: set() for address in observers}
+    counts: Dict[str, int] = {address: 0 for address in observers}
+    for record in capture:
+        if not record.is_query or record.dst not in observers:
+            continue
+        counts[record.dst] += 1
+        qname = record.qname
+        if qname is None:
+            continue
+        qname_sets[record.dst].add(qname)
+    # Exposure matching on distinct qnames only (cheaper and identical).
+    for address, qnames in qname_sets.items():
+        for qname in qnames:
+            for domain in domains:
+                if domain in exposed[address]:
+                    continue
+                if _contains_domain(qname, domain):
+                    exposed[address].add(domain)
+    return [
+        ObserverExposure(
+            address=address,
+            role=observers[address],
+            queries_received=counts[address],
+            distinct_qnames=len(qname_sets[address]),
+            exposed_domains=exposed[address],
+        )
+        for address in observers
+    ]
+
+
+def universe_observers(universe: Universe) -> Dict[str, str]:
+    """The standard observation points of a Universe: root, every TLD,
+    and the DLV registry."""
+    observers = {universe.root_address: "root"}
+    for label, address in universe._tld_addresses.items():
+        observers[address] = f"tld:{label}"
+    observers[universe.registry_address] = "dlv-registry"
+    return observers

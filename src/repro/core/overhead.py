@@ -1,0 +1,147 @@
+"""Overhead metrics and baseline-vs-remedy comparison (Table 5/Fig 10).
+
+The paper evaluates its remedies with three metrics (Section 6.2.3):
+
+* **response time** (seconds) — in the simulation, the elapsed simulated
+  time of the run (one RTT per query, sequential, as in the paper's
+  scripted `dig` loop);
+* **traffic volume** (MB) — total bytes of all queries and responses;
+* **number of issued queries**.
+
+:class:`OverheadComparison` reproduces the Table 5 layout: baseline,
+overhead (delta), and ratio for each metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..dnscore import RRType
+
+
+@dataclasses.dataclass(frozen=True)
+class OverheadMetrics:
+    """The three Table 5 metrics plus the query-type mix (Table 4)."""
+
+    response_time: float
+    traffic_bytes: int
+    queries_issued: int
+    query_type_counts: Dict[RRType, int]
+
+    @property
+    def traffic_mb(self) -> float:
+        return self.traffic_bytes / 1_000_000.0
+
+    @classmethod
+    def from_capture(cls, capture, response_time: float) -> "OverheadMetrics":
+        return cls(
+            response_time=response_time,
+            traffic_bytes=capture.total_bytes(),
+            queries_issued=capture.query_count(),
+            query_type_counts=dict(capture.query_type_histogram()),
+        )
+
+    def type_count(self, rtype: RRType) -> int:
+        return self.query_type_counts.get(rtype, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalingCost:
+    """The packet cost of a signalling mechanism within one run.
+
+    The paper's Table 5 accounting: the *overhead* of the TXT remedy is
+    the TXT queries and responses themselves — their round-trip times,
+    their bytes, and their count — added on top of the original traffic.
+    """
+
+    seconds: float
+    bytes: int
+    exchanges: int
+
+    @classmethod
+    def of_query_type(
+        cls, capture, rtype: RRType, src: "str | None" = None
+    ) -> "SignalingCost":
+        """Measure the cost of all (query, response) exchanges of one
+        query type in a capture, optionally restricted to queries issued
+        by *src*."""
+        seconds = 0.0
+        total_bytes = 0
+        exchanges = 0
+        pending: Dict[int, object] = {}
+        for record in capture:
+            if record.qtype is not rtype:
+                continue
+            if record.is_query:
+                if src is not None and record.src != src:
+                    continue
+                pending[(record.message.message_id, record.dst)] = record
+                total_bytes += record.wire_size
+            else:
+                query = pending.pop((record.message.message_id, record.src), None)
+                if query is not None:
+                    seconds += record.time - query.time  # type: ignore[attr-defined]
+                    total_bytes += record.wire_size
+                    exchanges += 1
+        return cls(seconds=seconds, bytes=total_bytes, exchanges=exchanges)
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricComparison:
+    """Baseline / overhead / ratio for one metric (one Table 5 cell
+    group)."""
+
+    baseline: float
+    total: float
+
+    @property
+    def overhead(self) -> float:
+        return self.total - self.baseline
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return self.overhead / self.baseline
+
+
+@dataclasses.dataclass(frozen=True)
+class OverheadComparison:
+    """One Table 5 row: a remedy run against its baseline run."""
+
+    label: str
+    response_time: MetricComparison
+    traffic: MetricComparison
+    queries: MetricComparison
+
+    @classmethod
+    def between(
+        cls, label: str, baseline: OverheadMetrics, remedy: OverheadMetrics
+    ) -> "OverheadComparison":
+        return cls(
+            label=label,
+            response_time=MetricComparison(
+                baseline.response_time, remedy.response_time
+            ),
+            traffic=MetricComparison(
+                float(baseline.traffic_bytes), float(remedy.traffic_bytes)
+            ),
+            queries=MetricComparison(
+                float(baseline.queries_issued), float(remedy.queries_issued)
+            ),
+        )
+
+    def row(self) -> Dict[str, float]:
+        """The Table 5 row values (times in s, traffic in MB)."""
+        return {
+            "time_baseline_s": self.response_time.baseline,
+            "time_overhead_s": self.response_time.overhead,
+            "time_ratio": self.response_time.ratio,
+            "traffic_baseline_mb": self.traffic.baseline / 1e6,
+            "traffic_overhead_mb": self.traffic.overhead / 1e6,
+            "traffic_ratio": self.traffic.ratio,
+            "queries_baseline": self.queries.baseline,
+            "queries_overhead": self.queries.overhead,
+            "queries_ratio": self.queries.ratio,
+        }

@@ -1,0 +1,117 @@
+"""The paper's remedies, packaged as runnable experiment variants.
+
+Section 6.2 proposes:
+
+* **DLV-aware DNS / TXT record** — registrants publish ``dlv=1``/``dlv=0``
+  in a TXT record; the resolver fetches it and only consults the DLV
+  registry when signalled.  Costs one extra (cacheable) query per zone.
+* **DLV-aware DNS / Z bit** — the authoritative server sets the spare Z
+  header bit on responses for zones with a deposit; no extra packets.
+* **Privacy-preserving DLV** — the registry stores
+  ``crypto_hash(domain)`` digests and the resolver queries the digest,
+  so Case-2 misses reveal only a hash.
+
+Each remedy here is a recipe: how to build the universe (deployment
+side) and how to configure the resolver (client side).  ``compare_all``
+reproduces the Fig. 11 three-way comparison on a common workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from ..dnscore import Name
+from ..resolver import ResolverConfig
+from ..workloads import DomainSpec, Universe, UniverseParams
+from .experiment import ExperimentResult, LeakageExperiment
+from .overhead import OverheadComparison
+
+
+class Remedy(enum.Enum):
+    NONE = "dlv"            # vanilla DLV: the baseline
+    TXT = "txt"             # DLV-aware DNS via TXT record
+    ZBIT = "zbit"           # DLV-aware DNS via the Z header bit
+    HASHED = "hashed-dlv"   # privacy-preserving DLV
+
+
+def universe_params_for(
+    remedy: Remedy, base: Optional[UniverseParams] = None
+) -> UniverseParams:
+    """Deployment-side changes the remedy needs in the universe."""
+    base = base or UniverseParams()
+    if remedy is Remedy.TXT:
+        return dataclasses.replace(base, deploy_txt_signal=True)
+    if remedy is Remedy.ZBIT:
+        return dataclasses.replace(base, deploy_zbit_signal=True)
+    if remedy is Remedy.HASHED:
+        return dataclasses.replace(base, registry_hashed=True)
+    return base
+
+
+def resolver_config_for(remedy: Remedy, base: ResolverConfig) -> ResolverConfig:
+    """Client-side switches the remedy needs in the resolver."""
+    if remedy is Remedy.TXT:
+        return dataclasses.replace(base, txt_signaling=True)
+    if remedy is Remedy.ZBIT:
+        return dataclasses.replace(base, zbit_signaling=True)
+    if remedy is Remedy.HASHED:
+        return dataclasses.replace(base, hashed_dlv=True)
+    return base
+
+
+@dataclasses.dataclass
+class RemedyRun:
+    remedy: Remedy
+    result: ExperimentResult
+
+
+def run_remedy(
+    remedy: Remedy,
+    domains: Sequence[DomainSpec],
+    names: Sequence[Name],
+    resolver_config: ResolverConfig,
+    base_params: Optional[UniverseParams] = None,
+    ptr_fraction: float = 0.01,
+) -> RemedyRun:
+    """Build a fresh universe with the remedy deployed and run the
+    workload once.  Fresh universes keep runs independent and identical
+    except for the remedy (same seeds everywhere)."""
+    params = universe_params_for(remedy, base_params)
+    universe = Universe(domains, params)
+    config = resolver_config_for(remedy, resolver_config)
+    experiment = LeakageExperiment(universe, config, ptr_fraction=ptr_fraction)
+    return RemedyRun(remedy=remedy, result=experiment.run(names))
+
+
+def compare_all(
+    domains: Sequence[DomainSpec],
+    names: Sequence[Name],
+    resolver_config: ResolverConfig,
+    base_params: Optional[UniverseParams] = None,
+    remedies: Sequence[Remedy] = (Remedy.NONE, Remedy.TXT, Remedy.ZBIT),
+    ptr_fraction: float = 0.01,
+) -> Dict[Remedy, RemedyRun]:
+    """The Fig. 11 comparison: the same workload under each remedy."""
+    return {
+        remedy: run_remedy(
+            remedy, domains, names, resolver_config, base_params, ptr_fraction
+        )
+        for remedy in remedies
+    }
+
+
+def comparisons_against_baseline(
+    runs: Dict[Remedy, RemedyRun]
+) -> List[OverheadComparison]:
+    """Table 5 style rows: every remedy against the vanilla-DLV run."""
+    baseline = runs[Remedy.NONE].result.overhead
+    rows: List[OverheadComparison] = []
+    for remedy, run in runs.items():
+        if remedy is Remedy.NONE:
+            continue
+        rows.append(
+            OverheadComparison.between(remedy.value, baseline, run.result.overhead)
+        )
+    return rows

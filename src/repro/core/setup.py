@@ -1,0 +1,67 @@
+"""Canonical experiment setup shared by benches, examples, and tests.
+
+Every table/figure reproduction builds its world through these helpers
+so that all experiments run against the same calibrated universe
+(registry population, deployment rates, latency model).  The defaults
+reproduce the paper's headline numbers; see DESIGN.md for the
+calibration targets and EXPERIMENTS.md for measured results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..resolver import ResolverConfig, correct_bind_config
+from ..workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+from .experiment import LeakageExperiment
+
+#: Background DLV registry population (entries beyond the workload's own
+#: deposits).  Calibrated so the leaked-domain curve saturates near the
+#: paper's top-1M figure of ~68k domains.
+DEFAULT_REGISTRY_FILLER_COUNT = 60_000
+
+#: RSA modulus for experiment runs.  256-bit keys keep big sweeps fast;
+#: validation logic is identical at any size (DESIGN.md).
+EXPERIMENT_MODULUS_BITS = 256
+
+
+def standard_workload(
+    count: int, seed: int = 2016, **overrides
+) -> AlexaWorkload:
+    """The calibrated Alexa-like workload."""
+    params = WorkloadParams(seed=seed, **overrides)
+    return AlexaWorkload(count, params)
+
+
+def standard_universe(
+    workload: AlexaWorkload,
+    filler_count: int = DEFAULT_REGISTRY_FILLER_COUNT,
+    params: Optional[UniverseParams] = None,
+    **overrides,
+) -> Universe:
+    """The calibrated universe for a workload.
+
+    ``overrides`` are applied on top of the default
+    :class:`~repro.workloads.UniverseParams` (e.g.
+    ``registry_hashed=True``).
+    """
+    base = params or UniverseParams(modulus_bits=EXPERIMENT_MODULUS_BITS)
+    filler = workload.registry_filler(filler_count)
+    merged = dataclasses.replace(base, registry_filler=filler, **overrides)
+    return Universe(workload.domains, merged)
+
+
+def standard_experiment(
+    domain_count: int,
+    config: Optional[ResolverConfig] = None,
+    filler_count: int = DEFAULT_REGISTRY_FILLER_COUNT,
+    seed: int = 2016,
+    **universe_overrides,
+) -> LeakageExperiment:
+    """Workload + universe + experiment in one call."""
+    workload = standard_workload(domain_count, seed=seed)
+    universe = standard_universe(
+        workload, filler_count=filler_count, **universe_overrides
+    )
+    return LeakageExperiment(universe, config or correct_bind_config())

@@ -1,0 +1,47 @@
+"""Cryptographic substrate for the DNSSEC/DLV simulation.
+
+Textbook RSA with real asymmetric semantics (scaled-down moduli), DNSSEC
+zone keys and key tags, DS/DLV digests, the privacy-preserving DLV
+domain hash, and NSEC3 hashing.
+"""
+
+from .digest import (
+    HASH_LABEL_HEX_CHARS,
+    ds_digest,
+    hash_domain_label,
+    make_dlv,
+    make_ds,
+    verify_ds_matches,
+)
+from .keys import KeyPool, ZoneKey, ZoneKeySet, make_zone_key
+from .nsec3 import base32hex_encode, nsec3_hash, nsec3_owner_label
+from .numbertheory import generate_prime, is_probable_prime, modinv
+from .rsa import (
+    DEFAULT_MODULUS_BITS,
+    RSAPrivateKey,
+    RSAPublicKey,
+    generate_keypair,
+)
+
+__all__ = [
+    "DEFAULT_MODULUS_BITS",
+    "HASH_LABEL_HEX_CHARS",
+    "KeyPool",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "ZoneKey",
+    "ZoneKeySet",
+    "base32hex_encode",
+    "ds_digest",
+    "generate_keypair",
+    "generate_prime",
+    "hash_domain_label",
+    "is_probable_prime",
+    "make_dlv",
+    "make_ds",
+    "make_zone_key",
+    "modinv",
+    "nsec3_hash",
+    "nsec3_owner_label",
+    "verify_ds_matches",
+]

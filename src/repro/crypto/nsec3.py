@@ -1,0 +1,45 @@
+"""NSEC3 hashing (RFC 5155 section 5) and base32hex name encoding.
+
+Used by the NSEC3 variant of the DLV registry (paper Section 7.3): with
+hashed denial of existence the resolver cannot do aggressive negative
+caching, so *every* query leaks to the DLV server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..dnscore import Name
+from ..dnscore.rdata import _encode_name
+
+#: RFC 4648 base32hex alphabet, as used for NSEC3 owner names.
+_BASE32HEX = "0123456789abcdefghijklmnopqrstuv"
+
+
+def nsec3_hash(name: Name, salt: bytes, iterations: int) -> bytes:
+    """Iterated, salted SHA-1 over the canonical wire name."""
+    digest = hashlib.sha1(_encode_name(name) + salt).digest()
+    for _ in range(iterations):
+        digest = hashlib.sha1(digest + salt).digest()
+    return digest
+
+
+def base32hex_encode(data: bytes) -> str:
+    """Encode bytes in base32hex without padding (RFC 5155 usage)."""
+    bits = 0
+    bit_count = 0
+    out = []
+    for octet in data:
+        bits = (bits << 8) | octet
+        bit_count += 8
+        while bit_count >= 5:
+            bit_count -= 5
+            out.append(_BASE32HEX[(bits >> bit_count) & 0x1F])
+    if bit_count:
+        out.append(_BASE32HEX[(bits << (5 - bit_count)) & 0x1F])
+    return "".join(out)
+
+
+def nsec3_owner_label(name: Name, salt: bytes, iterations: int) -> str:
+    """The base32hex label under which a name's NSEC3 record lives."""
+    return base32hex_encode(nsec3_hash(name, salt, iterations))

@@ -1,0 +1,106 @@
+"""Textbook RSA signatures over SHA-256 digests.
+
+This provides *real asymmetric* sign/verify semantics for the DNSSEC
+simulation: validation genuinely fails for tampered data or wrong keys.
+Moduli default to 512 bits — the experiments exercise chain-of-trust
+logic, not cryptographic strength, and small keys keep zone signing fast
+(see DESIGN.md, "Scaled-down RSA").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from typing import Tuple
+
+from .numbertheory import generate_prime, modinv
+
+DEFAULT_MODULUS_BITS = 512
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclasses.dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key (n, e) with a DNSKEY-style byte encoding."""
+
+    modulus: int
+    exponent: int = _PUBLIC_EXPONENT
+
+    def to_bytes(self) -> bytes:
+        """Encode as exponent-length-prefixed bytes, in the spirit of the
+        RFC 3110 DNSKEY public-key field."""
+        exponent_bytes = _int_to_bytes(self.exponent)
+        modulus_bytes = _int_to_bytes(self.modulus)
+        if len(exponent_bytes) > 255:
+            raise ValueError("exponent too large for one-octet length")
+        return bytes([len(exponent_bytes)]) + exponent_bytes + modulus_bytes
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RSAPublicKey":
+        if not data:
+            raise ValueError("empty public key")
+        exponent_length = data[0]
+        if len(data) < 1 + exponent_length + 1:
+            raise ValueError("truncated public key")
+        exponent = int.from_bytes(data[1 : 1 + exponent_length], "big")
+        modulus = int.from_bytes(data[1 + exponent_length :], "big")
+        return cls(modulus=modulus, exponent=exponent)
+
+    def verify(self, data: bytes, signature: bytes) -> bool:
+        """Check ``signature`` over SHA-256(data)."""
+        signature_int = int.from_bytes(signature, "big")
+        if signature_int >= self.modulus:
+            return False
+        recovered = pow(signature_int, self.exponent, self.modulus)
+        return recovered == _digest_int(data, self.modulus)
+
+
+@dataclasses.dataclass(frozen=True)
+class RSAPrivateKey:
+    """An RSA private key; carries its public half."""
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(modulus=self.modulus, exponent=self.public_exponent)
+
+    def sign(self, data: bytes) -> bytes:
+        digest = _digest_int(data, self.modulus)
+        signature = pow(digest, self.private_exponent, self.modulus)
+        return signature.to_bytes((self.modulus.bit_length() + 7) // 8, "big")
+
+
+def generate_keypair(
+    rng: random.Random, modulus_bits: int = DEFAULT_MODULUS_BITS
+) -> RSAPrivateKey:
+    """Generate an RSA keypair deterministically from *rng*."""
+    half = modulus_bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(modulus_bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        n = p * q
+        if n.bit_length() != modulus_bits:
+            continue
+        d = modinv(_PUBLIC_EXPONENT, phi)
+        return RSAPrivateKey(
+            modulus=n, public_exponent=_PUBLIC_EXPONENT, private_exponent=d
+        )
+
+
+def _digest_int(data: bytes, modulus: int) -> int:
+    """SHA-256 digest reduced into the message space of *modulus*."""
+    digest = hashlib.sha256(data).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+def _int_to_bytes(value: int) -> bytes:
+    return value.to_bytes(max(1, (value.bit_length() + 7) // 8), "big")

@@ -1,0 +1,77 @@
+"""DNS data model and wire format.
+
+This package is the bottom layer of the simulator: domain names with
+DNSSEC canonical ordering, resource-record data types (including the
+DNSSEC family and the DLV type from RFC 4431), messages, header flags
+(including the spare Z bit the paper repurposes), EDNS0 with the DO bit,
+and an RFC 1035 wire codec used for byte-accurate traffic accounting.
+"""
+
+from .constants import Algorithm, DigestType, Opcode, RCode, RRClass, RRType
+from .flags import Edns, HeaderFlags
+from .message import Message, Question
+from .names import ROOT, Name, NameError_, canonical_sort, name_between
+from .rdata import (
+    A,
+    AAAA,
+    CNAME,
+    DLV,
+    DNSKEY,
+    DS,
+    MX,
+    NS,
+    NSEC,
+    NSEC3,
+    NSEC3PARAM,
+    PTR,
+    RRSIG,
+    SOA,
+    TXT,
+    Rdata,
+    RdataError,
+    decode_type_bitmap,
+    encode_type_bitmap,
+)
+from .rrset import RRset
+from .wire import WireError, decode_message, encode_message
+
+__all__ = [
+    "A",
+    "AAAA",
+    "Algorithm",
+    "CNAME",
+    "DigestType",
+    "DLV",
+    "DNSKEY",
+    "DS",
+    "Edns",
+    "HeaderFlags",
+    "Message",
+    "MX",
+    "Name",
+    "NameError_",
+    "NS",
+    "NSEC",
+    "NSEC3",
+    "NSEC3PARAM",
+    "Opcode",
+    "PTR",
+    "Question",
+    "RCode",
+    "ROOT",
+    "RRClass",
+    "RRset",
+    "RRSIG",
+    "RRType",
+    "Rdata",
+    "RdataError",
+    "SOA",
+    "TXT",
+    "WireError",
+    "canonical_sort",
+    "decode_message",
+    "decode_type_bitmap",
+    "encode_message",
+    "encode_type_bitmap",
+    "name_between",
+]

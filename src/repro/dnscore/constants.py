@@ -1,0 +1,84 @@
+"""Protocol constants: record types, classes, rcodes, opcodes.
+
+Values follow the IANA DNS parameter registries.  ``RRType.DLV`` is the
+DNSSEC Look-aside Validation type from RFC 4431 (the paper quotes the
+value 32769 used on the wire).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record types used by the simulator."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    NSEC3 = 50
+    NSEC3PARAM = 51
+    DLV = 32769
+
+    @classmethod
+    def from_value(cls, value: int) -> "RRType":
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise ValueError(f"unsupported RR type {value}") from exc
+
+
+class RRClass(enum.IntEnum):
+    """Resource record classes (only IN is used in practice)."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class RCode(enum.IntEnum):
+    """Response codes (RFC 1035 section 4.1.1, RFC 2136)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    def describe(self) -> str:
+        """The human-readable phrasing the paper uses for DLV responses."""
+        if self is RCode.NOERROR:
+            return "No error"
+        if self is RCode.NXDOMAIN:
+            return "No such name"
+        return self.name
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+    NOTIFY = 4
+    UPDATE = 5
+
+
+#: DNSSEC algorithm numbers (RFC 4034 appendix A.1).  We implement a
+#: textbook RSA/SHA-256 pair and register it under the real RSASHA256
+#: code point so DS/RRSIG records carry realistic field values.
+class Algorithm(enum.IntEnum):
+    RSASHA256 = 8
+
+
+class DigestType(enum.IntEnum):
+    """DS record digest types (RFC 4034 appendix A.2 / RFC 4509)."""
+
+    SHA1 = 1
+    SHA256 = 2

@@ -1,0 +1,115 @@
+"""DNS header flags and the EDNS0 pseudo-record.
+
+The header layout (RFC 1035 section 4.1.1, RFC 2535 for AD/CD)::
+
+      0  1  2  3  4  5  6  7  8  9  0  1  2  3  4  5
+    +--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+
+    |QR|   Opcode  |AA|TC|RD|RA| Z|AD|CD|   RCODE   |
+    +--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+--+
+
+The single remaining reserved bit ``Z`` is the one the paper proposes to
+repurpose for DLV signalling (Section 6.2.1, "Using Z Bit").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .constants import Opcode, RCode
+
+# Bit masks within the 16-bit flags word.
+QR = 0x8000
+AA = 0x0400
+TC = 0x0200
+RD = 0x0100
+RA = 0x0080
+Z = 0x0040
+AD = 0x0020
+CD = 0x0010
+
+_OPCODE_SHIFT = 11
+_OPCODE_MASK = 0x7800
+_RCODE_MASK = 0x000F
+
+#: EDNS0 flag: DNSSEC OK (RFC 3225), carried in the OPT record TTL field.
+EDNS_DO = 0x8000
+
+
+@dataclasses.dataclass(frozen=True)
+class HeaderFlags:
+    """Decoded header flags.
+
+    ``z`` is the reserved bit repurposed by the paper's second DLV-aware
+    signalling remedy: an authoritative server sets it in responses for
+    zones that have a DLV record deposited.
+    """
+
+    qr: bool = False
+    opcode: Opcode = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = False
+    ra: bool = False
+    z: bool = False
+    ad: bool = False
+    cd: bool = False
+    rcode: RCode = RCode.NOERROR
+
+    def to_wire(self) -> int:
+        word = (int(self.opcode) << _OPCODE_SHIFT) & _OPCODE_MASK
+        word |= int(self.rcode) & _RCODE_MASK
+        for flag, mask in (
+            (self.qr, QR),
+            (self.aa, AA),
+            (self.tc, TC),
+            (self.rd, RD),
+            (self.ra, RA),
+            (self.z, Z),
+            (self.ad, AD),
+            (self.cd, CD),
+        ):
+            if flag:
+                word |= mask
+        return word
+
+    @classmethod
+    def from_wire(cls, word: int) -> "HeaderFlags":
+        return cls(
+            qr=bool(word & QR),
+            opcode=Opcode((word & _OPCODE_MASK) >> _OPCODE_SHIFT),
+            aa=bool(word & AA),
+            tc=bool(word & TC),
+            rd=bool(word & RD),
+            ra=bool(word & RA),
+            z=bool(word & Z),
+            ad=bool(word & AD),
+            cd=bool(word & CD),
+            rcode=RCode(word & _RCODE_MASK),
+        )
+
+    def replace(self, **changes) -> "HeaderFlags":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class Edns:
+    """EDNS0 OPT pseudo-record state (RFC 6891).
+
+    Only the pieces the experiments need: the advertised UDP payload size
+    and the DO ("DNSSEC OK", RFC 3225) bit that security-aware resolvers
+    set on their queries.
+    """
+
+    udp_payload_size: int = 4096
+    dnssec_ok: bool = False
+
+    #: Wire size of an OPT RR with empty RDATA: root owner name (1) +
+    #: type (2) + class (2) + ttl (4) + rdlength (2).
+    WIRE_SIZE = 11
+
+    def ttl_field(self) -> int:
+        return EDNS_DO if self.dnssec_ok else 0
+
+    @classmethod
+    def from_ttl_field(cls, udp_payload_size: int, ttl: int) -> "Edns":
+        return cls(udp_payload_size=udp_payload_size, dnssec_ok=bool(ttl & EDNS_DO))

@@ -1,0 +1,195 @@
+"""Domain names: parsing, relations, and DNSSEC canonical ordering.
+
+A :class:`Name` is an immutable sequence of labels in wire order (left to
+right, most specific label first).  The root name has zero labels.  Labels are
+stored lowercase because DNS names compare case-insensitively (RFC 1035
+section 2.3.3) and DNSSEC canonical form lowercases names (RFC 4034
+section 6.2).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, Iterator, Optional, Tuple
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+class NameError_(ValueError):
+    """Raised for malformed domain names."""
+
+
+@functools.total_ordering
+class Name:
+    """An absolute domain name.
+
+    Instances are immutable, hashable, and ordered by DNSSEC canonical
+    ordering (RFC 4034 section 6.1): names sort by their labels compared
+    right to left, with shorter names (ancestors) sorting first.
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels: Iterable[str]):
+        normalized = tuple(label.lower() for label in labels)
+        for label in normalized:
+            if not label:
+                raise NameError_("empty label in name")
+            if len(label) > MAX_LABEL_LENGTH:
+                raise NameError_(f"label too long: {label!r}")
+        wire_length = sum(len(label) + 1 for label in normalized) + 1
+        if wire_length > MAX_NAME_LENGTH:
+            raise NameError_("name exceeds 255 wire octets")
+        self._labels = normalized
+        self._hash = hash(normalized)
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse a dotted name.  A trailing dot is optional; ``.`` and the
+        empty string both denote the root."""
+        text = text.strip()
+        if text in (".", ""):
+            return ROOT
+        if text.endswith("."):
+            text = text[:-1]
+        labels = text.split(".")
+        return cls(labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return self._labels
+
+    @property
+    def label_count(self) -> int:
+        return len(self._labels)
+
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def to_text(self) -> str:
+        if not self._labels:
+            return "."
+        return ".".join(self._labels) + "."
+
+    def wire_length(self) -> int:
+        """Length of this name in uncompressed wire form."""
+        return sum(len(label) + 1 for label in self._labels) + 1
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+
+    def parent(self) -> "Name":
+        """The name with the leading (leftmost) label removed.
+
+        Raises :class:`NameError_` for the root, which has no parent.
+        """
+        if not self._labels:
+            raise NameError_("the root name has no parent")
+        return Name(self._labels[1:])
+
+    def strip_left(self, count: int = 1) -> "Name":
+        """Remove ``count`` leading labels (used by DLV label stripping)."""
+        if count > len(self._labels):
+            raise NameError_("cannot strip more labels than the name has")
+        return Name(self._labels[count:])
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if *self* is *other* or lies below it in the tree."""
+        offset = len(self._labels) - len(other._labels)
+        if offset < 0:
+            return False
+        return self._labels[offset:] == other._labels
+
+    def relativize(self, origin: "Name") -> Tuple[str, ...]:
+        """Labels of *self* below *origin*.  ``()`` if self == origin."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self.to_text()} is not under {origin.to_text()}")
+        keep = len(self._labels) - len(origin._labels)
+        return self._labels[:keep]
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        """Return ``self.labels + suffix.labels`` as one name."""
+        return Name(self._labels + suffix._labels)
+
+    def prepend(self, *labels: str) -> "Name":
+        """Return a new name with labels added on the left."""
+        return Name(tuple(labels) + self._labels)
+
+    def ancestors(self) -> Iterator["Name"]:
+        """Yield self, then each ancestor up to and including the root."""
+        for start in range(len(self._labels) + 1):
+            yield Name(self._labels[start:])
+
+    def common_ancestor(self, other: "Name") -> "Name":
+        """Deepest name that is an ancestor of both self and other."""
+        mine = tuple(reversed(self._labels))
+        theirs = tuple(reversed(other._labels))
+        shared = 0
+        for a, b in zip(mine, theirs):
+            if a != b:
+                break
+            shared += 1
+        if shared == 0:
+            return ROOT
+        return Name(tuple(reversed(mine[:shared])))
+
+    # ------------------------------------------------------------------
+    # Ordering (RFC 4034 section 6.1 canonical ordering)
+    # ------------------------------------------------------------------
+
+    def canonical_key(self) -> Tuple[bytes, ...]:
+        """Sort key implementing DNSSEC canonical name order."""
+        return tuple(label.encode("ascii") for label in reversed(self._labels))
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.canonical_key() < other.canonical_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+
+#: The root of the DNS namespace.
+ROOT = Name(())
+
+
+def name_between(name: Name, lower: Name, upper: Name) -> bool:
+    """True if *name* falls strictly between *lower* and *upper* in
+    canonical order, treating the interval as circular at the zone apex
+    (RFC 4034 section 6.1 / NSEC semantics).
+
+    When ``lower == upper`` the single NSEC record covers the whole zone
+    and everything except the owner itself is "between".
+    """
+    if lower == upper:
+        return name != lower
+    if lower < upper:
+        return lower < name < upper
+    # Wrapped interval: the NSEC from the last name back to the apex.
+    return name > lower or name < upper
+
+
+def canonical_sort(names: Iterable[Name]) -> list:
+    """Sort names into DNSSEC canonical order."""
+    return sorted(names, key=Name.canonical_key)

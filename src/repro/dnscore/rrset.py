@@ -1,0 +1,72 @@
+"""RRsets: a name/type/class group of records sharing a TTL.
+
+DNSSEC signs whole RRsets, so the canonical signing input
+(RFC 4034 section 3.1.8.1) is produced here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Iterator, Tuple
+
+from .constants import RRClass, RRType
+from .names import Name
+from .rdata import Rdata, _encode_name
+
+
+@dataclasses.dataclass(frozen=True)
+class RRset:
+    """An immutable set of records with a common (name, type, class, TTL)."""
+
+    name: Name
+    rtype: RRType
+    ttl: int
+    rdatas: Tuple[Rdata, ...]
+    rclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        if not self.rdatas:
+            raise ValueError("an RRset must contain at least one rdata")
+        for rdata in self.rdatas:
+            if rdata.rtype is not self.rtype:
+                raise ValueError(
+                    f"rdata type {rdata.rtype!r} does not match RRset type "
+                    f"{self.rtype!r}"
+                )
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self.rdatas)
+
+    def __len__(self) -> int:
+        return len(self.rdatas)
+
+    def first(self) -> Rdata:
+        return self.rdatas[0]
+
+    def with_ttl(self, ttl: int) -> "RRset":
+        return dataclasses.replace(self, ttl=ttl)
+
+    def wire_size(self) -> int:
+        """Total uncompressed wire size of all records in the set."""
+        per_record_overhead = self.name.wire_length() + 10  # type+class+ttl+rdlength
+        return sum(per_record_overhead + len(r.to_wire()) for r in self.rdatas)
+
+    def canonical_signing_input(self, original_ttl: int) -> bytes:
+        """RR(i) section of the RFC 4034 signing input: each record in
+        canonical form (owner lowercased, original TTL), sorted by rdata
+        wire form."""
+        owner = _encode_name(self.name)
+        header = struct.pack("!HHI", int(self.rtype), int(self.rclass), original_ttl)
+        pieces = []
+        for rdata_wire in sorted(r.canonical_form() for r in self.rdatas):
+            pieces.append(
+                owner + header + struct.pack("!H", len(rdata_wire)) + rdata_wire
+            )
+        return b"".join(pieces)
+
+    def __repr__(self) -> str:
+        return (
+            f"RRset({self.name.to_text()} {self.ttl} {self.rtype.name} "
+            f"x{len(self.rdatas)})"
+        )

@@ -1,0 +1,367 @@
+"""Wire-format codec for DNS messages (RFC 1035 section 4).
+
+Two encoding modes:
+
+* **uncompressed** (default): every name in full.  This is what the
+  simulator's fast-path size accounting models (``Message.wire_size``),
+  applied uniformly to baselines and remedies so relative overheads are
+  unaffected.
+* **compressed** (``encode_message(..., compress=True)``): RFC 1035
+  section 4.1.4 name-compression pointers for the question name, owner
+  names, and the name fields of NS/CNAME/PTR/MX/SOA rdata (the types
+  compression is permitted in).  Available to callers who want
+  realistic absolute sizes; the byte-accuracy tests exercise it.
+
+The decoder transparently handles both (pointers are followed with a
+loop guard against malicious cycles).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .constants import RCode, RRClass, RRType
+from .flags import Edns, HeaderFlags
+from .message import Message, Question
+from .names import Name, NameError_
+from .rdata import (
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    Rdata,
+    RdataError,
+    SOA,
+    _encode_name,
+    rdata_class_for,
+)
+from .rrset import RRset
+
+#: RR type code of the EDNS0 OPT pseudo-record (RFC 6891).
+_OPT_TYPE = 41
+
+#: Pointer marker bits in a label length octet (RFC 1035 4.1.4).
+_POINTER_MASK = 0xC0
+
+#: Maximum pointer hops while decoding one name (cycle guard).
+_MAX_POINTER_HOPS = 64
+
+
+class WireError(ValueError):
+    """Raised when a message cannot be decoded."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+class _Compressor:
+    """Name writer with an RFC 1035 compression-pointer table."""
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+
+    def write_name(self, out: bytearray, name: Name) -> None:
+        labels = name.labels
+        if not self.enabled:
+            out.extend(_encode_name(name))
+            return
+        for index in range(len(labels)):
+            suffix = labels[index:]
+            known = self._offsets.get(suffix)
+            if known is not None and known < 0x4000:
+                out.extend(struct.pack("!H", _POINTER_MASK << 8 | known))
+                return
+            if len(out) < 0x4000:
+                self._offsets[suffix] = len(out)
+            raw = labels[index].encode("ascii")
+            out.append(len(raw))
+            out.extend(raw)
+        out.append(0)
+
+
+def _encode_rdata(out: bytearray, rdata: Rdata, compressor: _Compressor) -> None:
+    """Append rdata, compressing name fields where the RFC permits."""
+    if isinstance(rdata, (NS, CNAME, PTR)):
+        compressor.write_name(out, rdata.target)
+        return
+    if isinstance(rdata, MX):
+        out.extend(struct.pack("!H", rdata.preference))
+        compressor.write_name(out, rdata.exchange)
+        return
+    if isinstance(rdata, SOA):
+        compressor.write_name(out, rdata.mname)
+        compressor.write_name(out, rdata.rname)
+        out.extend(
+            struct.pack(
+                "!IIIII",
+                rdata.serial,
+                rdata.refresh,
+                rdata.retry,
+                rdata.expire,
+                rdata.minimum,
+            )
+        )
+        return
+    out.extend(rdata.to_wire())
+
+
+def encode_message(message: Message, compress: bool = False) -> bytes:
+    """Serialise *message* to RFC 1035 wire format."""
+    compressor = _Compressor(enabled=compress)
+    out = bytearray()
+    question_count = 1 if message.question is not None else 0
+    answer = list(_iter_records(message.answer))
+    authority = list(_iter_records(message.authority))
+    additional = list(_iter_records(message.additional))
+    additional_count = len(additional) + (1 if message.edns else 0)
+    out.extend(
+        struct.pack(
+            "!HHHHHH",
+            message.message_id,
+            message.flags.to_wire(),
+            question_count,
+            len(answer),
+            len(authority),
+            additional_count,
+        )
+    )
+    if message.question is not None:
+        compressor.write_name(out, message.question.name)
+        out.extend(
+            struct.pack(
+                "!HH", int(message.question.rtype), int(message.question.rclass)
+            )
+        )
+    for name, rtype, rclass, ttl, rdata in answer + authority + additional:
+        compressor.write_name(out, name)
+        out.extend(struct.pack("!HHI", int(rtype), int(rclass), ttl))
+        length_at = len(out)
+        out.extend(b"\x00\x00")
+        _encode_rdata(out, rdata, compressor)
+        rdlength = len(out) - length_at - 2
+        struct.pack_into("!H", out, length_at, rdlength)
+    if message.edns is not None:
+        out.extend(_encode_opt(message.edns))
+    return bytes(out)
+
+
+def _iter_records(section: Tuple[RRset, ...]):
+    for rrset in section:
+        for rdata in rrset.rdatas:
+            yield (rrset.name, rrset.rtype, rrset.rclass, rrset.ttl, rdata)
+
+
+def _encode_opt(edns: Edns) -> bytes:
+    return b"\x00" + struct.pack(
+        "!HHIH", _OPT_TYPE, edns.udp_payload_size, edns.ttl_field(), 0
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _decode_name_at(data: bytes, offset: int) -> Tuple[Name, int]:
+    """Decode a (possibly compressed) name against the whole message.
+
+    Returns the name and the offset just past its *in-place* encoding
+    (pointers count as two octets).
+    """
+    labels: List[str] = []
+    cursor = offset
+    end: Optional[int] = None
+    hops = 0
+    while True:
+        if cursor >= len(data):
+            raise WireError("truncated name")
+        length = data[cursor]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if cursor + 1 >= len(data):
+                raise WireError("truncated compression pointer")
+            target = ((length & ~_POINTER_MASK) << 8) | data[cursor + 1]
+            if end is None:
+                end = cursor + 2
+            if target >= cursor:
+                raise WireError("forward compression pointer")
+            cursor = target
+            hops += 1
+            if hops > _MAX_POINTER_HOPS:
+                raise WireError("compression pointer loop")
+            continue
+        if length & _POINTER_MASK:
+            raise WireError("reserved label type")
+        cursor += 1
+        if length == 0:
+            break
+        if cursor + length > len(data):
+            raise WireError("truncated label")
+        labels.append(data[cursor : cursor + length].decode("ascii"))
+        cursor += length
+    if end is None:
+        end = cursor
+    try:
+        return Name(labels), end
+    except NameError_ as exc:
+        raise WireError(str(exc)) from exc
+
+
+def _decode_rdata(
+    data: bytes, rdata_start: int, rdlength: int, rtype: RRType
+) -> Rdata:
+    """Decode rdata, following message-context pointers for the types
+    that may carry compressed names."""
+    rdata_end = rdata_start + rdlength
+    if rtype in (RRType.NS, RRType.CNAME, RRType.PTR):
+        target, offset = _decode_name_at(data, rdata_start)
+        if offset != rdata_end:
+            raise WireError(f"trailing bytes in {rtype.name} rdata")
+        return rdata_class_for(rtype)(target)  # type: ignore[call-arg]
+    if rtype is RRType.MX:
+        if rdlength < 3:
+            raise WireError("truncated MX rdata")
+        (preference,) = struct.unpack_from("!H", data, rdata_start)
+        exchange, offset = _decode_name_at(data, rdata_start + 2)
+        if offset != rdata_end:
+            raise WireError("trailing bytes in MX rdata")
+        return MX(preference, exchange)
+    if rtype is RRType.SOA:
+        mname, offset = _decode_name_at(data, rdata_start)
+        rname, offset = _decode_name_at(data, offset)
+        if rdata_end - offset != 20:
+            raise WireError("SOA fixed fields must be 20 octets")
+        serial, refresh, retry, expire, minimum = struct.unpack_from(
+            "!IIIII", data, offset
+        )
+        return SOA(mname, rname, serial, refresh, retry, expire, minimum)
+    try:
+        return rdata_class_for(rtype).from_wire(data[rdata_start:rdata_end])
+    except RdataError as exc:
+        raise WireError(f"bad rdata for {rtype.name}: {exc}") from exc
+
+
+_RawRecord = Tuple[Name, RRType, RRClass, int, Rdata]
+
+
+def _decode_record(data: bytes, offset: int) -> Tuple[_RawRecord, int]:
+    name, offset = _decode_name_at(data, offset)
+    if offset + 10 > len(data):
+        raise WireError("truncated record header")
+    rtype_value, rclass_value, ttl, rdlength = struct.unpack_from(
+        "!HHIH", data, offset
+    )
+    offset += 10
+    if offset + rdlength > len(data):
+        raise WireError("truncated rdata")
+    try:
+        rtype = RRType.from_value(rtype_value)
+        rclass = RRClass(rclass_value)
+    except ValueError as exc:
+        raise WireError(str(exc)) from exc
+    rdata = _decode_rdata(data, offset, rdlength, rtype)
+    return (name, rtype, rclass, ttl, rdata), offset + rdlength
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse wire bytes (compressed or not) into a Message."""
+    if len(data) < Message.HEADER_SIZE:
+        raise WireError("message shorter than header")
+    (
+        message_id,
+        flags_word,
+        question_count,
+        answer_count,
+        authority_count,
+        additional_count,
+    ) = struct.unpack_from("!HHHHHH", data, 0)
+    offset = Message.HEADER_SIZE
+    if question_count > 1:
+        raise WireError("multi-question messages are not supported")
+    question = None
+    if question_count == 1:
+        qname, offset = _decode_name_at(data, offset)
+        if offset + 4 > len(data):
+            raise WireError("truncated question")
+        qtype_value, qclass_value = struct.unpack_from("!HH", data, offset)
+        offset += 4
+        try:
+            question = Question(
+                qname, RRType.from_value(qtype_value), RRClass(qclass_value)
+            )
+        except ValueError as exc:
+            raise WireError(str(exc)) from exc
+
+    answer, offset = _decode_section(data, offset, answer_count)
+    authority, offset = _decode_section(data, offset, authority_count)
+    additional_raw, offset, edns = _decode_additional(data, offset, additional_count)
+    if offset != len(data):
+        raise WireError("trailing bytes after message")
+    try:
+        flags = HeaderFlags.from_wire(flags_word)
+    except ValueError as exc:
+        raise WireError(str(exc)) from exc
+    return Message(
+        message_id=message_id,
+        flags=flags,
+        question=question,
+        answer=_group(answer),
+        authority=_group(authority),
+        additional=_group(additional_raw),
+        edns=edns,
+    )
+
+
+def _decode_section(
+    data: bytes, offset: int, count: int
+) -> Tuple[List[_RawRecord], int]:
+    records: List[_RawRecord] = []
+    for _ in range(count):
+        record, offset = _decode_record(data, offset)
+        records.append(record)
+    return records, offset
+
+
+def _decode_additional(data: bytes, offset: int, count: int):
+    """Decode the additional section, separating out the OPT record."""
+    records: List[_RawRecord] = []
+    edns = None
+    for _ in range(count):
+        # Peek: an OPT record has the root owner name and type 41.
+        name, after_name = _decode_name_at(data, offset)
+        if after_name + 10 <= len(data):
+            rtype_value, rclass_value, ttl, rdlength = struct.unpack_from(
+                "!HHIH", data, after_name
+            )
+            if rtype_value == _OPT_TYPE:
+                if not name.is_root():
+                    raise WireError("OPT record owner must be the root")
+                if after_name + 10 + rdlength > len(data):
+                    raise WireError("truncated OPT record")
+                offset = after_name + 10 + rdlength
+                edns = Edns.from_ttl_field(rclass_value, ttl)
+                continue
+        record, offset = _decode_record(data, offset)
+        records.append(record)
+    return records, offset, edns
+
+
+def _group(records: List[_RawRecord]) -> Tuple[RRset, ...]:
+    """Re-group flat records into RRsets preserving first-seen order."""
+    grouped = {}
+    order = []
+    for name, rtype, rclass, ttl, rdata in records:
+        key = (name, rtype, rclass)
+        if key not in grouped:
+            grouped[key] = (ttl, [])
+            order.append(key)
+        grouped[key][1].append(rdata)
+    rrsets = []
+    for key in order:
+        name, rtype, rclass = key
+        ttl, rdatas = grouped[key]
+        rrsets.append(RRset(name, rtype, ttl, tuple(rdatas), rclass))
+    return tuple(rrsets)

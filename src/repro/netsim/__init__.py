@@ -1,0 +1,18 @@
+"""Simulated network: clock, latency, routing, and packet capture."""
+
+from .capture import Capture, PacketRecord
+from .clock import SimClock
+from .latency import LatencyModel, ZeroLatency
+from .network import DnsServer, Network, NetworkError, QueryTimeout
+
+__all__ = [
+    "Capture",
+    "DnsServer",
+    "LatencyModel",
+    "Network",
+    "NetworkError",
+    "PacketRecord",
+    "QueryTimeout",
+    "SimClock",
+    "ZeroLatency",
+]

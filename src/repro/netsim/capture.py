@@ -1,0 +1,150 @@
+"""Packet capture: the simulator's tcpdump.
+
+Every query/response pair that crosses the simulated network is recorded
+with timestamps, endpoints, the parsed message, and the uncompressed
+wire size.  The paper's measurements are all capture post-processing:
+"All DLV queries are extracted from the network traffic by filtering the
+query type" (Section 5.1) — :meth:`Capture.queries_of_type` is exactly
+that filter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..dnscore import Message, Name, RRType
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketRecord:
+    """One captured packet (a query or a response).
+
+    ``dropped`` marks packets lost in flight: they were *sent* (and so
+    appear in a sender-side capture) but never reached the destination
+    — the distinction matters when counting what an observer saw.
+    """
+
+    time: float
+    src: str
+    dst: str
+    message: Message
+    wire_size: int
+    dropped: bool = False
+
+    @property
+    def is_query(self) -> bool:
+        return not self.message.flags.qr
+
+    @property
+    def qname(self) -> Optional[Name]:
+        question = self.message.question
+        return question.name if question is not None else None
+
+    @property
+    def qtype(self) -> Optional[RRType]:
+        question = self.message.question
+        return question.rtype if question is not None else None
+
+
+class Capture:
+    """An append-only log of packets with analysis helpers."""
+
+    def __init__(self):
+        self._records: List[PacketRecord] = []
+
+    def record(self, packet: PacketRecord) -> None:
+        self._records.append(packet)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+
+    def queries(self) -> List[PacketRecord]:
+        return [record for record in self._records if record.is_query]
+
+    def responses(self) -> List[PacketRecord]:
+        return [record for record in self._records if not record.is_query]
+
+    def queries_of_type(self, rtype: RRType) -> List[PacketRecord]:
+        """The paper's traffic filter: all queries with a given qtype."""
+        return [
+            record
+            for record in self._records
+            if record.is_query and record.qtype is rtype
+        ]
+
+    def queries_to(self, address: str) -> List[PacketRecord]:
+        return [
+            record
+            for record in self._records
+            if record.is_query and record.dst == address
+        ]
+
+    def filter(self, predicate: Callable[[PacketRecord], bool]) -> List[PacketRecord]:
+        return [record for record in self._records if predicate(record)]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total traffic volume in bytes (queries + responses)."""
+        return sum(record.wire_size for record in self._records)
+
+    def query_count(self) -> int:
+        return sum(1 for record in self._records if record.is_query)
+
+    def query_type_histogram(self) -> Dict[RRType, int]:
+        """Counts per query type — the raw material of Table 4."""
+        counter: Counter = Counter()
+        for record in self._records:
+            if record.is_query and record.qtype is not None:
+                counter[record.qtype] += 1
+        return dict(counter)
+
+    def export_rows(self) -> List[Dict[str, object]]:
+        """Flatten the capture into plain dict rows (timestamp, src,
+        dst, direction, qname, qtype, rcode, size) for offline analysis
+        or serialisation by downstream users."""
+        rows: List[Dict[str, object]] = []
+        for record in self._records:
+            qname = record.qname
+            qtype = record.qtype
+            rows.append(
+                {
+                    "time": record.time,
+                    "src": record.src,
+                    "dst": record.dst,
+                    "direction": "query" if record.is_query else "response",
+                    "qname": qname.to_text() if qname is not None else None,
+                    "qtype": qtype.name if qtype is not None else None,
+                    "rcode": record.message.rcode.name,
+                    "wire_size": record.wire_size,
+                }
+            )
+        return rows
+
+    def response_for(self, query: PacketRecord) -> Optional[PacketRecord]:
+        """Find the response matching a captured query (same id, flipped
+        endpoints, first match after the query's timestamp)."""
+        for record in self._records:
+            if (
+                not record.is_query
+                and record.message.message_id == query.message.message_id
+                and record.src == query.dst
+                and record.dst == query.src
+                and record.time >= query.time
+            ):
+                return record
+        return None

@@ -1,0 +1,59 @@
+"""Per-server network latency model.
+
+The paper measures response time as an overhead metric (Table 5,
+Figs 10-11); in the simulation a query's cost is one round-trip time to
+the contacted server.  Each server address gets a stable base RTT drawn
+from a realistic range plus per-query jitter, both from a seeded RNG, so
+latency totals are deterministic yet non-degenerate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class LatencyModel:
+    """Deterministic per-destination RTT sampling.
+
+    * ``base`` RTT per destination: uniform in [min_base, max_base],
+      fixed for the lifetime of the model (servers do not move).
+    * per-query jitter: uniform in [0, jitter] added on each sample.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0xCAFE,
+        min_base: float = 0.010,
+        max_base: float = 0.120,
+        jitter: float = 0.010,
+    ):
+        if min_base < 0 or max_base < min_base:
+            raise ValueError("latency bounds must satisfy 0 <= min <= max")
+        self._rng = random.Random(seed)
+        self._min_base = min_base
+        self._max_base = max_base
+        self._jitter = jitter
+        self._base: Dict[str, float] = {}
+
+    def pin(self, address: str, base: float) -> None:
+        """Pin an address's base RTT (e.g. ~0 for a local stub→resolver
+        hop, matching the paper's on-host measurement setup)."""
+        self._base[address] = base
+
+    def base_rtt(self, address: str) -> float:
+        """The stable base RTT to *address*."""
+        if address not in self._base:
+            self._base[address] = self._rng.uniform(self._min_base, self._max_base)
+        return self._base[address]
+
+    def sample(self, address: str) -> float:
+        """One round-trip time to *address* including jitter."""
+        return self.base_rtt(address) + self._rng.uniform(0.0, self._jitter)
+
+
+class ZeroLatency(LatencyModel):
+    """A latency model that always returns zero (for logic-only tests)."""
+
+    def __init__(self):
+        super().__init__(seed=0, min_base=0.0, max_base=0.0, jitter=0.0)

@@ -1,0 +1,48 @@
+"""Recursive resolver: caching, DNSSEC validation, DLV look-aside."""
+
+from .anchors import TrustAnchor, TrustAnchorStore
+from .cache import CachedRRset, RRsetCache
+from .config import (
+    LookasideSetting,
+    ResolverConfig,
+    ResolverFlavor,
+    ValidationSetting,
+    broken_anchor_bind_config,
+    correct_bind_config,
+)
+from .engine import IterativeEngine, ResolutionError, ResolutionOutcome
+from .lookaside import DlvLookaside, LookasideResult
+from .negcache import NegativeCache
+from .recursive import (
+    DEFAULT_REGISTRY_ORIGIN,
+    RecursiveResolver,
+    ResolutionResult,
+    StubClient,
+)
+from .validator import ValidationStatus, Validator, ZoneSecurity
+
+__all__ = [
+    "CachedRRset",
+    "DEFAULT_REGISTRY_ORIGIN",
+    "DlvLookaside",
+    "IterativeEngine",
+    "LookasideResult",
+    "LookasideSetting",
+    "NegativeCache",
+    "RecursiveResolver",
+    "ResolutionError",
+    "ResolutionOutcome",
+    "ResolutionResult",
+    "ResolverConfig",
+    "ResolverFlavor",
+    "RRsetCache",
+    "StubClient",
+    "TrustAnchor",
+    "TrustAnchorStore",
+    "ValidationSetting",
+    "ValidationStatus",
+    "Validator",
+    "ZoneSecurity",
+    "broken_anchor_bind_config",
+    "correct_bind_config",
+]

@@ -1,0 +1,71 @@
+"""Trust anchors: the validator's pre-configured roots of trust.
+
+A resolver validates a chain up to the deepest configured anchor
+(normally the DNS root key).  DLV adds a *look-aside* anchor: the DLV
+registry zone's own key, configured out of band (e.g. BIND's built-in
+``dlv.isc.org`` anchor, or Unbound's ``dlv-anchor-file``).
+
+The paper's central misconfiguration (Section 4.3) is a resolver with
+``dnssec-validation yes`` but **no root anchor installed** — validation
+then can never conclude *secure*, and with look-aside enabled every
+domain is sent to the DLV registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..crypto import verify_ds_matches
+from ..dnscore import DNSKEY, DS, Name
+
+
+@dataclasses.dataclass(frozen=True)
+class TrustAnchor:
+    """A configured trust anchor: a DS or a DNSKEY for a zone apex."""
+
+    zone: Name
+    ds: Optional[DS] = None
+    dnskey: Optional[DNSKEY] = None
+
+    def __post_init__(self) -> None:
+        if (self.ds is None) == (self.dnskey is None):
+            raise ValueError("an anchor is exactly one of DS or DNSKEY")
+
+    def matches_key(self, dnskey: DNSKEY) -> bool:
+        """Does *dnskey* (from the zone's DNSKEY RRset) match this anchor?"""
+        if self.dnskey is not None:
+            return dnskey == self.dnskey
+        assert self.ds is not None
+        return verify_ds_matches(self.zone, dnskey, self.ds)
+
+
+class TrustAnchorStore:
+    """The set of configured anchors, looked up by closest enclosure."""
+
+    def __init__(self):
+        self._anchors: Dict[Name, TrustAnchor] = {}
+
+    def add(self, anchor: TrustAnchor) -> None:
+        self._anchors[anchor.zone] = anchor
+
+    def remove(self, zone: Name) -> None:
+        self._anchors.pop(zone, None)
+
+    def anchor_for_zone(self, zone: Name) -> Optional[TrustAnchor]:
+        """The anchor configured exactly at *zone*, if any."""
+        return self._anchors.get(zone)
+
+    def closest_enclosing(self, name: Name) -> Optional[TrustAnchor]:
+        """The deepest anchor at-or-above *name*."""
+        for ancestor in name.ancestors():
+            anchor = self._anchors.get(ancestor)
+            if anchor is not None:
+                return anchor
+        return None
+
+    def has_any(self) -> bool:
+        return bool(self._anchors)
+
+    def __len__(self) -> int:
+        return len(self._anchors)

@@ -1,0 +1,172 @@
+"""Behavioural resolver configuration.
+
+:class:`ResolverConfig` captures the knobs the paper varies across its
+16 environments (Section 4.3/4.4):
+
+* BIND's ``dnssec-enable``, ``dnssec-validation yes|auto|no``, and
+  ``dnssec-lookaside auto|no`` statements, plus whether the trust-anchor
+  ``include`` line made it into the config;
+* Unbound's implicit style: validation and look-aside exist only when
+  the corresponding anchor files are configured;
+* the remedy switches this reproduction adds (Section 6.2): TXT
+  signalling, Z-bit signalling, and hashed (privacy-preserving) DLV.
+
+The ``effective_*`` properties encode the semantics the paper reverse
+engineers — most importantly that with ``dnssec-validation yes`` and no
+anchor included, validation machinery runs but can never conclude
+*secure*, which is what floods the DLV registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class ResolverFlavor(enum.Enum):
+    BIND = "bind"
+    UNBOUND = "unbound"
+
+
+class ValidationSetting(enum.Enum):
+    """BIND's dnssec-validation values."""
+
+    YES = "yes"
+    AUTO = "auto"
+    NO = "no"
+
+
+class LookasideSetting(enum.Enum):
+    """BIND's dnssec-lookaside values."""
+
+    AUTO = "auto"
+    NO = "no"
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolverConfig:
+    """One resolver's security configuration."""
+
+    flavor: ResolverFlavor = ResolverFlavor.BIND
+    dnssec_enable: bool = True
+    dnssec_validation: ValidationSetting = ValidationSetting.YES
+    dnssec_lookaside: LookasideSetting = LookasideSetting.NO
+    #: Did the operator include the root trust anchor (bind.keys /
+    #: auto-trust-anchor-file)?  The paper's key misconfiguration knob.
+    trust_anchor_included: bool = True
+    #: Is a DLV anchor configured (built-in for BIND's `auto`;
+    #: dlv-anchor-file for Unbound)?
+    dlv_anchor_included: bool = True
+
+    # ---- remedies (paper Section 6.2; off = vanilla behaviour) ----
+    txt_signaling: bool = False
+    zbit_signaling: bool = False
+    hashed_dlv: bool = False
+    #: Hardened TXT signalling (Section 6.2.3 "Attacks"): verify the
+    #: signal RRset's signature against the zone's own DNSKEY before
+    #: acting on it, defeating on-path rewriting for signed zones.
+    validate_txt_signal: bool = False
+    #: Ablation knob: RFC 5074 aggressive negative caching of registry
+    #: NSEC records.  Disabling it shows how much of the leakage
+    #: suppression in Figs 8/9 the mechanism is responsible for.
+    aggressive_nsec_caching: bool = True
+    #: RFC 7816 query-name minimisation toward ancestor servers — the
+    #: upstream-privacy measure the paper's threat model cites.  It
+    #: hides full names from the root/TLDs but not from the registry.
+    qname_minimization: bool = False
+
+    # ------------------------------------------------------------------
+    # Effective behaviour
+    # ------------------------------------------------------------------
+
+    @property
+    def validation_machinery_active(self) -> bool:
+        """Does the resolver attempt DNSSEC validation at all?"""
+        if self.flavor is ResolverFlavor.BIND:
+            return (
+                self.dnssec_enable
+                and self.dnssec_validation is not ValidationSetting.NO
+            )
+        # Unbound: validation exists iff a trust anchor file is set up.
+        return self.trust_anchor_included or self.dlv_anchor_included
+
+    @property
+    def root_anchor_available(self) -> bool:
+        """Can validation actually reach a configured root anchor?
+
+        BIND with ``dnssec-validation auto`` uses the built-in anchor, so
+        the include line does not matter; with ``yes`` the anchor must be
+        included manually — the trap the paper documents.
+        """
+        if not self.validation_machinery_active:
+            return False
+        if (
+            self.flavor is ResolverFlavor.BIND
+            and self.dnssec_validation is ValidationSetting.AUTO
+        ):
+            return True
+        return self.trust_anchor_included
+
+    @property
+    def lookaside_enabled(self) -> bool:
+        """Will the resolver consult a DLV registry?"""
+        if not self.validation_machinery_active:
+            return False
+        if self.flavor is ResolverFlavor.BIND:
+            return (
+                self.dnssec_lookaside is LookasideSetting.AUTO
+                and self.dlv_anchor_included
+            )
+        return self.dlv_anchor_included
+
+    def describe(self) -> str:
+        parts = [self.flavor.value]
+        if self.flavor is ResolverFlavor.BIND:
+            parts.append(f"dnssec-enable={'yes' if self.dnssec_enable else 'no'}")
+            parts.append(f"dnssec-validation={self.dnssec_validation.value}")
+            parts.append(f"dnssec-lookaside={self.dnssec_lookaside.value}")
+        parts.append(f"anchor={'yes' if self.trust_anchor_included else 'no'}")
+        parts.append(f"dlv-anchor={'yes' if self.dlv_anchor_included else 'no'}")
+        remedies = [
+            name
+            for name, enabled in (
+                ("txt", self.txt_signaling),
+                ("zbit", self.zbit_signaling),
+                ("hashed-dlv", self.hashed_dlv),
+            )
+            if enabled
+        ]
+        if remedies:
+            parts.append("remedies=" + "+".join(remedies))
+        return " ".join(parts)
+
+
+def correct_bind_config(**overrides) -> ResolverConfig:
+    """The Fig. 6 'correct' manual configuration: validation + DLV +
+    anchors all present."""
+    defaults = dict(
+        flavor=ResolverFlavor.BIND,
+        dnssec_enable=True,
+        dnssec_validation=ValidationSetting.YES,
+        dnssec_lookaside=LookasideSetting.AUTO,
+        trust_anchor_included=True,
+        dlv_anchor_included=True,
+    )
+    defaults.update(overrides)
+    return ResolverConfig(**defaults)
+
+
+def broken_anchor_bind_config(**overrides) -> ResolverConfig:
+    """The paper's leaky configuration: validation yes, DLV on, but the
+    trust anchor include line missing (apt-get + manual edit, or manual
+    install without bind.keys)."""
+    defaults = dict(
+        flavor=ResolverFlavor.BIND,
+        dnssec_enable=True,
+        dnssec_validation=ValidationSetting.YES,
+        dnssec_lookaside=LookasideSetting.AUTO,
+        trust_anchor_included=False,
+        dlv_anchor_included=True,
+    )
+    defaults.update(overrides)
+    return ResolverConfig(**defaults)

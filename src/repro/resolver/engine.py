@@ -1,0 +1,514 @@
+"""Iterative resolution: referral chasing, caching, and traffic shape.
+
+The engine is the resolver's "query machine": starting from the deepest
+cached zone cut it walks referrals down to the authoritative server,
+caches positive and negative answers, chases CNAMEs, fetches missing
+nameserver addresses (A and AAAA), primes TLD NS sets, and records the
+delegation chain the validator will walk.
+
+Traffic-shape notes (these produce the query mix of the paper's
+Table 4):
+
+* every hop of an iterative walk carries the original qtype, so one
+  uncached A lookup emits ~3 A queries (root, TLD, SLD);
+* AAAA queries for the target zone's NS hosts model dual-stack address
+  fetching (~2 per fresh delegation, TTL-cached);
+* NS queries come from TLD priming ("cut revalidation") plus a stable
+  fraction of SLD revalidations;
+* DS and DNSKEY queries are issued by the validator, not here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..dnscore import (
+    CNAME,
+    Message,
+    Name,
+    RCode,
+    ROOT,
+    RRType,
+    RRset,
+)
+from ..netsim import Network
+from ..netsim.network import QueryTimeout
+from .cache import RRsetCache
+from .negcache import NegativeCache
+
+_MAX_REFERRALS = 30
+_MAX_CNAME_CHAIN = 8
+_MAX_RECURSION = 6
+#: UDP retransmission attempts before the engine gives up on a server
+#: (resolvers typically retry 2-3 times before trying the next one).
+_MAX_RETRIES = 3
+
+#: Negative-cache TTL used when a negative answer carries no SOA.
+_FALLBACK_NEGATIVE_TTL = 900
+
+
+class ResolutionError(RuntimeError):
+    """Raised when iterative resolution cannot make progress."""
+
+
+@dataclasses.dataclass
+class ResolutionOutcome:
+    """What one iterative resolution produced."""
+
+    qname: Name
+    qtype: RRType
+    rcode: RCode
+    #: Final answer RRsets (CNAME chain included), without RRSIGs.
+    answer: Tuple[RRset, ...]
+    #: RRSIG RRset covering the final answer RRset, if the zone signed it.
+    rrsig: Optional[RRset]
+    #: Origin of the zone that produced the final (or negative) answer.
+    zone: Name
+    #: Zone cuts walked or known for the final target, root-first.
+    chain: Tuple[Name, ...]
+    #: NSEC RRsets (with their RRSIGs) from a negative response.
+    nsec: Tuple[Tuple[RRset, Optional[RRset]], ...] = ()
+    #: SOA RRset from a negative response.
+    soa: Optional[RRset] = None
+    #: Z header bit observed on the final response (Z-bit remedy signal).
+    z_bit: bool = False
+    #: True when served from cache without touching the network.
+    from_cache: bool = False
+
+    def is_positive(self) -> bool:
+        return self.rcode is RCode.NOERROR and bool(self.answer)
+
+
+@dataclasses.dataclass
+class _CutServers:
+    addresses: List[str]
+    expires_at: float
+
+
+class IterativeEngine:
+    """Performs iterative resolution over the simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        cache: RRsetCache,
+        negcache: NegativeCache,
+        root_hints: List[str],
+        dnssec_ok: bool = False,
+        tld_priming: bool = True,
+        sld_ns_requery_fraction: float = 0.3,
+        ns_address_lookups: bool = True,
+        qname_minimization: bool = False,
+    ):
+        self._network = network
+        self._clock = network.clock
+        self.address = address
+        self._cache = cache
+        self._negcache = negcache
+        self._dnssec_ok = dnssec_ok
+        self._tld_priming = tld_priming
+        self._sld_ns_requery_fraction = sld_ns_requery_fraction
+        self._ns_address_lookups = ns_address_lookups
+        #: RFC 7816 query-name minimisation: during descent, ask each
+        #: ancestor server only for the next label (qtype NS), so the
+        #: root and TLDs never see the full query name.  Referenced by
+        #: the paper's threat model (Section 3); the DLV-observability
+        #: bench shows it does NOT help against the registry.
+        self.qname_minimization = qname_minimization
+        self._cuts: Dict[Name, _CutServers] = {
+            ROOT: _CutServers(list(root_hints), float("inf"))
+        }
+        self._primed: set = set()
+        self._next_id = 1
+        self.queries_sent = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Low-level send
+    # ------------------------------------------------------------------
+
+    def send_query(self, dst: str, qname: Name, qtype: RRType) -> Message:
+        """Send one query on the wire, retrying on packet loss; public
+        for the validator/DLV machinery."""
+        last_error: Optional[QueryTimeout] = None
+        for _ in range(_MAX_RETRIES):
+            message_id = self._next_id
+            self._next_id = (self._next_id + 1) & 0xFFFF or 1
+            query = Message.make_query(
+                message_id, qname, qtype, recursion_desired=False,
+                dnssec_ok=self._dnssec_ok,
+            )
+            self.queries_sent += 1
+            try:
+                return self._network.query(self.address, dst, query)
+            except QueryTimeout as timeout:
+                self.timeouts += 1
+                last_error = timeout
+        raise ResolutionError(
+            f"query for {qname.to_text()}/{qtype.name} to {dst} timed out "
+            f"after {_MAX_RETRIES} attempts"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # Cut bookkeeping
+    # ------------------------------------------------------------------
+
+    def deepest_cut(self, qname: Name) -> Name:
+        now = self._clock.now
+        for ancestor in qname.ancestors():
+            cut = self._cuts.get(ancestor)
+            if cut is not None:
+                if cut.expires_at > now and cut.addresses:
+                    return ancestor
+                if ancestor != ROOT:
+                    del self._cuts[ancestor]
+        return ROOT
+
+    def cut_addresses(self, cut: Name) -> List[str]:
+        entry = self._cuts.get(cut)
+        if entry is None or (entry.expires_at <= self._clock.now and cut != ROOT):
+            raise ResolutionError(f"no fresh servers for cut {cut.to_text()}")
+        return entry.addresses
+
+    def known_cuts(self, qname: Name) -> Tuple[Name, ...]:
+        """Cuts at-or-above qname, root first (the validator's chain)."""
+        cuts = [
+            ancestor for ancestor in qname.ancestors() if ancestor in self._cuts
+        ]
+        return tuple(reversed(cuts))
+
+    def parent_cut(self, zone: Name) -> Optional[Name]:
+        if zone == ROOT:
+            return None
+        current = zone.parent()
+        while True:
+            if current in self._cuts:
+                return current
+            if current == ROOT:
+                return ROOT
+            current = current.parent()
+
+    def _learn_cut(self, child: Name, addresses: List[str], ttl: float) -> None:
+        self._cuts[child] = _CutServers(addresses, self._clock.now + ttl)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, qname: Name, qtype: RRType, _depth: int = 0) -> ResolutionOutcome:
+        """Resolve (qname, qtype), using caches and the network."""
+        if _depth > _MAX_RECURSION:
+            raise ResolutionError(f"recursion too deep resolving {qname.to_text()}")
+
+        cached = self._lookup_cached(qname, qtype)
+        if cached is not None:
+            return cached
+
+        answer_rrsets: List[RRset] = []
+        current_name = qname
+        for _ in range(_MAX_CNAME_CHAIN):
+            outcome = self._resolve_one(current_name, qtype, _depth)
+            answer_rrsets.extend(outcome.answer)
+            cname_target = self._cname_target(outcome, current_name, qtype)
+            if cname_target is None:
+                return dataclasses.replace(
+                    outcome,
+                    qname=qname,
+                    answer=tuple(answer_rrsets),
+                )
+            current_name = cname_target
+        raise ResolutionError(f"CNAME chain too long from {qname.to_text()}")
+
+    def _cname_target(
+        self, outcome: ResolutionOutcome, current: Name, qtype: RRType
+    ) -> Optional[Name]:
+        if qtype is RRType.CNAME:
+            return None
+        for rrset in outcome.answer:
+            if rrset.rtype is RRType.CNAME and rrset.name == current:
+                return rrset.first().target  # type: ignore[attr-defined]
+        return None
+
+    def _lookup_cached(self, qname: Name, qtype: RRType) -> Optional[ResolutionOutcome]:
+        if self._negcache.is_nxdomain(qname):
+            return ResolutionOutcome(
+                qname=qname, qtype=qtype, rcode=RCode.NXDOMAIN, answer=(),
+                rrsig=None, zone=self._zone_guess(qname),
+                chain=self.known_cuts(qname), from_cache=True,
+            )
+        if self._negcache.is_nodata(qname, qtype):
+            return ResolutionOutcome(
+                qname=qname, qtype=qtype, rcode=RCode.NOERROR, answer=(),
+                rrsig=None, zone=self._zone_guess(qname),
+                chain=self.known_cuts(qname), from_cache=True,
+            )
+        entry = self._cache.get(qname, qtype)
+        if entry is not None:
+            return ResolutionOutcome(
+                qname=qname, qtype=qtype, rcode=RCode.NOERROR,
+                answer=(entry.rrset,), rrsig=entry.rrsig,
+                zone=self._zone_guess(qname), chain=self.known_cuts(qname),
+                from_cache=True,
+            )
+        return None
+
+    def _zone_guess(self, qname: Name) -> Name:
+        """Best-effort zone attribution for cached entries: the deepest
+        known cut at-or-above the name."""
+        for ancestor in qname.ancestors():
+            if ancestor in self._cuts:
+                return ancestor
+        return ROOT
+
+    def _resolve_one(self, qname: Name, qtype: RRType, depth: int) -> ResolutionOutcome:
+        cut = self.deepest_cut(qname)
+        probe_label_count: Optional[int] = None
+        for _ in range(_MAX_REFERRALS):
+            addresses = self.cut_addresses(cut)
+            if self.qname_minimization:
+                probe = self._minimized_probe(qname, cut, probe_label_count)
+            else:
+                probe = qname
+            effective_qtype = qtype if probe == qname else RRType.NS
+            response = self.send_query(addresses[0], probe, effective_qtype)
+            classification = self._classify(response, probe, effective_qtype, cut)
+            if classification == "answer":
+                if probe == qname:
+                    return self._accept_answer(response, qname, qtype, cut)
+                # Apex NS answer for an intermediate probe: the name
+                # exists but is not a cut here; extend the probe.
+                self._ingest_simple(response, probe, effective_qtype)
+                probe_label_count = probe.label_count + 1
+                continue
+            if classification == "negative":
+                if probe == qname:
+                    return self._accept_negative(response, qname, qtype, cut)
+                if response.rcode is RCode.NXDOMAIN:
+                    # RFC 8020 / 7816: a missing ancestor means the full
+                    # name cannot exist either.
+                    return self._accept_negative(response, qname, qtype, cut)
+                # NODATA for the probe (empty non-terminal): go deeper.
+                probe_label_count = probe.label_count + 1
+                continue
+            if classification == "referral":
+                cut = self._follow_referral(response, cut, depth)
+                probe_label_count = None
+                continue
+            raise ResolutionError(
+                f"unusable response for {qname.to_text()}/{qtype.name} "
+                f"from {addresses[0]} (rcode={response.rcode.name})"
+            )
+        raise ResolutionError(f"referral loop resolving {qname.to_text()}")
+
+    @staticmethod
+    def _minimized_probe(
+        qname: Name, cut: Name, probe_label_count: Optional[int]
+    ) -> Name:
+        """The RFC 7816 probe: one label more than the current cut (or
+        than the previous probe), never more than the full name."""
+        count = (
+            probe_label_count
+            if probe_label_count is not None
+            else cut.label_count + 1
+        )
+        count = min(count, qname.label_count)
+        return Name(qname.labels[qname.label_count - count :])
+
+    # ------------------------------------------------------------------
+    # Response classification
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _classify(response: Message, qname: Name, qtype: RRType, cut: Name) -> str:
+        if response.rcode is RCode.NXDOMAIN:
+            return "negative"
+        if response.rcode is not RCode.NOERROR:
+            return "error"
+        for rrset in response.answer:
+            if rrset.name == qname and rrset.rtype in (qtype, RRType.CNAME):
+                return "answer"
+        ns_sets = response.find_rrsets(RRType.NS, section="authority")
+        for ns in ns_sets:
+            if ns.name != cut and qname.is_subdomain_of(ns.name):
+                return "referral"
+        return "negative"  # NODATA
+
+    def _accept_answer(
+        self, response: Message, qname: Name, qtype: RRType, cut: Name
+    ) -> ResolutionOutcome:
+        answer_rrsets: List[RRset] = []
+        rrsig: Optional[RRset] = None
+        for rrset in response.answer:
+            if rrset.rtype is RRType.RRSIG:
+                continue
+            answer_rrsets.append(rrset)
+            sig = self._find_rrsig(response.answer, rrset)
+            self._cache.put(rrset, rrsig=sig)
+            if rrset.name == qname and rrset.rtype in (qtype, RRType.CNAME):
+                rrsig = sig
+        self._after_authoritative_contact(cut, qname)
+        return ResolutionOutcome(
+            qname=qname,
+            qtype=qtype,
+            rcode=RCode.NOERROR,
+            answer=tuple(answer_rrsets),
+            rrsig=rrsig,
+            zone=cut,
+            chain=self.known_cuts(qname),
+            z_bit=response.flags.z,
+        )
+
+    @staticmethod
+    def _find_rrsig(section: Tuple[RRset, ...], covered: RRset) -> Optional[RRset]:
+        for rrset in section:
+            if rrset.rtype is not RRType.RRSIG or rrset.name != covered.name:
+                continue
+            if rrset.first().type_covered is covered.rtype:  # type: ignore[attr-defined]
+                return rrset
+        return None
+
+    def _accept_negative(
+        self, response: Message, qname: Name, qtype: RRType, cut: Name
+    ) -> ResolutionOutcome:
+        soa = None
+        nsec_pairs: List[Tuple[RRset, Optional[RRset]]] = []
+        ttl = _FALLBACK_NEGATIVE_TTL
+        for rrset in response.authority:
+            if rrset.rtype is RRType.SOA:
+                soa = rrset
+                ttl = min(rrset.ttl, rrset.first().minimum)  # type: ignore[attr-defined]
+            elif rrset.rtype in (RRType.NSEC, RRType.NSEC3):
+                nsec_pairs.append(
+                    (rrset, self._find_rrsig(response.authority, rrset))
+                )
+        if response.rcode is RCode.NXDOMAIN:
+            self._negcache.put_nxdomain(qname, ttl)
+        else:
+            self._negcache.put_nodata(qname, qtype, ttl)
+        return ResolutionOutcome(
+            qname=qname,
+            qtype=qtype,
+            rcode=response.rcode,
+            answer=(),
+            rrsig=None,
+            zone=soa.name if soa is not None else cut,
+            chain=self.known_cuts(qname),
+            nsec=tuple(nsec_pairs),
+            soa=soa,
+            z_bit=response.flags.z,
+        )
+
+    # ------------------------------------------------------------------
+    # Referral following
+    # ------------------------------------------------------------------
+
+    def _follow_referral(self, response: Message, cut: Name, depth: int) -> Name:
+        ns_sets = response.find_rrsets(RRType.NS, section="authority")
+        referral = None
+        for ns in ns_sets:
+            if ns.name != cut and (referral is None or ns.name.label_count > referral.name.label_count):
+                referral = ns
+        if referral is None:
+            raise ResolutionError("referral without NS records")
+        child = referral.name
+        self._cache.put(referral)
+        glue_addresses: List[str] = []
+        glue_hosts: List[Name] = []
+        for rrset in response.additional:
+            if rrset.rtype is RRType.A:
+                self._cache.put(rrset)
+                glue_addresses.append(rrset.first().address)  # type: ignore[attr-defined]
+                glue_hosts.append(rrset.name)
+            elif rrset.rtype is RRType.AAAA:
+                self._cache.put(rrset)
+        # Cache any DS / NSEC material the parent volunteered.
+        for rrset in response.authority:
+            if rrset.rtype is RRType.DS:
+                self._cache.put(rrset, rrsig=self._find_rrsig(response.authority, rrset))
+        if not glue_addresses:
+            glue_addresses = self._resolve_ns_addresses(referral, depth)
+        if not glue_addresses:
+            raise ResolutionError(
+                f"no addresses for delegation {child.to_text()}"
+            )
+        self._learn_cut(child, glue_addresses, float(referral.ttl))
+        self._post_referral_maintenance(child, glue_addresses, referral, depth)
+        return child
+
+    def _resolve_ns_addresses(self, referral: RRset, depth: int) -> List[str]:
+        """Out-of-bailiwick delegation: resolve the NS hosts' addresses."""
+        addresses: List[str] = []
+        for rdata in referral.rdatas:
+            host = rdata.target  # type: ignore[attr-defined]
+            outcome = self.resolve(host, RRType.A, _depth=depth + 1)
+            for rrset in outcome.answer:
+                if rrset.rtype is RRType.A and rrset.name == host:
+                    addresses.extend(r.address for r in rrset.rdatas)
+            if addresses:
+                break
+        return addresses
+
+    def _post_referral_maintenance(
+        self, child: Name, addresses: List[str], referral: RRset, depth: int
+    ) -> None:
+        """AAAA fetches for NS hosts and TLD priming (see module docs)."""
+        if self._ns_address_lookups:
+            for rdata in list(referral.rdatas)[:2]:
+                host = rdata.target  # type: ignore[attr-defined]
+                if self._cache.get(host, RRType.AAAA) is not None:
+                    continue
+                if self._negcache.known_negative(host, RRType.AAAA):
+                    continue
+                self._side_query(addresses[0], host, RRType.AAAA)
+        if self._tld_priming and child.label_count == 1 and child not in self._primed:
+            self._primed.add(child)
+            self._side_query(addresses[0], child, RRType.NS)
+
+    def _after_authoritative_contact(self, cut: Name, qname: Name) -> None:
+        """Stable-fraction SLD NS revalidation (BIND cut revalidation)."""
+        if cut.label_count != 2 or cut in self._primed:
+            return
+        if self._sld_ns_requery_fraction <= 0:
+            return
+        digest = hashlib.md5(cut.to_text().encode("ascii")).digest()
+        if digest[0] / 255.0 < self._sld_ns_requery_fraction:
+            self._primed.add(cut)
+            addresses = self.cut_addresses(cut)
+            self._side_query(addresses[0], cut, RRType.NS)
+        else:
+            self._primed.add(cut)
+
+    def _side_query(self, dst: str, qname: Name, qtype: RRType) -> None:
+        """A best-effort maintenance query: failures (persistent packet
+        loss) must not abort the resolution it piggybacks on."""
+        try:
+            response = self.send_query(dst, qname, qtype)
+        except ResolutionError:
+            return
+        self._ingest_simple(response, qname, qtype)
+
+    def _ingest_simple(self, response: Message, qname: Name, qtype: RRType) -> None:
+        """Cache the positive or negative result of a side query."""
+        if response.rcode is RCode.NXDOMAIN:
+            ttl = self._negative_ttl(response)
+            self._negcache.put_nxdomain(qname, ttl)
+            return
+        found = False
+        for rrset in response.answer:
+            if rrset.rtype is RRType.RRSIG:
+                continue
+            self._cache.put(rrset, rrsig=self._find_rrsig(response.answer, rrset))
+            if rrset.name == qname and rrset.rtype is qtype:
+                found = True
+        if not found:
+            self._negcache.put_nodata(qname, qtype, self._negative_ttl(response))
+
+    @staticmethod
+    def _negative_ttl(response: Message) -> float:
+        for rrset in response.authority:
+            if rrset.rtype is RRType.SOA:
+                return min(rrset.ttl, rrset.first().minimum)  # type: ignore[attr-defined]
+        return _FALLBACK_NEGATIVE_TTL

@@ -1,0 +1,191 @@
+"""DNSSEC Look-aside Validation (RFC 5074) as BIND/Unbound implement it.
+
+When normal validation cannot conclude *secure* — because a parent zone
+proved there is no DS (island of security), or because no trust anchor
+is configured at all — a look-aside-enabled resolver searches a DLV
+registry for an off-path trust anchor:
+
+1. form ``<target>.<registry>`` and query it with type DLV;
+2. on "No such name", strip the leading label and try again, down to the
+   TLD level ("enclosing records", RFC 5074 section 4.1);
+3. suppress queries whose non-existence a previously *validated* NSEC
+   from the registry already proves (aggressive negative caching);
+4. a found DLV record is used exactly like a DS record: fetch the target
+   zone's DNSKEY, match, verify, and continue the chain.
+
+This module is deliberately faithful to the **lax rule** the paper
+demonstrates: the look-aside search runs for *every* non-secure name,
+including the vast majority of domains that never deployed DNSSEC —
+that is the privacy leak.  The remedy hooks (TXT / Z-bit gating, hashed
+queries) live in :mod:`repro.resolver.recursive`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..crypto import hash_domain_label
+from ..dnscore import Name, RCode, RRType, RRset
+from .engine import IterativeEngine, ResolutionError
+from .negcache import NegativeCache
+from .validator import ValidationStatus, Validator, ZoneSecurity
+
+
+@dataclasses.dataclass
+class LookasideResult:
+    """What one look-aside search did and concluded."""
+
+    status: ValidationStatus
+    #: DLV queries actually sent on the wire during this search.
+    queries_sent: int
+    #: Queries suppressed by the negative caches (exact or aggressive).
+    queries_suppressed: int
+    #: The candidate name whose DLV record anchored the chain, if any.
+    anchored_at: Optional[Name] = None
+
+
+class DlvLookaside:
+    """The look-aside searcher bound to one registry."""
+
+    def __init__(
+        self,
+        engine: IterativeEngine,
+        validator: Validator,
+        negcache: NegativeCache,
+        registry_origin: Name,
+        hashed: bool = False,
+        aggressive_caching: bool = True,
+    ):
+        self._engine = engine
+        self._validator = validator
+        self._negcache = negcache
+        self.registry_origin = registry_origin
+        self.hashed = hashed
+        self.aggressive_caching = aggressive_caching
+        self.total_queries_sent = 0
+        self.total_queries_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Name construction
+    # ------------------------------------------------------------------
+
+    def dlv_query_name(self, candidate: Name) -> Name:
+        """The owner name queried in the registry for *candidate*."""
+        if self.hashed:
+            return self.registry_origin.prepend(hash_domain_label(candidate))
+        return candidate.concatenate(self.registry_origin)
+
+    def candidates(self, zone: Name) -> List[Name]:
+        """Label-stripping search order for *zone* (deepest first).
+
+        Hashed mode has no enclosing-record semantics — only the exact
+        domain digest can be registered — so the search is one name.
+        """
+        if self.hashed:
+            return [zone]
+        return [
+            ancestor
+            for ancestor in zone.ancestors()
+            if ancestor.label_count >= 1
+        ]
+
+    # ------------------------------------------------------------------
+    # The search
+    # ------------------------------------------------------------------
+
+    def try_lookaside(self, zone: Name) -> LookasideResult:
+        """Search the registry for a trust anchor covering *zone*."""
+        sent = 0
+        suppressed = 0
+        registry_security = self._validator.zone_security(self.registry_origin)
+        registry_trusted = registry_security.status is ValidationStatus.SECURE
+        result_status = ValidationStatus.INSECURE
+        anchored_at: Optional[Name] = None
+        for candidate in self.candidates(zone):
+            dlv_name = self.dlv_query_name(candidate)
+            if self._suppressed(dlv_name):
+                suppressed += 1
+                continue
+            try:
+                outcome = self._engine.resolve(dlv_name, RRType.DLV)
+            except ResolutionError:
+                break
+            if not outcome.from_cache:
+                sent += 1
+            if outcome.is_positive():
+                dlv_rrset = self._extract_dlv(outcome.answer, dlv_name)
+                if dlv_rrset is None:
+                    continue
+                if not registry_trusted:
+                    # The registry's own chain does not validate (no or
+                    # stale DLV anchor): its records must not anchor
+                    # anything.  The query already leaked, though.
+                    break
+                if not self._validator.verify_with_zone_keys(
+                    dlv_rrset, outcome.rrsig, self.registry_origin
+                ):
+                    result_status = ValidationStatus.BOGUS
+                    break
+                security = self._anchor_chain(candidate, dlv_rrset, zone)
+                result_status = security.status
+                anchored_at = candidate
+                break
+            # Negative: remember the proof, then keep stripping labels.
+            if registry_trusted:
+                self._cache_denial(outcome)
+        self.total_queries_sent += sent
+        self.total_queries_suppressed += suppressed
+        return LookasideResult(
+            status=result_status,
+            queries_sent=sent,
+            queries_suppressed=suppressed,
+            anchored_at=anchored_at,
+        )
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+
+    def _suppressed(self, dlv_name: Name) -> bool:
+        if self._negcache.known_negative(dlv_name, RRType.DLV):
+            return True
+        if not self.aggressive_caching:
+            return False
+        return self._negcache.nsec_covers(self.registry_origin, dlv_name)
+
+    @staticmethod
+    def _extract_dlv(answer: Tuple[RRset, ...], dlv_name: Name) -> Optional[RRset]:
+        for rrset in answer:
+            if rrset.rtype is RRType.DLV and rrset.name == dlv_name:
+                return rrset
+        return None
+
+    def _cache_denial(self, outcome) -> None:
+        """Validate and cache NSEC proofs from a registry denial.
+
+        NSEC3 proofs are deliberately *not* cached aggressively — the
+        resolver cannot map them back to name ranges (paper Section 7.3:
+        an NSEC3 registry would leak every query).
+        """
+        if not self.aggressive_caching:
+            return
+        for nsec_rrset, nsec_sig in outcome.nsec:
+            if nsec_rrset.rtype is not RRType.NSEC:
+                continue
+            if self._validator.verify_with_zone_keys(
+                nsec_rrset, nsec_sig, self.registry_origin
+            ):
+                self._negcache.add_nsec(self.registry_origin, nsec_rrset)
+
+    def _anchor_chain(
+        self, candidate: Name, dlv_rrset: RRset, zone: Name
+    ) -> ZoneSecurity:
+        """Use a DLV RRset as a trust anchor for *candidate*, then walk
+        the normal chain down to *zone* if it lies deeper."""
+        security = self._validator.security_from_ds_rrset(candidate, dlv_rrset)
+        self._validator.invalidate_below(candidate)
+        self._validator.set_zone_security(candidate, security)
+        if candidate == zone or security.status is not ValidationStatus.SECURE:
+            return security
+        return self._validator.zone_security(zone)

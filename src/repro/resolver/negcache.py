@@ -1,0 +1,148 @@
+"""Negative caching, including RFC 5074's aggressive NSEC cache.
+
+Two stores:
+
+* the classic negative cache (RFC 2308): NXDOMAIN per name, NODATA per
+  (name, type), with TTLs;
+* the **aggressive NSEC cache**: validated NSEC records, kept per zone
+  as canonical-order ranges.  Before sending a DLV query the validator
+  checks whether any cached NSEC already proves the name's non-existence
+  — the mechanism behind the paper's observation that the *proportion*
+  of leaked domains decays as more domains are queried (Fig. 9), and
+  that query order changes which domains leak (Section 5.1, "Order
+  Matters").
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..dnscore import NSEC, Name, RRType, RRset
+from ..netsim import SimClock
+
+
+@dataclasses.dataclass
+class _NsecRange:
+    owner_key: Tuple[bytes, ...]
+    next_key: Tuple[bytes, ...]
+    wrapped: bool
+    expires_at: float
+    owner: Name
+    next_name: Name
+
+    def covers(self, key: Tuple[bytes, ...]) -> bool:
+        if self.wrapped:
+            # Range from the canonically last name back to the apex.
+            return key > self.owner_key or key < self.next_key
+        return self.owner_key < key < self.next_key
+
+
+class NegativeCache:
+    """RFC 2308 negative answers + RFC 5074 aggressive NSEC ranges."""
+
+    def __init__(self, clock: SimClock, max_ttl: float = 3600.0):
+        self._clock = clock
+        self._max_ttl = max_ttl
+        self._nxdomain: Dict[Name, float] = {}
+        self._nodata: Dict[Tuple[Name, RRType], float] = {}
+        # Per zone: a sorted list of owner keys plus the parallel list of
+        # ranges, so coverage checks stay O(log n) at 100k+ ranges.
+        self._nsec_keys: Dict[Name, List[Tuple[bytes, ...]]] = {}
+        self._nsec_ranges: Dict[Name, List[_NsecRange]] = {}
+        self.aggressive_hits = 0
+
+    # ------------------------------------------------------------------
+    # Classic negative cache
+    # ------------------------------------------------------------------
+
+    def put_nxdomain(self, name: Name, ttl: float) -> None:
+        self._nxdomain[name] = self._clock.now + min(ttl, self._max_ttl)
+
+    def put_nodata(self, name: Name, rtype: RRType, ttl: float) -> None:
+        self._nodata[(name, rtype)] = self._clock.now + min(ttl, self._max_ttl)
+
+    def is_nxdomain(self, name: Name) -> bool:
+        expires = self._nxdomain.get(name)
+        if expires is None:
+            return False
+        if self._clock.now >= expires:
+            del self._nxdomain[name]
+            return False
+        return True
+
+    def is_nodata(self, name: Name, rtype: RRType) -> bool:
+        expires = self._nodata.get((name, rtype))
+        if expires is None:
+            return False
+        if self._clock.now >= expires:
+            del self._nodata[(name, rtype)]
+            return False
+        return True
+
+    def known_negative(self, name: Name, rtype: RRType) -> bool:
+        return self.is_nxdomain(name) or self.is_nodata(name, rtype)
+
+    # ------------------------------------------------------------------
+    # Aggressive NSEC cache
+    # ------------------------------------------------------------------
+
+    def add_nsec(self, zone: Name, nsec_rrset: RRset) -> None:
+        """Remember a validated NSEC range from *zone*."""
+        nsec = nsec_rrset.first()
+        assert isinstance(nsec, NSEC)
+        owner_key = nsec_rrset.name.canonical_key()
+        next_key = nsec.next_name.canonical_key()
+        entry = _NsecRange(
+            owner_key=owner_key,
+            next_key=next_key,
+            wrapped=next_key <= owner_key,
+            expires_at=self._clock.now + min(float(nsec_rrset.ttl), self._max_ttl),
+            owner=nsec_rrset.name,
+            next_name=nsec.next_name,
+        )
+        keys = self._nsec_keys.setdefault(zone, [])
+        ranges = self._nsec_ranges.setdefault(zone, [])
+        index = bisect.bisect_left(keys, owner_key)
+        if index < len(keys) and keys[index] == owner_key:
+            ranges[index] = entry  # refresh
+        else:
+            keys.insert(index, owner_key)
+            ranges.insert(index, entry)
+
+    def nsec_covers(self, zone: Name, qname: Name) -> bool:
+        """Does a fresh cached NSEC from *zone* prove *qname* absent?"""
+        ranges = self._nsec_ranges.get(zone)
+        if not ranges:
+            return False
+        keys = self._nsec_keys[zone]
+        now = self._clock.now
+        key = qname.canonical_key()
+        # Candidate: the range with the greatest owner_key <= key, plus a
+        # possible wrapped range at the end of the chain.
+        index = bisect.bisect_right(keys, key) - 1
+        candidates = []
+        if index >= 0:
+            candidates.append(index)
+        if ranges and ranges[-1].wrapped and index != len(ranges) - 1:
+            candidates.append(len(ranges) - 1)
+        for candidate_index in candidates:
+            entry = ranges[candidate_index]
+            if entry.expires_at <= now:
+                continue
+            if entry.covers(key):
+                self.aggressive_hits += 1
+                return True
+        return False
+
+    def nsec_range_count(self, zone: Optional[Name] = None) -> int:
+        if zone is not None:
+            return len(self._nsec_ranges.get(zone, []))
+        return sum(len(ranges) for ranges in self._nsec_ranges.values())
+
+    def flush(self) -> None:
+        self._nxdomain.clear()
+        self._nodata.clear()
+        self._nsec_keys.clear()
+        self._nsec_ranges.clear()

@@ -1,0 +1,288 @@
+"""The recursive resolver: iterative engine + validator + look-aside.
+
+This is the simulator's stand-in for BIND and Unbound.  Its decision
+logic follows the behaviour the paper reverse-engineers:
+
+* resolve iteratively, with positive/negative caching;
+* if validation machinery is active, classify the answer
+  (secure / insecure / bogus / indeterminate);
+* **if the answer is not secure and look-aside is enabled, search the
+  DLV registry** — the lax rule that leaks queries (Sections 3, 5);
+* bogus answers are replaced by SERVFAIL toward the stub; secure
+  answers carry AD (Section 2.2).
+
+The paper's remedies plug in here:
+
+* *TXT signalling* (6.2.1): before any look-aside, fetch the zone's TXT
+  record; only ``dlv=1`` lets the DLV search proceed.
+* *Z-bit signalling* (6.2.1): gate the search on the Z header bit the
+  authoritative set in its response; costs no extra queries.
+* *Hashed DLV* (6.2.2): the look-aside query carries
+  ``crypto_hash(domain)`` instead of the domain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..dnscore import Message, Name, RCode, ROOT, RRType, RRset
+from ..netsim import Network
+from .anchors import TrustAnchorStore
+from .cache import RRsetCache
+from .config import ResolverConfig
+from .engine import IterativeEngine, ResolutionError, ResolutionOutcome
+from .lookaside import DlvLookaside, LookasideResult
+from .negcache import NegativeCache
+from .validator import ValidationStatus, Validator
+
+#: Default DLV registry domain, as run by ISC (paper Section 2.3).
+DEFAULT_REGISTRY_ORIGIN = Name.from_text("dlv.isc.org")
+
+
+@dataclasses.dataclass
+class ResolutionResult:
+    """What the resolver concluded for one stub query."""
+
+    qname: Name
+    qtype: RRType
+    rcode: RCode
+    answer: Tuple[RRset, ...]
+    status: Optional[ValidationStatus]
+    authenticated: bool
+    lookaside: Optional[LookasideResult] = None
+    #: True when a remedy signal (TXT / Z bit) vetoed the DLV search.
+    lookaside_vetoed: bool = False
+
+    def servfail(self) -> bool:
+        return self.rcode is RCode.SERVFAIL
+
+
+class RecursiveResolver:
+    """A caching, validating, optionally look-aside-enabled resolver."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        config: ResolverConfig,
+        root_hints: List[str],
+        anchors: Optional[TrustAnchorStore] = None,
+        registry_origin: Name = DEFAULT_REGISTRY_ORIGIN,
+    ):
+        self.network = network
+        self.address = address
+        self.config = config
+        self.registry_origin = registry_origin
+        clock = network.clock
+        self.cache = RRsetCache(clock)
+        self.negcache = NegativeCache(clock)
+        self.anchors = anchors or TrustAnchorStore()
+        self.engine = IterativeEngine(
+            network=network,
+            address=address,
+            cache=self.cache,
+            negcache=self.negcache,
+            root_hints=root_hints,
+            dnssec_ok=config.validation_machinery_active,
+            qname_minimization=config.qname_minimization,
+        )
+        self.validator = Validator(
+            engine=self.engine,
+            anchors=self.anchors,
+            cache=self.cache,
+            negcache=self.negcache,
+            clock=clock,
+        )
+        self.lookaside = DlvLookaside(
+            engine=self.engine,
+            validator=self.validator,
+            negcache=self.negcache,
+            registry_origin=registry_origin,
+            hashed=config.hashed_dlv,
+            aggressive_caching=config.aggressive_nsec_caching,
+        )
+        self.resolutions = 0
+
+    # ------------------------------------------------------------------
+    # Core resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, qname: Name, qtype: RRType) -> ResolutionResult:
+        self.resolutions += 1
+        try:
+            outcome = self.engine.resolve(qname, qtype)
+        except ResolutionError:
+            return ResolutionResult(
+                qname=qname, qtype=qtype, rcode=RCode.SERVFAIL, answer=(),
+                status=None, authenticated=False,
+            )
+        status: Optional[ValidationStatus] = None
+        lookaside_result: Optional[LookasideResult] = None
+        vetoed = False
+        if self.config.validation_machinery_active:
+            status = self.validator.validate_outcome(outcome)
+            if self._should_try_lookaside(status):
+                allowed, vetoed = self._remedy_gate(outcome)
+                if allowed:
+                    lookaside_result = self.lookaside.try_lookaside(outcome.zone)
+                    if lookaside_result.status is ValidationStatus.SECURE:
+                        status = ValidationStatus.SECURE
+                    elif lookaside_result.status is ValidationStatus.BOGUS:
+                        status = ValidationStatus.BOGUS
+        rcode = outcome.rcode
+        answer = outcome.answer
+        if status is ValidationStatus.BOGUS:
+            rcode = RCode.SERVFAIL
+            answer = ()
+        return ResolutionResult(
+            qname=qname,
+            qtype=qtype,
+            rcode=rcode,
+            answer=answer,
+            status=status,
+            authenticated=status is ValidationStatus.SECURE,
+            lookaside=lookaside_result,
+            lookaside_vetoed=vetoed,
+        )
+
+    def _should_try_lookaside(self, status: ValidationStatus) -> bool:
+        if not self.config.lookaside_enabled:
+            return False
+        # The lax rule: look aside whenever we could not prove secure
+        # (insecure or indeterminate).  Actively-bogus answers SERVFAIL.
+        return status in (
+            ValidationStatus.INSECURE,
+            ValidationStatus.INDETERMINATE,
+        )
+
+    # ------------------------------------------------------------------
+    # Remedy gating (paper Section 6.2.1)
+    # ------------------------------------------------------------------
+
+    def _remedy_gate(self, outcome: ResolutionOutcome) -> Tuple[bool, bool]:
+        """Apply DLV-aware signalling.  Returns (allowed, vetoed)."""
+        if self.config.zbit_signaling:
+            if outcome.z_bit:
+                return True, False
+            return False, True
+        if self.config.txt_signaling:
+            signal = self._fetch_txt_signal(outcome.zone)
+            if signal == 1:
+                return True, False
+            return False, True
+        return True, False
+
+    def _fetch_txt_signal(self, zone: Name) -> Optional[int]:
+        try:
+            outcome = self.engine.resolve(zone, RRType.TXT)
+        except ResolutionError:
+            return None
+        for rrset in outcome.answer:
+            if rrset.rtype is RRType.TXT and rrset.name == zone:
+                if not self._txt_signal_trustworthy(zone, rrset, outcome.rrsig):
+                    return None
+                for txt in rrset.rdatas:
+                    signal = txt.dlv_signal()  # type: ignore[attr-defined]
+                    if signal is not None:
+                        return signal
+        return None
+
+    def _txt_signal_trustworthy(
+        self, zone: Name, rrset: RRset, rrsig: Optional[RRset]
+    ) -> bool:
+        """Hardened mode (Section 6.2.3): before acting on a TXT signal
+        from a *signed* zone, check its RRSIG against the zone's own
+        DNSKEY.  An on-path attacker can rewrite the TXT strings but
+        cannot forge the signature.  Unsigned zones cannot be checked —
+        the residual risk the paper acknowledges.
+        """
+        if not self.config.validate_txt_signal:
+            return True
+        if rrsig is None:
+            # No signature: only acceptable if the zone is unsigned
+            # (no DNSKEY published).
+            try:
+                keys = self.engine.resolve(zone, RRType.DNSKEY)
+            except ResolutionError:
+                return True
+            return not keys.is_positive()
+        try:
+            keys_outcome = self.engine.resolve(zone, RRType.DNSKEY)
+        except ResolutionError:
+            return False
+        for dnskeys in keys_outcome.answer:
+            if dnskeys.rtype is not RRType.DNSKEY:
+                continue
+            from ..zones.zone import verify_rrset_signature
+
+            for sig in rrsig.rdatas:
+                for dnskey in dnskeys.rdatas:
+                    if dnskey.key_tag() == sig.key_tag:  # type: ignore[attr-defined]
+                        if verify_rrset_signature(rrset, sig, dnskey):  # type: ignore[arg-type]
+                            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Stub-facing server interface (netsim DnsServer protocol)
+    # ------------------------------------------------------------------
+
+    def handle(self, query: Message) -> Message:
+        if query.question is None or query.is_response():
+            return query.make_response(rcode=RCode.FORMERR)
+        if query.flags.cd:
+            # Checking Disabled (RFC 4035 section 3.2.2): the stub takes
+            # validation into its own hands, so the resolver skips the
+            # validator *and* the look-aside machinery — CD queries do
+            # not leak to the registry.
+            return self._handle_checking_disabled(query)
+        result = self.resolve(query.question.name, query.question.rtype)
+        return query.make_response(
+            rcode=result.rcode,
+            answer=result.answer,
+            authenticated_data=result.authenticated and query.dnssec_ok(),
+        )
+
+    def _handle_checking_disabled(self, query: Message) -> Message:
+        assert query.question is not None
+        try:
+            outcome = self.engine.resolve(query.question.name, query.question.rtype)
+        except ResolutionError:
+            return query.make_response(rcode=RCode.SERVFAIL)
+        return query.make_response(rcode=outcome.rcode, answer=outcome.answer)
+
+
+class StubClient:
+    """A stub resolver host sending recursive queries to one resolver."""
+
+    #: Stub retransmissions before giving up (glibc-style).
+    MAX_ATTEMPTS = 5
+
+    def __init__(self, network: Network, address: str, resolver_address: str):
+        self._network = network
+        self.address = address
+        self.resolver_address = resolver_address
+        self._next_id = 1
+
+    def query(
+        self, qname: Name, qtype: RRType = RRType.A, dnssec_ok: bool = True
+    ) -> Message:
+        from ..netsim.network import QueryTimeout
+
+        query = None
+        for _ in range(self.MAX_ATTEMPTS):
+            message_id = self._next_id
+            self._next_id = (self._next_id + 1) & 0xFFFF or 1
+            query = Message.make_query(
+                message_id, qname, qtype, recursion_desired=True,
+                dnssec_ok=dnssec_ok,
+            )
+            try:
+                return self._network.query(
+                    self.address, self.resolver_address, query
+                )
+            except QueryTimeout:
+                continue
+        # Persistent loss on the stub link: report failure locally.
+        assert query is not None
+        return query.make_response(rcode=RCode.SERVFAIL)

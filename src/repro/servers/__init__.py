@@ -1,0 +1,12 @@
+"""Simulated DNS servers: authoritative zones and the DLV registry."""
+
+from .authoritative import AuthoritativeServer, ZoneView
+from .dlv_registry import DenialMode, DlvRegistryZone, DLVRegistryServer
+
+__all__ = [
+    "AuthoritativeServer",
+    "DenialMode",
+    "DlvRegistryZone",
+    "DLVRegistryServer",
+    "ZoneView",
+]

@@ -1,0 +1,99 @@
+"""Authoritative DNS server: maps zone lookups onto wire messages.
+
+One server object may serve many zones (the simulator routes by address,
+and shared hosting concentrates many zones on few addresses, as in the
+real DNS).  The server picks the deepest zone matching the query name,
+delegates classification to the zone, and assembles the response.
+
+The server also carries the hook for the paper's **Z-bit remedy**
+(Section 6.2.1): when a ``zbit_signal`` predicate is installed, responses
+for zones with a DLV deposit have the spare Z header bit set, telling a
+remedy-aware resolver that a look-aside query would be useful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Protocol, Tuple
+
+from ..dnscore import Message, Name, RCode, RRType
+from ..zones.zone import LookupOutcome, LookupResult, ZoneError
+
+
+class ZoneView(Protocol):
+    """What a server needs from a zone: an origin and lookup()."""
+
+    origin: Name
+
+    def lookup(
+        self, qname: Name, qtype: RRType, dnssec_ok: bool = False
+    ) -> LookupResult:  # pragma: no cover - protocol
+        ...
+
+
+class AuthoritativeServer:
+    """Serves one or more zones authoritatively."""
+
+    def __init__(
+        self,
+        zones: Iterable[ZoneView] = (),
+        zbit_signal: Optional[Callable[[Name], bool]] = None,
+    ):
+        self._zones: Dict[Name, ZoneView] = {}
+        for zone in zones:
+            self.add_zone(zone)
+        #: Predicate over the query name implementing the Z-bit remedy;
+        #: None means the remedy is not deployed at this server.
+        self.zbit_signal = zbit_signal
+
+    def add_zone(self, zone: ZoneView) -> None:
+        if zone.origin in self._zones:
+            raise ValueError(f"already serving {zone.origin.to_text()}")
+        self._zones[zone.origin] = zone
+
+    def zones(self) -> Tuple[ZoneView, ...]:
+        return tuple(self._zones.values())
+
+    def find_zone(self, qname: Name) -> Optional[ZoneView]:
+        """Deepest zone whose origin is at-or-above the query name."""
+        for ancestor in qname.ancestors():
+            zone = self._zones.get(ancestor)
+            if zone is not None:
+                return zone
+        return None
+
+    # ------------------------------------------------------------------
+    # Query handling
+    # ------------------------------------------------------------------
+
+    def handle(self, query: Message) -> Message:
+        if query.question is None or query.is_response():
+            return query.make_response(rcode=RCode.FORMERR)
+        qname = query.question.name
+        qtype = query.question.rtype
+        zone = self.find_zone(qname)
+        if zone is None:
+            return query.make_response(rcode=RCode.REFUSED)
+        try:
+            result = zone.lookup(qname, qtype, dnssec_ok=query.dnssec_ok())
+        except ZoneError:
+            return query.make_response(rcode=RCode.SERVFAIL)
+        return self._render(query, result)
+
+    def _render(self, query: Message, result: LookupResult) -> Message:
+        assert query.question is not None
+        z_bit = False
+        if self.zbit_signal is not None:
+            z_bit = self.zbit_signal(query.question.name)
+        if result.outcome is LookupOutcome.NXDOMAIN:
+            rcode = RCode.NXDOMAIN
+        else:
+            rcode = RCode.NOERROR
+        authoritative = result.outcome is not LookupOutcome.DELEGATION
+        return query.make_response(
+            rcode=rcode,
+            answer=result.answer,
+            authority=result.authority,
+            additional=result.additional,
+            authoritative=authoritative,
+            z_bit=z_bit,
+        )

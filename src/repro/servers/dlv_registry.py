@@ -1,0 +1,311 @@
+"""The DLV registry: a scalable synthetic DLV zone and its server.
+
+This models registries like ISC's ``dlv.isc.org`` (paper Section 2.3).
+Zone owners deposit DLV records (DS-shaped trust anchors, RFC 4431);
+resolvers query ``<domain>.<registry-origin>`` with type DLV.
+
+The zone view here is *synthetic*: instead of materialising hundreds of
+thousands of RRsets, it keeps a sorted list of registered owner names
+and constructs DLV answers, covering NSEC (or NSEC3) denials, and lazy
+RRSIGs on demand.  That keeps top-100k leakage sweeps cheap while
+serving byte-accurate responses.
+
+Operating modes map to the paper's scenarios:
+
+* ``plain``   — normal operation: deposits under their domain names,
+  NSEC denial of existence (enables aggressive negative caching).
+* ``hashed``  — the paper's privacy-preserving DLV (Section 6.2.2):
+  deposits live under ``crypto_hash(domain)`` labels.
+* ``nsec3``   — denial via NSEC3 (Section 7.3): the resolver cannot
+  reuse denials, so every query reaches the registry.
+* the ISC phase-out (Section 7.3.2) is simply a registry with zero
+  deposits: the zone answers, but every query is a Case-2 leak.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..crypto import hash_domain_label, make_dlv, nsec3_owner_label
+from ..crypto.keys import ZoneKeySet
+from ..dnscore import (
+    DLV as DLVRdata,
+    DNSKEY,
+    NS,
+    NSEC,
+    NSEC3,
+    Name,
+    RRType,
+    RRset,
+    A,
+)
+from ..zones.builder import make_soa
+from ..zones.zone import (
+    DEFAULT_TTL,
+    LookupOutcome,
+    LookupResult,
+    ZoneError,
+    sign_rrset,
+)
+from .authoritative import AuthoritativeServer
+
+#: NSEC3 parameters used by the nsec3 denial mode.
+_NSEC3_SALT = b"\xd1\x5e"
+_NSEC3_ITERATIONS = 5
+
+
+class DenialMode(enum.Enum):
+    """How the registry proves non-existence.
+
+    NSEC5 (paper Section 7.3, Goldberg et al.) prevents zone
+    enumeration *without* the offline-keys weakness of NSEC3; from the
+    resolver's caching perspective it behaves like NSEC3 — denials
+    cannot be reused aggressively — so the simulator models it with the
+    same hashed-denial machinery and an is-enumerable flag of its own.
+    """
+
+    NSEC = "nsec"
+    NSEC3 = "nsec3"
+    NSEC5 = "nsec5"
+
+    @property
+    def allows_aggressive_caching(self) -> bool:
+        return self is DenialMode.NSEC
+
+    @property
+    def allows_enumeration(self) -> bool:
+        return self is DenialMode.NSEC
+
+
+class DlvRegistryZone:
+    """Synthetic zone view over a set of DLV deposits."""
+
+    def __init__(
+        self,
+        origin: Name,
+        keyset: ZoneKeySet,
+        deposits: Mapping[Name, DLVRdata],
+        ns_host: Optional[Name] = None,
+        ns_address: str = "192.0.2.200",
+        hashed: bool = False,
+        denial: DenialMode = DenialMode.NSEC,
+        ttl: int = DEFAULT_TTL,
+    ):
+        self.origin = origin
+        self.keyset = keyset
+        self.hashed = hashed
+        self.denial = denial
+        self.ttl = ttl
+        self._deposits_by_domain = dict(deposits)
+        self._owners: Dict[Name, DLVRdata] = {}
+        for domain, rdata in deposits.items():
+            self._owners[self.registered_name(domain)] = rdata
+        # Existence set: owners plus empty non-terminals.
+        self._names = {origin}
+        for owner in self._owners:
+            current = owner
+            while current != origin and current not in self._names:
+                self._names.add(current)
+                current = current.parent()
+        self._sorted_owners: List[Name] = sorted(
+            set(self._owners) | {origin}, key=Name.canonical_key
+        )
+        self._sorted_keys = [name.canonical_key() for name in self._sorted_owners]
+        if not denial.allows_aggressive_caching:
+            # NSEC3 and NSEC5 both deny existence via hashed owners.
+            hashed_pairs = sorted(
+                nsec3_owner_label(name, _NSEC3_SALT, _NSEC3_ITERATIONS)
+                for name in self._sorted_owners
+            )
+            self._nsec3_labels = hashed_pairs
+        # Apex RRsets.
+        ns_host = ns_host or origin.prepend("ns1")
+        self._apex: Dict[RRType, RRset] = {
+            RRType.SOA: RRset(origin, RRType.SOA, ttl, (make_soa(origin),)),
+            RRType.NS: RRset(origin, RRType.NS, ttl, (NS(ns_host),)),
+            RRType.DNSKEY: RRset(
+                origin, RRType.DNSKEY, ttl, tuple(keyset.dnskeys())
+            ),
+        }
+        self._glue = (
+            RRset(ns_host, RRType.A, ttl, (A(ns_address),))
+            if ns_host.is_subdomain_of(origin)
+            else None
+        )
+        self._rrsig_cache: Dict[Tuple[Name, RRType], RRset] = {}
+
+    # ------------------------------------------------------------------
+    # Deposit bookkeeping
+    # ------------------------------------------------------------------
+
+    def registered_name(self, domain: Name) -> Name:
+        """The owner name a deposit for *domain* lives under."""
+        if self.hashed:
+            return self.origin.prepend(hash_domain_label(domain))
+        return domain.concatenate(self.origin)
+
+    def has_deposit(self, domain: Name) -> bool:
+        return domain in self._deposits_by_domain
+
+    def has_owner(self, owner: Name) -> bool:
+        """Is there a DLV RRset at this exact owner name?"""
+        return owner in self._owners
+
+    def deposit_count(self) -> int:
+        return len(self._deposits_by_domain)
+
+    def deposited_domains(self) -> Iterable[Name]:
+        return self._deposits_by_domain.keys()
+
+    # ------------------------------------------------------------------
+    # Signing helpers (lazy, cached)
+    # ------------------------------------------------------------------
+
+    def _rrsig(self, rrset: RRset) -> RRset:
+        key = (rrset.name, rrset.rtype)
+        cached = self._rrsig_cache.get(key)
+        if cached is not None:
+            return cached
+        signing_key = (
+            self.keyset.ksk
+            if rrset.rtype is RRType.DNSKEY
+            else self.keyset.zsk
+        )
+        rrsig = sign_rrset(rrset, self.origin, signing_key)
+        rrsig_set = RRset(rrset.name, RRType.RRSIG, rrset.ttl, (rrsig,))
+        self._rrsig_cache[key] = rrsig_set
+        return rrsig_set
+
+    # ------------------------------------------------------------------
+    # Denial of existence
+    # ------------------------------------------------------------------
+
+    def covering_nsec(self, qname: Name) -> RRset:
+        index = bisect.bisect_right(self._sorted_keys, qname.canonical_key()) - 1
+        if index < 0:
+            index = len(self._sorted_owners) - 1
+        owner = self._sorted_owners[index]
+        next_owner = self._sorted_owners[(index + 1) % len(self._sorted_owners)]
+        types = self._types_at(owner)
+        nsec = NSEC(next_name=next_owner, types=frozenset(types))
+        return RRset(owner, RRType.NSEC, self.ttl, (nsec,))
+
+    def covering_nsec3(self, qname: Name) -> RRset:
+        qhash = nsec3_owner_label(qname, _NSEC3_SALT, _NSEC3_ITERATIONS)
+        labels = self._nsec3_labels
+        index = bisect.bisect_right(labels, qhash) - 1
+        if index < 0:
+            index = len(labels) - 1
+        owner_label = labels[index]
+        next_label = labels[(index + 1) % len(labels)]
+        rdata = NSEC3(
+            hash_algorithm=1,
+            flags=0,
+            iterations=_NSEC3_ITERATIONS,
+            salt=_NSEC3_SALT,
+            next_hashed=next_label.encode("ascii"),
+            types=frozenset({RRType.DLV}),
+        )
+        return RRset(self.origin.prepend(owner_label), RRType.NSEC3, self.ttl, (rdata,))
+
+    def _types_at(self, owner: Name) -> set:
+        if owner == self.origin:
+            types = set(self._apex) | {RRType.RRSIG, RRType.NSEC}
+        else:
+            types = {RRType.DLV, RRType.RRSIG, RRType.NSEC}
+        return types
+
+    # ------------------------------------------------------------------
+    # Lookup (ZoneView protocol)
+    # ------------------------------------------------------------------
+
+    def lookup(self, qname: Name, qtype: RRType, dnssec_ok: bool = False) -> LookupResult:
+        if not qname.is_subdomain_of(self.origin):
+            raise ZoneError(
+                f"{qname.to_text()} is not in registry zone {self.origin.to_text()}"
+            )
+        if qname == self.origin:
+            return self._apex_lookup(qtype, dnssec_ok)
+        rdata = self._owners.get(qname)
+        if rdata is not None:
+            if qtype is RRType.DLV:
+                rrset = RRset(qname, RRType.DLV, self.ttl, (rdata,))
+                answer = [rrset]
+                if dnssec_ok:
+                    answer.append(self._rrsig(rrset))
+                return LookupResult(LookupOutcome.ANSWER, answer=tuple(answer))
+            return self._negative(qname, LookupOutcome.NODATA, dnssec_ok)
+        if qname in self._names:
+            # Empty non-terminal (e.g. com.dlv.isc.org): exists, no data.
+            return self._negative(qname, LookupOutcome.NODATA, dnssec_ok)
+        return self._negative(qname, LookupOutcome.NXDOMAIN, dnssec_ok)
+
+    def _apex_lookup(self, qtype: RRType, dnssec_ok: bool) -> LookupResult:
+        rrset = self._apex.get(qtype)
+        if rrset is None:
+            return self._negative(self.origin, LookupOutcome.NODATA, dnssec_ok)
+        answer = [rrset]
+        if dnssec_ok:
+            answer.append(self._rrsig(rrset))
+        return LookupResult(LookupOutcome.ANSWER, answer=tuple(answer))
+
+    def _negative(
+        self, qname: Name, outcome: LookupOutcome, dnssec_ok: bool
+    ) -> LookupResult:
+        soa = self._apex[RRType.SOA]
+        authority: List[RRset] = [soa]
+        if dnssec_ok:
+            authority.append(self._rrsig(soa))
+            if outcome is LookupOutcome.NXDOMAIN:
+                if self.denial is DenialMode.NSEC:
+                    nsec = self.covering_nsec(qname)
+                else:
+                    nsec = self.covering_nsec3(qname)
+                authority.append(nsec)
+                authority.append(self._rrsig(nsec))
+        return LookupResult(outcome, authority=tuple(authority))
+
+
+class DLVRegistryServer(AuthoritativeServer):
+    """An authoritative server dedicated to one DLV registry zone."""
+
+    def __init__(self, zone: DlvRegistryZone):
+        super().__init__(zones=[zone])
+        self.registry = zone
+
+    @classmethod
+    def build(
+        cls,
+        origin: Name,
+        keyset: ZoneKeySet,
+        deposits: Mapping[Name, ZoneKeySet],
+        hashed: bool = False,
+        denial: DenialMode = DenialMode.NSEC,
+        extra_owners: Optional[Mapping[Name, DLVRdata]] = None,
+        ttl: int = DEFAULT_TTL,
+    ) -> "DLVRegistryServer":
+        """Build a registry from depositing zones' key sets.
+
+        ``deposits`` maps each depositing domain to the key set whose KSK
+        the DLV record must authenticate.  ``extra_owners`` lets callers
+        add background entries (registered domains that the experiment
+        never queries but that shape the NSEC chain, mirroring the real
+        registry's population).
+        """
+        rdata_map: Dict[Name, DLVRdata] = {
+            domain: make_dlv(domain, keyset_.ksk.dnskey)
+            for domain, keyset_ in deposits.items()
+        }
+        if extra_owners:
+            rdata_map.update(extra_owners)
+        zone = DlvRegistryZone(
+            origin=origin,
+            keyset=keyset,
+            deposits=rdata_map,
+            hashed=hashed,
+            denial=denial,
+            ttl=ttl,
+        )
+        return cls(zone)

@@ -1,0 +1,65 @@
+"""Workloads: domain populations, traces, and the Universe builder."""
+
+from .alexa import (
+    AlexaWorkload,
+    DEFAULT_TLDS,
+    DomainSpec,
+    NameGenerator,
+    TldSpec,
+    WorkloadParams,
+)
+from .ditl import (
+    DitlOverheadResult,
+    DitlParams,
+    DitlTrace,
+    FULL_TRACE_MINUTES,
+    FULL_TRACE_TOTAL_QUERIES,
+    RATE_MAX_QPM,
+    RATE_MIN_QPM,
+    evaluate_txt_overhead,
+    generate_trace,
+)
+from .secured import (
+    ISLAND_COUNT,
+    SECURED_DOMAIN_COUNT,
+    island_names,
+    secured_domains,
+)
+from .universe import (
+    ReverseZone,
+    TTL_LEAF,
+    TTL_REGISTRY,
+    TTL_ROOT,
+    TTL_TLD_DELEGATION,
+    Universe,
+    UniverseParams,
+)
+
+__all__ = [
+    "AlexaWorkload",
+    "DEFAULT_TLDS",
+    "DitlOverheadResult",
+    "DitlParams",
+    "DitlTrace",
+    "DomainSpec",
+    "FULL_TRACE_MINUTES",
+    "FULL_TRACE_TOTAL_QUERIES",
+    "RATE_MAX_QPM",
+    "RATE_MIN_QPM",
+    "evaluate_txt_overhead",
+    "generate_trace",
+    "ISLAND_COUNT",
+    "NameGenerator",
+    "ReverseZone",
+    "SECURED_DOMAIN_COUNT",
+    "TldSpec",
+    "TTL_LEAF",
+    "TTL_REGISTRY",
+    "TTL_ROOT",
+    "TTL_TLD_DELEGATION",
+    "Universe",
+    "UniverseParams",
+    "WorkloadParams",
+    "island_names",
+    "secured_domains",
+]

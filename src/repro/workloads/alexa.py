@@ -1,0 +1,263 @@
+"""Synthetic "Alexa top-N" popular-domain workload.
+
+The paper queries Alexa's top 100 / 10k / 1M lists.  The list itself is
+no longer redistributable (and leakage does not depend on the literal
+names), so we generate a seeded population with the distributional
+properties the experiments exercise:
+
+* a realistic TLD mix with a long tail (the registry's deposits
+  concentrate in few TLDs, so tail-TLD queries fall into wide NSEC
+  ranges — one driver of the Fig. 9 decay);
+* Zipf-distributed name tokens, so popular prefixes cluster in
+  canonical order (the other driver: clustered queries collide with
+  previously cached NSEC ranges);
+* calibrated DNSSEC deployment rates: ~3 % of SLDs signed (paper
+  Section 1), roughly half of those with a DS in the parent (the rest
+  are islands of security), and ~1.5 % of domains with a DLV deposit
+  (calibrated to the Section 5.3 utility measurement).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dnscore import Name
+
+
+@dataclasses.dataclass(frozen=True)
+class TldSpec:
+    """One top-level domain in the simulated root."""
+
+    label: str
+    weight: float
+    signed: bool = True
+
+
+#: Default TLD mix.  ~85 % of TLDs signed (paper Section 2.3): ru and cn
+#: are the unsigned ones here.
+DEFAULT_TLDS: Tuple[TldSpec, ...] = (
+    TldSpec("com", 0.46),
+    TldSpec("net", 0.12),
+    TldSpec("org", 0.09),
+    TldSpec("ru", 0.05, signed=False),
+    TldSpec("de", 0.05),
+    TldSpec("uk", 0.04),
+    TldSpec("jp", 0.04),
+    TldSpec("br", 0.03),
+    TldSpec("cn", 0.03, signed=False),
+    TldSpec("info", 0.03),
+    TldSpec("io", 0.02),
+    TldSpec("xyz", 0.02),
+    TldSpec("edu", 0.02),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainSpec:
+    """Everything the universe needs to know about one SLD."""
+
+    name: Name
+    rank: int
+    signed: bool
+    ds_in_parent: bool
+    dlv_deposited: bool
+    out_of_bailiwick_ns: bool
+
+    def is_island_of_security(self) -> bool:
+        """Signed but unvalidatable from the root — DLV's raison d'être."""
+        return self.signed and not self.ds_in_parent
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the synthetic population (defaults are calibrated)."""
+
+    seed: int = 2016
+    tlds: Tuple[TldSpec, ...] = DEFAULT_TLDS
+    #: Fraction of SLDs that sign their zone (paper: ~3 %).
+    signed_fraction: float = 0.03
+    #: Of signed SLDs, fraction with a DS in the parent (the rest are
+    #: islands of security).
+    ds_given_signed: float = 0.5
+    #: DLV deposit probability for islands / for secured zones
+    #: (calibrated to the paper's Section 5.3 utility of ~1.2 %).
+    dlv_given_island: float = 0.35
+    dlv_given_secured: float = 0.05
+    #: Fraction of domains using shared (out-of-bailiwick) nameservers.
+    out_of_bailiwick_fraction: float = 0.15
+    #: Name-token model: vocabulary size and Zipf skew.
+    vocabulary_size: int = 2000
+    token_zipf_s: float = 0.9
+
+
+class NameGenerator:
+    """Seeded generator of plausible, clustered domain labels."""
+
+    _SYLLABLES = (
+        "an ba be bo ca co da de di do el en er fa fi go ha he in ka ki "
+        "la le li lo ma me mi mo na ne no pa pe po ra re ri ro sa se si "
+        "so ta te ti to ul un va ve vi yo za zo"
+    ).split()
+
+    def __init__(self, rng: random.Random, params: WorkloadParams):
+        self._rng = rng
+        vocabulary = []
+        for _ in range(params.vocabulary_size):
+            syllable_count = rng.choice((2, 2, 3, 3, 4))
+            vocabulary.append(
+                "".join(rng.choice(self._SYLLABLES) for _ in range(syllable_count))
+            )
+        self._vocabulary = vocabulary
+        # Zipf weights over the vocabulary.
+        s = params.token_zipf_s
+        weights = [1.0 / (rank + 1) ** s for rank in range(len(vocabulary))]
+        total = sum(weights)
+        self._weights = [w / total for w in weights]
+
+    def token(self) -> str:
+        return self._rng.choices(self._vocabulary, weights=self._weights, k=1)[0]
+
+    def label(self) -> str:
+        """One SLD label: one or two Zipf tokens, occasionally a digit."""
+        roll = self._rng.random()
+        if roll < 0.45:
+            label = self.token()
+        elif roll < 0.9:
+            label = self.token() + self.token()
+        else:
+            label = self.token() + str(self._rng.randrange(100))
+        return label[:40]
+
+    def uniform_label(self, length_range: Tuple[int, int] = (8, 14)) -> str:
+        """A uniformly random label — used for registry filler entries so
+        their density does NOT track query clustering (see module docs)."""
+        length = self._rng.randrange(*length_range)
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        return "".join(self._rng.choice(alphabet) for _ in range(length))
+
+
+class AlexaWorkload:
+    """The generated population, ordered by popularity rank."""
+
+    def __init__(self, count: int, params: Optional[WorkloadParams] = None):
+        self.params = params or WorkloadParams()
+        self._rng = random.Random(self.params.seed)
+        self._names = NameGenerator(self._rng, self.params)
+        self.domains: List[DomainSpec] = []
+        self._by_name: Dict[Name, DomainSpec] = {}
+        tld_labels = [tld.label for tld in self.params.tlds]
+        tld_weights = [tld.weight for tld in self.params.tlds]
+        signed_tlds = {tld.label for tld in self.params.tlds if tld.signed}
+        seen = set()
+        rank = 0
+        while len(self.domains) < count:
+            label = self._names.label()
+            tld = self._rng.choices(tld_labels, weights=tld_weights, k=1)[0]
+            name = Name([label, tld])
+            if name in seen:
+                continue
+            seen.add(name)
+            rank += 1
+            spec = self._make_spec(name, rank, tld in signed_tlds)
+            self.domains.append(spec)
+            self._by_name[name] = spec
+
+    def _make_spec(self, name: Name, rank: int, tld_signed: bool) -> DomainSpec:
+        p = self.params
+        signed = self._rng.random() < p.signed_fraction
+        # A DS can only live in a parent that is itself signed; SLDs
+        # under unsigned TLDs are islands of security at best.  (The
+        # roll is drawn whenever the zone is signed so seeded sequences
+        # stay stable across this constraint.)
+        ds_roll = signed and self._rng.random() < p.ds_given_signed
+        ds_in_parent = ds_roll and tld_signed
+        if signed and not ds_in_parent:
+            dlv = self._rng.random() < p.dlv_given_island
+        elif signed:
+            dlv = self._rng.random() < p.dlv_given_secured
+        else:
+            dlv = False
+        return DomainSpec(
+            name=name,
+            rank=rank,
+            signed=signed,
+            ds_in_parent=ds_in_parent,
+            dlv_deposited=dlv,
+            out_of_bailiwick_ns=self._rng.random() < p.out_of_bailiwick_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __iter__(self):
+        return iter(self.domains)
+
+    def top(self, count: int) -> List[DomainSpec]:
+        return self.domains[:count]
+
+    def names(self, count: Optional[int] = None) -> List[Name]:
+        pool = self.domains if count is None else self.domains[:count]
+        return [spec.name for spec in pool]
+
+    def get(self, name: Name) -> Optional[DomainSpec]:
+        return self._by_name.get(name)
+
+    def shuffled_names(self, count: int, trial_seed: int) -> List[Name]:
+        """A shuffled copy of the top-*count* names — the Section 5.1
+        "Order Matters" experiment."""
+        names = self.names(count)
+        random.Random(trial_seed).shuffle(names)
+        return names
+
+    def registry_filler(
+        self,
+        count: int,
+        tld_weights: Optional[Dict[str, float]] = None,
+    ) -> List[Name]:
+        """Background registry deposits: domains registered in the DLV
+        zone that the experiment never queries.  Labels are uniform (the
+        registry population does not track query-name clustering); the
+        TLD mix defaults to the workload's own mix tilted toward the
+        DNSSEC-friendly TLDs, mirroring the real registry."""
+        if tld_weights is None:
+            tld_weights = self.calibrated_filler_weights()
+        filler_tlds = list(tld_weights)
+        filler_weights = [tld_weights[label] for label in filler_tlds]
+        # Independent RNG: the filler population must not depend on how
+        # many workload domains were generated before it.
+        rng = random.Random(self.params.seed ^ 0xF111E4)
+        generator = NameGenerator(rng, self.params)
+        names: List[Name] = []
+        seen = set(self._by_name)
+        while len(names) < count:
+            name = Name(
+                [
+                    generator.uniform_label(),
+                    rng.choices(filler_tlds, weights=filler_weights, k=1)[0],
+                ]
+            )
+            if name in seen:
+                continue
+            seen.add(name)
+            names.append(name)
+        return names
+
+    def calibrated_filler_weights(self) -> Dict[str, float]:
+        """The registry-population TLD mix that reproduces the paper's
+        leakage curve (Figs. 8/9): deposits concentrated in the
+        DNSSEC-friendly TLDs, none at all in the long tail (those tail
+        TLDs collapse into a handful of wide NSEC ranges, which is what
+        caps leakage at ~84 % even for the top-100 workload)."""
+        weights = {t.label: t.weight for t in self.params.tlds}
+        for boosted in ("com", "net", "org", "edu", "info"):
+            if boosted in weights:
+                weights[boosted] *= 1.5
+        for uncovered in ("ru", "cn", "io", "xyz", "uk"):
+            weights.pop(uncovered, None)
+        return weights

@@ -1,0 +1,80 @@
+"""The "Huque-45" DNSSEC-secured domain set (paper Section 4.2, 5.2).
+
+The paper uses a list of 45 DNSSEC-secured domains from Huque's DNSstat
+to test whether secured domains are leaked to the DLV registry.  In
+their measurement, 5 of the 45 could not be validated on-path because
+their parents carried no DS — islands of security — and exactly those 5
+were sent to the DLV server under a *correct* configuration, while all
+45 leaked when the trust anchor was missing.
+
+The original list is gone, so we synthesise a set with the same
+composition: 45 signed domains, 5 of them islands.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dnscore import Name
+from .alexa import DomainSpec
+
+SECURED_DOMAIN_COUNT = 45
+ISLAND_COUNT = 5
+
+_SECURED_BASE_LABELS = [
+    "ietf", "isoc", "iana", "ripe", "nlnetlabs", "sidn", "afnic", "nic-cz",
+    "switch", "nominet", "verisign", "icann", "dnssec-tools", "opendnssec",
+    "powerdns", "knot-dns", "unbound-net", "bind-users", "root-canary",
+    "dnsviz", "zonemaster", "caida", "isi-edu", "columbia-cs", "upenn-net",
+    "berkeley-ops", "lbl-gov", "ornl-net", "desy-de", "cern-ops",
+    "surfnet", "funet", "uninett", "rediris", "garr-net", "dfn-verein",
+    "renater", "belnet", "heanet", "arnes-si",
+]
+
+_ISLAND_LABELS = [
+    "island-alpha", "island-bravo", "island-charlie", "island-delta",
+    "island-echo",
+]
+
+_SECURED_TLDS = ["org", "net", "com", "edu", "de"]
+
+
+def secured_domains(dlv_deposited_islands: bool = True) -> List[DomainSpec]:
+    """The 45-domain secured set: 40 with DS in the parent, 5 islands.
+
+    ``dlv_deposited_islands`` controls whether the islands registered in
+    the DLV registry (the paper's Section 5.2 setting, where the five
+    island domains are the ones legitimately served by DLV).
+    """
+    specs: List[DomainSpec] = []
+    for index, label in enumerate(_SECURED_BASE_LABELS):
+        tld = _SECURED_TLDS[index % len(_SECURED_TLDS)]
+        specs.append(
+            DomainSpec(
+                name=Name([label, tld]),
+                rank=index + 1,
+                signed=True,
+                ds_in_parent=True,
+                dlv_deposited=False,
+                out_of_bailiwick_ns=False,
+            )
+        )
+    for index, label in enumerate(_ISLAND_LABELS):
+        tld = _SECURED_TLDS[index % len(_SECURED_TLDS)]
+        specs.append(
+            DomainSpec(
+                name=Name([label, tld]),
+                rank=len(_SECURED_BASE_LABELS) + index + 1,
+                signed=True,
+                ds_in_parent=False,
+                dlv_deposited=dlv_deposited_islands,
+                out_of_bailiwick_ns=False,
+            )
+        )
+    assert len(specs) == SECURED_DOMAIN_COUNT
+    return specs
+
+
+def island_names() -> List[Name]:
+    """The five island-of-security names in the secured set."""
+    return [spec.name for spec in secured_domains() if spec.is_island_of_security()]

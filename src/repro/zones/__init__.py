@@ -1,0 +1,43 @@
+"""Zone model: authoritative data, lookup semantics, DNSSEC signing."""
+
+from .builder import ZoneBuilder, build_leaf_zone, make_soa, standard_ns_hosts
+from .textio import (
+    MasterFileError,
+    rdata_from_text,
+    rdata_to_text,
+    zone_from_text,
+    zone_to_text,
+)
+from .zone import (
+    DEFAULT_TTL,
+    LookupOutcome,
+    LookupResult,
+    RRSIG_EXPIRATION,
+    RRSIG_INCEPTION,
+    Zone,
+    ZoneError,
+    sign_rrset,
+    verify_rrset_signature,
+)
+
+__all__ = [
+    "DEFAULT_TTL",
+    "LookupOutcome",
+    "LookupResult",
+    "MasterFileError",
+    "rdata_from_text",
+    "rdata_to_text",
+    "zone_from_text",
+    "zone_to_text",
+    "RRSIG_EXPIRATION",
+    "RRSIG_INCEPTION",
+    "Zone",
+    "ZoneBuilder",
+    "ZoneError",
+    "build_leaf_zone",
+    "make_soa",
+    "sign_rrset",
+    "standard_ns_hosts",
+    "verify_rrset_signature",
+    "make_soa",
+]

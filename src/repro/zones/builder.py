@@ -1,0 +1,102 @@
+"""Convenience builders for assembling zones and delegation chains."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..crypto import make_ds
+from ..crypto.keys import KeyPool, ZoneKeySet
+from ..dnscore import A, AAAA, DS, Name, NS, RRType, SOA
+from .zone import DEFAULT_TTL, Zone
+
+
+def make_soa(origin: Name, serial: int = 1) -> SOA:
+    """A plausible SOA for a simulated zone."""
+    return SOA(
+        mname=origin.prepend("ns1") if not origin.is_root() else Name(["a", "root-servers", "net"]),
+        rname=Name(["hostmaster"] + list(origin.labels)) if not origin.is_root() else Name(["nstld", "verisign-grs", "com"]),
+        serial=serial,
+    )
+
+
+class ZoneBuilder:
+    """Fluent construction of one zone."""
+
+    def __init__(self, origin: Name, default_ttl: int = DEFAULT_TTL):
+        self.zone = Zone(origin, default_ttl=default_ttl)
+        self.zone.set_soa(make_soa(origin))
+
+    def with_ns(self, hosts_and_addresses: Sequence[Tuple[Name, str]], ttl: Optional[int] = None) -> "ZoneBuilder":
+        """Apex NS records plus in-zone A glue."""
+        origin = self.zone.origin
+        self.zone.add(origin, RRType.NS, [NS(host) for host, _ in hosts_and_addresses], ttl)
+        for host, address in hosts_and_addresses:
+            if host.is_subdomain_of(origin):
+                self.zone.add(host, RRType.A, [A(address)], ttl)
+        return self
+
+    def with_address(self, name: Name, ipv4: Optional[str] = None, ipv6: Optional[str] = None, ttl: Optional[int] = None) -> "ZoneBuilder":
+        if ipv4 is not None:
+            self.zone.add(name, RRType.A, [A(ipv4)], ttl)
+        if ipv6 is not None:
+            self.zone.add(name, RRType.AAAA, [AAAA(ipv6)], ttl)
+        return self
+
+    def with_rrset(self, name: Name, rtype: RRType, rdatas: Iterable, ttl: Optional[int] = None) -> "ZoneBuilder":
+        self.zone.add(name, rtype, rdatas, ttl)
+        return self
+
+    def delegate(
+        self,
+        child: Name,
+        ns_hosts_and_addresses: Sequence[Tuple[Name, str]],
+        child_keyset: Optional[ZoneKeySet] = None,
+        ttl: Optional[int] = None,
+    ) -> "ZoneBuilder":
+        """Add a delegation; a *child_keyset* publishes the child's DS."""
+        self.zone.add(child, RRType.NS, [NS(host) for host, _ in ns_hosts_and_addresses], ttl)
+        for host, address in ns_hosts_and_addresses:
+            needs_glue = (
+                host.is_subdomain_of(self.zone.origin)
+                and self.zone.get(host, RRType.A) is None
+            )
+            if needs_glue:
+                self.zone.add(host, RRType.A, [A(address)], ttl)
+        if child_keyset is not None:
+            self.zone.add(child, RRType.DS, [make_ds(child, child_keyset.ksk.dnskey)], ttl)
+        return self
+
+    def signed(self, keyset: ZoneKeySet) -> Zone:
+        self.zone.sign(keyset)
+        return self.zone
+
+    def build(self) -> Zone:
+        return self.zone
+
+
+def standard_ns_hosts(origin: Name, addresses: Sequence[str]) -> List[Tuple[Name, str]]:
+    """ns1.<origin>, ns2.<origin>, ... bound to the given addresses."""
+    return [
+        (origin.prepend(f"ns{index + 1}"), address)
+        for index, address in enumerate(addresses)
+    ]
+
+
+def build_leaf_zone(
+    origin: Name,
+    ns_addresses: Sequence[str],
+    a_address: str,
+    keyset: Optional[ZoneKeySet] = None,
+    aaaa_address: Optional[str] = None,
+) -> Zone:
+    """A typical SLD zone: apex A (+AAAA), in-bailiwick NS with glue."""
+    builder = ZoneBuilder(origin)
+    hosts = standard_ns_hosts(origin, ns_addresses)
+    builder.with_ns(hosts)
+    builder.with_address(origin, ipv4=a_address, ipv6=aaaa_address)
+    for host, _ in hosts:
+        if aaaa_address is not None:
+            builder.zone.add(host, RRType.AAAA, [AAAA(aaaa_address)])
+    if keyset is not None:
+        return builder.signed(keyset)
+    return builder.build()

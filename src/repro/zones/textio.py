@@ -1,0 +1,229 @@
+"""Master-file style text serialisation for zones (RFC 1035 section 5).
+
+Lets users inspect simulated zones, keep fixtures under version
+control, and load hand-written zones into the simulator:
+
+* :func:`zone_to_text` renders a zone as ``$ORIGIN``/``$TTL`` plus one
+  record per line;
+* :func:`zone_from_text` parses the same dialect back into an
+  (unsigned) :class:`~repro.zones.Zone`; callers re-sign as needed.
+
+RRSIGs are intentionally not serialised: the simulator generates them
+lazily at serve time, so a round-tripped zone re-signs with its keys.
+NSEC records are emitted (they are ordinary zone data once signed) but
+skipped on parse for the same reason.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import List, Optional
+
+from ..dnscore import (
+    A,
+    AAAA,
+    Algorithm,
+    CNAME,
+    DigestType,
+    DLV,
+    DNSKEY,
+    DS,
+    MX,
+    Name,
+    NS,
+    NSEC,
+    PTR,
+    Rdata,
+    RRType,
+    RRset,
+    SOA,
+    TXT,
+)
+from .zone import Zone
+
+
+class MasterFileError(ValueError):
+    """Raised for unparseable master-file text."""
+
+
+# ----------------------------------------------------------------------
+# Rdata <-> text
+# ----------------------------------------------------------------------
+
+
+def rdata_to_text(rdata: Rdata) -> str:
+    """Present one rdata in master-file form."""
+    if isinstance(rdata, (A, AAAA)):
+        return rdata.address
+    if isinstance(rdata, (NS, CNAME, PTR)):
+        return rdata.target.to_text()
+    if isinstance(rdata, MX):
+        return f"{rdata.preference} {rdata.exchange.to_text()}"
+    if isinstance(rdata, SOA):
+        return (
+            f"{rdata.mname.to_text()} {rdata.rname.to_text()} "
+            f"{rdata.serial} {rdata.refresh} {rdata.retry} "
+            f"{rdata.expire} {rdata.minimum}"
+        )
+    if isinstance(rdata, TXT):
+        return " ".join(f'"{string}"' for string in rdata.strings)
+    if isinstance(rdata, (DLV, DS)):
+        return (
+            f"{rdata.key_tag} {int(rdata.algorithm)} "
+            f"{int(rdata.digest_type)} {rdata.digest.hex()}"
+        )
+    if isinstance(rdata, DNSKEY):
+        key = base64.b64encode(rdata.public_key).decode("ascii")
+        return f"{rdata.flags} {rdata.protocol} {int(rdata.algorithm)} {key}"
+    if isinstance(rdata, NSEC):
+        types = " ".join(
+            rrtype.name for rrtype in sorted(rdata.types, key=int)
+        )
+        return f"{rdata.next_name.to_text()} {types}"
+    raise MasterFileError(f"no text form for {type(rdata).__name__}")
+
+
+def rdata_from_text(rtype: RRType, text: str) -> Rdata:
+    """Parse one rdata from master-file form."""
+    fields = text.split()
+    try:
+        if rtype is RRType.A:
+            return A(fields[0])
+        if rtype is RRType.AAAA:
+            return AAAA(fields[0])
+        if rtype is RRType.NS:
+            return NS(Name.from_text(fields[0]))
+        if rtype is RRType.CNAME:
+            return CNAME(Name.from_text(fields[0]))
+        if rtype is RRType.PTR:
+            return PTR(Name.from_text(fields[0]))
+        if rtype is RRType.MX:
+            return MX(int(fields[0]), Name.from_text(fields[1]))
+        if rtype is RRType.SOA:
+            return SOA(
+                Name.from_text(fields[0]),
+                Name.from_text(fields[1]),
+                int(fields[2]),
+                int(fields[3]),
+                int(fields[4]),
+                int(fields[5]),
+                int(fields[6]),
+            )
+        if rtype is RRType.TXT:
+            strings = _parse_quoted_strings(text)
+            return TXT(tuple(strings))
+        if rtype in (RRType.DS, RRType.DLV):
+            cls = DLV if rtype is RRType.DLV else DS
+            return cls(
+                int(fields[0]),
+                Algorithm(int(fields[1])),
+                DigestType(int(fields[2])),
+                bytes.fromhex(fields[3]),
+            )
+        if rtype is RRType.DNSKEY:
+            return DNSKEY(
+                int(fields[0]),
+                int(fields[1]),
+                Algorithm(int(fields[2])),
+                base64.b64decode(fields[3]),
+            )
+    except MasterFileError:
+        raise
+    except (IndexError, ValueError, binascii.Error) as exc:
+        raise MasterFileError(f"bad {rtype.name} rdata {text!r}: {exc}") from exc
+    raise MasterFileError(f"unsupported record type {rtype.name}")
+
+
+def _parse_quoted_strings(text: str) -> List[str]:
+    strings: List[str] = []
+    remainder = text.strip()
+    while remainder:
+        if not remainder.startswith('"'):
+            raise MasterFileError(f"TXT strings must be quoted: {text!r}")
+        end = remainder.find('"', 1)
+        if end < 0:
+            raise MasterFileError(f"unterminated TXT string: {text!r}")
+        strings.append(remainder[1:end])
+        remainder = remainder[end + 1 :].lstrip()
+    return strings
+
+
+# ----------------------------------------------------------------------
+# Zone <-> text
+# ----------------------------------------------------------------------
+
+_SKIP_ON_PARSE = {RRType.RRSIG, RRType.NSEC, RRType.NSEC3, RRType.NSEC3PARAM}
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Render a zone as a master file."""
+    lines = [
+        f"$ORIGIN {zone.origin.to_text()}",
+        f"$TTL {zone.default_ttl}",
+    ]
+    rrsets = sorted(
+        zone.rrsets(), key=lambda r: (r.name.canonical_key(), int(r.rtype))
+    )
+    for rrset in rrsets:
+        for rdata in rrset.rdatas:
+            lines.append(
+                f"{rrset.name.to_text()} {rrset.ttl} IN {rrset.rtype.name} "
+                f"{rdata_to_text(rdata)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def zone_from_text(text: str) -> Zone:
+    """Parse a master file into an unsigned Zone.
+
+    Supports the dialect :func:`zone_to_text` emits: ``$ORIGIN`` /
+    ``$TTL`` directives, absolute or origin-relative owner names,
+    ``;`` comments, and blank lines.  DNSSEC denial/signature records
+    are skipped (regenerated by signing).
+    """
+    origin: Optional[Name] = None
+    default_ttl = 3600
+    pending: dict = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("$ORIGIN"):
+            origin = Name.from_text(line.split()[1])
+            continue
+        if line.startswith("$TTL"):
+            default_ttl = int(line.split()[1])
+            continue
+        if origin is None:
+            raise MasterFileError(f"line {line_number}: record before $ORIGIN")
+        fields = line.split(None, 4)
+        if len(fields) < 4:
+            raise MasterFileError(f"line {line_number}: too few fields: {line!r}")
+        owner_text, ttl_text, rclass_text = fields[0], fields[1], fields[2]
+        if rclass_text.upper() != "IN":
+            raise MasterFileError(f"line {line_number}: only class IN supported")
+        rtype_text = fields[3]
+        rdata_text = fields[4] if len(fields) > 4 else ""
+        try:
+            rtype = RRType[rtype_text.upper()]
+        except KeyError as exc:
+            raise MasterFileError(
+                f"line {line_number}: unknown type {rtype_text!r}"
+            ) from exc
+        if rtype in _SKIP_ON_PARSE:
+            continue
+        owner = (
+            Name.from_text(owner_text)
+            if owner_text.endswith(".")
+            else Name.from_text(owner_text).concatenate(origin)
+        )
+        ttl = int(ttl_text)
+        rdata = rdata_from_text(rtype, rdata_text)
+        pending.setdefault((owner, rtype, ttl), []).append(rdata)
+    if origin is None:
+        raise MasterFileError("missing $ORIGIN directive")
+    zone = Zone(origin, default_ttl=default_ttl)
+    for (owner, rtype, ttl), rdatas in pending.items():
+        zone.add_rrset(RRset(owner, rtype, ttl, tuple(rdatas)))
+    return zone

@@ -1,0 +1,368 @@
+"""Authoritative zone model with RFC-faithful lookup semantics.
+
+A :class:`Zone` stores RRsets, knows its delegation cut points, and can
+be DNSSEC-signed.  :meth:`Zone.lookup` classifies a query the way an
+authoritative server must: answer, referral, CNAME, NODATA, or NXDOMAIN,
+with the DNSSEC proof material (DS / NSEC / RRSIG) each case requires.
+
+Signing is *lazy*: :meth:`Zone.sign` installs keys, the DNSKEY RRset,
+and the NSEC chain, but individual RRSIGs are computed on first use and
+cached — large simulated zones only ever pay for the records they serve.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple  # noqa: F401
+
+from ..crypto.keys import ZoneKey, ZoneKeySet
+from ..dnscore import (
+    Algorithm,
+    DNSKEY,
+    DS,
+    NSEC,
+    Name,
+    RRSIG,
+    RRType,
+    RRset,
+    SOA,
+)
+
+#: Signature validity bounds: the whole simulation lives inside them.
+RRSIG_INCEPTION = 0
+RRSIG_EXPIRATION = 2**31 - 1
+
+DEFAULT_TTL = 3600
+
+
+class ZoneError(ValueError):
+    """Raised for inconsistent zone contents or out-of-zone lookups."""
+
+
+class LookupOutcome(enum.Enum):
+    """How an authoritative server classifies a query against a zone."""
+
+    ANSWER = "answer"
+    DELEGATION = "delegation"
+    CNAME = "cname"
+    NODATA = "nodata"
+    NXDOMAIN = "nxdomain"
+
+
+class LookupResult:
+    """The sections an authoritative response should carry."""
+
+    __slots__ = ("outcome", "answer", "authority", "additional")
+
+    def __init__(
+        self,
+        outcome: LookupOutcome,
+        answer: Tuple[RRset, ...] = (),
+        authority: Tuple[RRset, ...] = (),
+        additional: Tuple[RRset, ...] = (),
+    ):
+        self.outcome = outcome
+        self.answer = answer
+        self.authority = authority
+        self.additional = additional
+
+    def __repr__(self) -> str:
+        return (
+            f"LookupResult({self.outcome.value}, an={len(self.answer)}, "
+            f"au={len(self.authority)}, ad={len(self.additional)})"
+        )
+
+
+class Zone:
+    """A mutable authoritative zone; freeze by signing (or not) and serve."""
+
+    def __init__(self, origin: Name, default_ttl: int = DEFAULT_TTL):
+        self.origin = origin
+        self.default_ttl = default_ttl
+        self._records: Dict[Tuple[Name, RRType], RRset] = {}
+        self._names: Set[Name] = {origin}
+        self._delegations: Set[Name] = set()
+        self.keyset: Optional[ZoneKeySet] = None
+        self._nsec_owners: List[Name] = []
+        self._nsec_keys: List[Tuple[bytes, ...]] = []
+        self._rrsig_cache: Dict[Tuple[Name, RRType], RRset] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @property
+    def signed(self) -> bool:
+        return self.keyset is not None
+
+    def add_rrset(self, rrset: RRset) -> None:
+        if self.signed:
+            raise ZoneError("cannot modify a signed zone")
+        if not rrset.name.is_subdomain_of(self.origin):
+            raise ZoneError(
+                f"{rrset.name.to_text()} is outside zone {self.origin.to_text()}"
+            )
+        key = (rrset.name, rrset.rtype)
+        if key in self._records:
+            raise ZoneError(f"duplicate RRset {key}")
+        self._records[key] = rrset
+        self._add_name_and_ancestors(rrset.name)
+        if rrset.rtype is RRType.NS and rrset.name != self.origin:
+            self._delegations.add(rrset.name)
+        self._invalidate_nsec()
+
+    def add(self, name: Name, rtype: RRType, rdatas: Iterable, ttl: Optional[int] = None) -> None:
+        """Convenience: build and add an RRset."""
+        self.add_rrset(RRset(name, rtype, ttl or self.default_ttl, tuple(rdatas)))
+
+    def set_soa(self, soa: SOA, ttl: Optional[int] = None) -> None:
+        self.add(self.origin, RRType.SOA, [soa], ttl)
+
+    def _add_name_and_ancestors(self, name: Name) -> None:
+        """Track the name plus empty non-terminals up to the origin."""
+        current = name
+        while current != self.origin:
+            if current in self._names:
+                break
+            self._names.add(current)
+            current = current.parent()
+
+    def _invalidate_nsec(self) -> None:
+        self._nsec_owners = []
+        self._nsec_keys = []
+        self._rrsig_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def get(self, name: Name, rtype: RRType) -> Optional[RRset]:
+        return self._records.get((name, rtype))
+
+    def has_name(self, name: Name) -> bool:
+        return name in self._names
+
+    def soa(self) -> RRset:
+        rrset = self.get(self.origin, RRType.SOA)
+        if rrset is None:
+            raise ZoneError(f"zone {self.origin.to_text()} has no SOA")
+        return rrset
+
+    def delegations(self) -> Set[Name]:
+        return set(self._delegations)
+
+    def rrsets(self) -> List[RRset]:
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+
+    def sign(self, keyset: ZoneKeySet) -> None:
+        """Install keys, publish the DNSKEY RRset, build the NSEC chain.
+
+        Individual RRSIGs are generated lazily by :meth:`rrsig_for`.
+        """
+        if self.signed:
+            raise ZoneError("zone is already signed")
+        self.add(self.origin, RRType.DNSKEY, keyset.dnskeys())
+        self.keyset = keyset
+        self._build_nsec_chain()
+
+    def _build_nsec_chain(self) -> None:
+        """Add an NSEC record at every authoritative owner name."""
+        owners = sorted(self._names, key=Name.canonical_key)
+        types_by_owner: Dict[Name, Set[RRType]] = {}
+        for (name, rtype) in self._records:
+            if rtype is not RRType.NSEC:
+                types_by_owner.setdefault(name, set()).add(rtype)
+        for index, owner in enumerate(owners):
+            next_owner = owners[(index + 1) % len(owners)]
+            types = types_by_owner.get(owner, set())
+            types.add(RRType.RRSIG)
+            types.add(RRType.NSEC)
+            self._records[(owner, RRType.NSEC)] = RRset(
+                owner,
+                RRType.NSEC,
+                self.default_ttl,
+                (NSEC(next_name=next_owner, types=frozenset(types)),),
+            )
+        self._nsec_owners = owners
+        self._nsec_keys = [owner.canonical_key() for owner in owners]
+
+    def _signing_key_for(self, rtype: RRType) -> ZoneKey:
+        assert self.keyset is not None
+        return self.keyset.ksk if rtype is RRType.DNSKEY else self.keyset.zsk
+
+    def rrsig_for(self, name: Name, rtype: RRType) -> RRset:
+        """The RRSIG RRset covering (name, rtype), computed on demand."""
+        if not self.signed:
+            raise ZoneError("cannot produce RRSIGs for an unsigned zone")
+        cache_key = (name, rtype)
+        if cache_key in self._rrsig_cache:
+            return self._rrsig_cache[cache_key]
+        rrset = self.get(name, rtype)
+        if rrset is None:
+            raise ZoneError(f"no RRset at ({name.to_text()}, {rtype.name})")
+        rrsig = sign_rrset(rrset, self.origin, self._signing_key_for(rtype))
+        rrsig_set = RRset(name, RRType.RRSIG, rrset.ttl, (rrsig,))
+        self._rrsig_cache[cache_key] = rrsig_set
+        return rrsig_set
+
+    def covering_nsec(self, name: Name) -> RRset:
+        """The NSEC record proving the non-existence of *name*."""
+        if not self._nsec_owners:
+            raise ZoneError("zone has no NSEC chain")
+        if name in self._names:
+            raise ZoneError(f"{name.to_text()} exists; nothing to cover")
+        index = bisect.bisect_right(self._nsec_keys, name.canonical_key()) - 1
+        if index < 0:
+            # Canonically before the apex only happens for out-of-zone
+            # names, which lookup() rejects earlier.
+            index = len(self._nsec_owners) - 1
+        owner = self._nsec_owners[index]
+        nsec = self._records[(owner, RRType.NSEC)]
+        return nsec
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, qname: Name, qtype: RRType, dnssec_ok: bool = False) -> LookupResult:
+        """Answer a query against this zone's data."""
+        if not qname.is_subdomain_of(self.origin):
+            raise ZoneError(
+                f"{qname.to_text()} is not in zone {self.origin.to_text()}"
+            )
+        cut = self._find_delegation_cut(qname)
+        if cut is not None and not (cut == qname and qtype is RRType.DS):
+            return self._referral(cut, dnssec_ok)
+        cname = self._records.get((qname, RRType.CNAME))
+        if cname is not None and qtype not in (RRType.CNAME, RRType.NSEC):
+            answer = [cname]
+            if dnssec_ok and self.signed:
+                answer.append(self.rrsig_for(qname, RRType.CNAME))
+            return LookupResult(LookupOutcome.CNAME, answer=tuple(answer))
+        rrset = self._records.get((qname, qtype))
+        if rrset is not None:
+            answer = [rrset]
+            if dnssec_ok and self.signed:
+                answer.append(self.rrsig_for(qname, qtype))
+            return LookupResult(LookupOutcome.ANSWER, answer=tuple(answer))
+        if qname in self._names:
+            return self._negative(qname, LookupOutcome.NODATA, dnssec_ok)
+        return self._negative(qname, LookupOutcome.NXDOMAIN, dnssec_ok)
+
+    def _find_delegation_cut(self, qname: Name) -> Optional[Name]:
+        """Deepest delegation point at-or-above qname, if any."""
+        for ancestor in qname.ancestors():
+            if ancestor == self.origin:
+                return None
+            if ancestor in self._delegations:
+                # Prefer the *highest* cut: keep walking up and remember.
+                cut = ancestor
+                above = ancestor.parent()
+                while above != self.origin:
+                    if above in self._delegations:
+                        cut = above
+                    above = above.parent()
+                return cut
+        return None
+
+    def _referral(self, cut: Name, dnssec_ok: bool) -> LookupResult:
+        ns = self._records[(cut, RRType.NS)]
+        authority: List[RRset] = [ns]
+        if dnssec_ok and self.signed:
+            ds = self._records.get((cut, RRType.DS))
+            if ds is not None:
+                authority.append(ds)
+                authority.append(self.rrsig_for(cut, RRType.DS))
+            else:
+                # Prove the delegation is insecure: NSEC at the cut with
+                # no DS bit (RFC 4035 section 3.1.4.1).
+                nsec = self._records.get((cut, RRType.NSEC))
+                if nsec is not None:
+                    authority.append(nsec)
+                    authority.append(self.rrsig_for(cut, RRType.NSEC))
+        additional: List[RRset] = []
+        for rdata in ns.rdatas:
+            target = rdata.target  # type: ignore[attr-defined]
+            if target.is_subdomain_of(self.origin):
+                for glue_type in (RRType.A, RRType.AAAA):
+                    glue = self._records.get((target, glue_type))
+                    if glue is not None:
+                        additional.append(glue)
+        return LookupResult(
+            LookupOutcome.DELEGATION,
+            authority=tuple(authority),
+            additional=tuple(additional),
+        )
+
+    def _negative(
+        self, qname: Name, outcome: LookupOutcome, dnssec_ok: bool
+    ) -> LookupResult:
+        authority: List[RRset] = [self.soa()]
+        if dnssec_ok and self.signed:
+            authority.append(self.rrsig_for(self.origin, RRType.SOA))
+            if outcome is LookupOutcome.NXDOMAIN:
+                nsec = self.covering_nsec(qname)
+                authority.append(nsec)
+                authority.append(self.rrsig_for(nsec.name, RRType.NSEC))
+            else:
+                nsec = self._records.get((qname, RRType.NSEC))
+                if nsec is not None:
+                    authority.append(nsec)
+                    authority.append(self.rrsig_for(qname, RRType.NSEC))
+        return LookupResult(outcome, authority=tuple(authority))
+
+
+def sign_rrset(rrset: RRset, signer_origin: Name, key: ZoneKey) -> RRSIG:
+    """Produce the RRSIG for *rrset* per RFC 4034 section 3.1.8.1."""
+    unsigned = RRSIG(
+        type_covered=rrset.rtype,
+        algorithm=Algorithm.RSASHA256,
+        labels=rrset.name.label_count,
+        original_ttl=rrset.ttl,
+        expiration=RRSIG_EXPIRATION,
+        inception=RRSIG_INCEPTION,
+        key_tag=key.key_tag,
+        signer=signer_origin,
+        signature=b"",
+    )
+    signing_input = unsigned.signed_fields_wire() + rrset.canonical_signing_input(
+        rrset.ttl
+    )
+    signature = key.private.sign(signing_input)
+    return RRSIG(
+        type_covered=unsigned.type_covered,
+        algorithm=unsigned.algorithm,
+        labels=unsigned.labels,
+        original_ttl=unsigned.original_ttl,
+        expiration=unsigned.expiration,
+        inception=unsigned.inception,
+        key_tag=unsigned.key_tag,
+        signer=unsigned.signer,
+        signature=signature,
+    )
+
+
+def verify_rrset_signature(rrset: RRset, rrsig: RRSIG, dnskey: DNSKEY) -> bool:
+    """Verify *rrsig* over *rrset* with *dnskey* (the validator's half)."""
+    if rrsig.key_tag != dnskey.key_tag():
+        return False
+    if rrsig.type_covered is not rrset.rtype:
+        return False
+    signing_input = rrsig.signed_fields_wire() + rrset.canonical_signing_input(
+        rrsig.original_ttl
+    )
+    from ..crypto.rsa import RSAPublicKey
+
+    try:
+        public_key = RSAPublicKey.from_bytes(dnskey.public_key)
+    except ValueError:
+        return False
+    return public_key.verify(signing_input, rrsig.signature)

@@ -1,0 +1,112 @@
+"""Tests for the per-TLD breakdown and the NSEC5 denial mode."""
+
+import pytest
+
+from repro.analysis import per_tld_leakage, render_per_tld
+from repro.core import LeakageExperiment, NsecZoneWalker
+from repro.crypto import KeyPool
+from repro.dnscore import Name, RRType
+from repro.netsim import Network, ZeroLatency
+from repro.resolver import correct_bind_config
+from repro.servers import DenialMode, DLVRegistryServer
+from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+class TestPerTldBreakdown:
+    @pytest.fixture(scope="class")
+    def run(self):
+        workload = AlexaWorkload(120, WorkloadParams(seed=131))
+        universe = Universe(
+            workload.domains,
+            UniverseParams(
+                modulus_bits=256,
+                registry_filler=tuple(workload.registry_filler(3000)),
+            ),
+        )
+        experiment = LeakageExperiment(
+            universe, correct_bind_config(), ptr_fraction=0.0
+        )
+        result = experiment.run(workload.names(120))
+        return workload, result
+
+    def test_rows_cover_all_queried_tlds(self, run):
+        workload, result = run
+        rows = per_tld_leakage(result, workload.names(120))
+        queried_tlds = {name.labels[-1] for name in workload.names(120)}
+        assert {row["tld"] for row in rows} == queried_tlds
+
+    def test_totals_consistent(self, run):
+        workload, result = run
+        rows = per_tld_leakage(result, workload.names(120))
+        assert sum(r["queried"] for r in rows) == 120
+        assert sum(r["leaked"] for r in rows) == result.leakage.leaked_count
+
+    def test_deposit_free_tlds_suppressed_harder(self, run):
+        """The calibrated registry has no entries in ru/cn/io/xyz/uk:
+        their leak proportion must be below the covered TLDs'."""
+        workload, result = run
+        rows = {r["tld"]: r for r in per_tld_leakage(result, workload.names(120))}
+        uncovered = [
+            rows[tld]
+            for tld in ("ru", "cn", "uk")
+            if tld in rows and rows[tld]["queried"] >= 3
+        ]
+        covered = [rows[tld] for tld in ("com",) if tld in rows]
+        if not uncovered or not covered:
+            pytest.skip("workload sample too small for this comparison")
+        avg_uncovered = sum(r["proportion"] for r in uncovered) / len(uncovered)
+        avg_covered = sum(r["proportion"] for r in covered) / len(covered)
+        assert avg_uncovered < avg_covered
+
+    def test_render(self, run):
+        workload, result = run
+        text = render_per_tld(per_tld_leakage(result, workload.names(120)))
+        assert "TLD" in text and "com" in text
+
+
+POOL = KeyPool(seed=141, pool_size=8, modulus_bits=256)
+
+
+class TestNsec5Mode:
+    def build(self, denial):
+        network = Network(latency=ZeroLatency())
+        server = DLVRegistryServer.build(
+            origin=n("dlv.isc.org"),
+            keyset=POOL.keys_for_zone(n("dlv.isc.org")),
+            deposits={n("alpha.com"): POOL.keys_for_zone(n("alpha.com"))},
+            denial=denial,
+        )
+        network.register("registry", server)
+        return network, server
+
+    def test_mode_properties(self):
+        assert DenialMode.NSEC.allows_aggressive_caching
+        assert DenialMode.NSEC.allows_enumeration
+        for mode in (DenialMode.NSEC3, DenialMode.NSEC5):
+            assert not mode.allows_aggressive_caching
+            assert not mode.allows_enumeration
+
+    def test_nsec5_denial_is_hashed(self):
+        network, server = self.build(DenialMode.NSEC5)
+        result = server.registry.lookup(
+            n("missing.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True
+        )
+        types = [r.rtype for r in result.authority]
+        assert RRType.NSEC not in types
+        assert RRType.NSEC3 in types  # hashed-denial wire form
+
+    def test_nsec5_resists_enumeration(self):
+        network, server = self.build(DenialMode.NSEC5)
+        walker = NsecZoneWalker(network, "registry", n("dlv.isc.org"))
+        result = walker.walk(max_queries=20)
+        assert not result.complete
+        assert result.enumerated_domains(n("dlv.isc.org")) == []
+
+    def test_nsec5_positive_answers_intact(self):
+        network, server = self.build(DenialMode.NSEC5)
+        result = server.registry.lookup(n("alpha.com.dlv.isc.org"), RRType.DLV)
+        assert result.answer

@@ -1,0 +1,78 @@
+"""Tests for the sweep/figures plumbing and the standard setup helpers."""
+
+import pytest
+
+from repro.analysis import leakage_sweep
+from repro.analysis.render import format_series
+from repro.core import (
+    DEFAULT_REGISTRY_FILLER_COUNT,
+    EXPERIMENT_MODULUS_BITS,
+    standard_experiment,
+    standard_universe,
+    standard_workload,
+)
+from repro.resolver import broken_anchor_bind_config
+from repro.servers import DenialMode
+
+
+class TestStandardSetup:
+    def test_workload_seeded_and_sized(self):
+        workload = standard_workload(40)
+        assert len(workload) == 40
+        assert standard_workload(40).names() == workload.names()
+
+    def test_workload_overrides(self):
+        workload = standard_workload(20, signed_fraction=0.5)
+        signed = sum(1 for s in workload if s.signed)
+        assert signed >= 5
+
+    def test_universe_overrides_forwarded(self):
+        workload = standard_workload(10)
+        universe = standard_universe(
+            workload, filler_count=50, registry_denial=DenialMode.NSEC3
+        )
+        assert universe.params.registry_denial is DenialMode.NSEC3
+        assert universe.registry_zone.deposit_count() >= 50
+
+    def test_experiment_config_override(self):
+        experiment = standard_experiment(
+            10, broken_anchor_bind_config(), filler_count=50
+        )
+        assert not experiment.config.root_anchor_available
+
+    def test_default_constants(self):
+        assert DEFAULT_REGISTRY_FILLER_COUNT >= 10000
+        assert EXPERIMENT_MODULUS_BITS in (256, 512)
+
+
+class TestLeakageSweep:
+    def test_deterministic(self):
+        a = leakage_sweep(sizes=(30, 60), filler_count=300)
+        b = leakage_sweep(sizes=(30, 60), filler_count=300)
+        assert [(p.domains, p.leaked_domains) for p in a] == [
+            (p.domains, p.leaked_domains) for p in b
+        ]
+
+    def test_sizes_sorted_internally(self):
+        points = leakage_sweep(sizes=(60, 30), filler_count=300)
+        assert [p.domains for p in points] == [30, 60]
+
+    def test_dlv_queries_cumulative(self):
+        points = leakage_sweep(sizes=(30, 60), filler_count=300)
+        assert points[1].dlv_queries >= points[0].dlv_queries
+
+    def test_sweep_respects_config(self):
+        strict = leakage_sweep(
+            sizes=(40,), filler_count=300, config=broken_anchor_bind_config()
+        )
+        assert strict[0].leaked_domains > 0
+
+
+class TestRenderEdges:
+    def test_empty_series(self):
+        text = format_series("x", "y", [])
+        assert "x" in text
+
+    def test_zero_peak(self):
+        text = format_series("x", "y", [(1, 0.0), (2, 0.0)])
+        assert "#" not in text

@@ -1,0 +1,106 @@
+"""Tests for the report builder and the CLI."""
+
+import pytest
+
+from repro.analysis.report import ReportScale, build_report
+from repro.cli import build_parser, main
+
+
+class TestReportScale:
+    def test_quick_defaults(self):
+        scale = ReportScale.quick()
+        assert max(scale.sweep_sizes) <= 1000
+
+    def test_paper_is_bigger(self):
+        quick = ReportScale.quick()
+        paper = ReportScale.paper()
+        assert max(paper.sweep_sizes) > max(quick.sweep_sizes)
+        assert paper.filler_count > quick.filler_count
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scale = ReportScale(
+            sweep_sizes=(50, 150),
+            table_sizes=(50,),
+            filler_count=1500,
+            fig11_size=50,
+            ditl_scale=0.003,
+        )
+        return build_report(scale)
+
+    def test_contains_every_artifact(self, report):
+        for marker in (
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Fig 8",
+            "Fig 9",
+            "Fig 10",
+            "Fig 11",
+            "Fig 12",
+            "DNS-OARC",
+        ):
+            assert marker in report, f"missing {marker}"
+
+    def test_mentions_paper_baselines(self, report):
+        assert "92,705,013" in report
+
+    def test_is_plain_text(self, report):
+        assert report.endswith("\n")
+        assert "\t" not in report
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("info", "quickstart", "sweep", "tables", "report", "attack"):
+            args = parser.parse_args(
+                [command] if command in ("info",) else [command]
+            )
+            assert callable(args.func)
+
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Look-Aside" in out
+
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--domains", "15", "--filler", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "leaked domains" in out
+
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep", "--sizes", "20,40", "--filler", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 8" in out and "Fig 9" in out
+
+    def test_attack_command(self, capsys):
+        assert main(["attack", "--domains", "10", "--filler", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Attack demonstrations" in out
+
+    def test_report_tiny_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["report", "--scale", "tiny", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert str(target) in out
+        text = target.read_text()
+        assert "Table 5" in text and "Fig 12" in text
+
+    def test_tables_command(self, capsys):
+        assert main(["tables", "--sizes", "30", "--filler", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Table 5" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

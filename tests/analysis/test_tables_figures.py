@@ -1,0 +1,155 @@
+"""Tests for the table/figure regeneration layer (small scales)."""
+
+import pytest
+
+from repro.analysis import (
+    fig8_dlv_queries,
+    fig9_leak_proportion,
+    fig10_overhead_breakdown,
+    fig11_remedy_comparison,
+    fig12_ditl,
+    format_series,
+    format_table,
+    leakage_sweep,
+    model_population,
+    percent,
+    prevalence_estimate,
+    survey_breakdown,
+    table1_environments,
+    table2_config_variations,
+    table3_secured_domains,
+    table4_query_types,
+    table5_txt_overhead,
+)
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or "|" in line for line in lines)
+
+    def test_format_series_bars(self):
+        text = format_series("x", "y", [(1, 10), (2, 20)])
+        assert "#" in text
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+
+
+class TestStaticTables:
+    def test_table1_has_eight_rows(self):
+        rows, text = table1_environments()
+        assert len(rows) == 8
+        assert "CentOS 6.7" in text
+        assert "9.8.4" in text  # Debian 7 package BIND
+
+    def test_table2_rows_and_compliance(self):
+        rows, text = table2_config_variations()
+        by_installer = {r["installer"]: r for r in rows}
+        assert by_installer["apt-get"]["validation"] == "Auto"
+        assert by_installer["yum"]["dlv"] == "Auto"
+        assert not by_installer["apt-get"]["arm_compliant"]
+        assert not by_installer["yum"]["arm_compliant"]
+
+
+class TestSimulatedTables:
+    @pytest.fixture(scope="class")
+    def table3(self):
+        return table3_secured_domains(filler_count=500)
+
+    def test_table3_verdicts_match_paper(self, table3):
+        rows, text = table3
+        verdicts = {r["config"]: r["leaks"] for r in rows}
+        assert verdicts["apt-get"] is False
+        assert verdicts["apt-get+ARM-edit"] is True
+        assert verdicts["yum"] is False
+        assert verdicts["manual"] is True
+
+    def test_table3_yum_serves_islands_only(self, table3):
+        rows, _ = table3
+        yum = next(r for r in rows if r["config"] == "yum")
+        assert yum["islands_via_dlv"] == 5
+        assert yum["secured_domains_leaked"] == 0
+        assert yum["authenticated"] == 45
+
+    def test_table4_counts(self):
+        rows, text = table4_query_types(sizes=(50,), filler_count=500)
+        row = rows[0]
+        assert row["A"] > row["AAAA"] > 0
+        assert row["PTR"] <= 3
+        assert "Table 4" in text
+
+    def test_table5_ratios_positive_and_modest(self):
+        rows, text = table5_txt_overhead(sizes=(50,), filler_count=500)
+        row = rows[0]
+        assert 0.0 < row["time_ratio"] < 0.6
+        assert 0.0 < row["traffic_ratio"] < 0.3
+        assert 0.0 < row["queries_ratio"] < 0.4
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return leakage_sweep(sizes=(50, 200), filler_count=2000)
+
+    def test_sweep_counts_monotone(self, sweep):
+        counts = [p.leaked_domains for p in sweep]
+        assert counts == sorted(counts)
+
+    def test_sweep_proportion_decays(self, sweep):
+        proportions = [p.proportion for p in sweep]
+        assert proportions[0] > proportions[-1]
+
+    def test_fig8_fig9_render(self, sweep):
+        rows8, text8 = fig8_dlv_queries(sweep)
+        rows9, text9 = fig9_leak_proportion(sweep)
+        assert len(rows8) == len(rows9) == 2
+        assert "Fig 8" in text8 and "Fig 9" in text9
+
+    def test_fig10_from_table5(self):
+        rows5, _ = table5_txt_overhead(sizes=(50,), filler_count=500)
+        rows, text = fig10_overhead_breakdown(rows5)
+        assert "response time" in text
+        assert "traffic" in text
+
+    def test_fig11_ordering(self):
+        rows, text = fig11_remedy_comparison(size=50, filler_count=500)
+        by_option = {r["option"]: r for r in rows}
+        # Paper accounting: TXT total > DLV total; Z bit adds nothing.
+        assert by_option["TXT"]["queries"] > by_option["DLV"]["queries"]
+        assert by_option["Z bit"]["queries"] == by_option["DLV"]["queries"]
+        # Deployed: both remedies eliminate leakage.
+        assert by_option["TXT"]["leaked"] == 0
+        assert by_option["Z bit"]["leaked"] == 0
+        assert by_option["DLV"]["leaked"] > 0
+
+    def test_fig12_summary(self):
+        summary, text = fig12_ditl(scale=0.005)
+        assert summary["minutes"] == 420
+        assert 80_000_000 < summary["total_queries_rescaled"] < 110_000_000
+        assert 0.3 < summary["overhead_gb_rescaled"] < 3.0
+        assert "Fig 12a" in text
+
+
+class TestSurvey:
+    def test_breakdown_matches_published(self):
+        rows = survey_breakdown()
+        by_answer = {r["answer"]: r for r in rows}
+        assert by_answer["package-installer defaults"]["respondents"] == 17
+        assert by_answer["uses ISC DLV server"]["share"] == pytest.approx(0.625)
+
+    def test_population_size(self):
+        assert len(model_population()) == 56
+
+    def test_population_deterministic(self):
+        a = [r.config_class for r in model_population(seed=1)]
+        b = [r.config_class for r in model_population(seed=1)]
+        assert a == b
+
+    def test_prevalence_estimate_fields(self):
+        estimate = prevalence_estimate()
+        assert estimate["respondents"] == 56.0
+        assert 0.0 < estimate["leaks_everything_fraction"] < 1.0
+        assert 0.0 < estimate["dlv_enabled_fraction"] <= 1.0

@@ -1,0 +1,149 @@
+"""Tests for the BIND/Unbound installation models and environments."""
+
+import pytest
+
+from repro.configs import (
+    Environment,
+    InstallMethod,
+    OPERATING_SYSTEMS,
+    OsFamily,
+    UnboundInstall,
+    all_environments,
+    config_from_install,
+    config_from_unbound_install,
+    named_conf_for,
+    unbound_conf_for,
+)
+
+
+class TestBindDefaults:
+    def test_apt_get_default_has_no_dlv(self):
+        config = config_from_install(InstallMethod.APT_GET)
+        assert not config.lookaside_enabled
+        assert config.root_anchor_available  # validation auto
+
+    def test_apt_get_arm_edit_is_the_trap(self):
+        """Table 3's apt-get†: validation yes + DLV auto, anchor still
+        missing — everything will flow to DLV."""
+        config = config_from_install(InstallMethod.APT_GET, arm_edited=True)
+        assert config.lookaside_enabled
+        assert not config.root_anchor_available
+
+    def test_yum_default_enables_dlv_with_anchor(self):
+        config = config_from_install(InstallMethod.YUM)
+        assert config.lookaside_enabled
+        assert config.root_anchor_available
+
+    def test_manual_default_misses_anchor(self):
+        config = config_from_install(InstallMethod.MANUAL)
+        assert config.lookaside_enabled
+        assert not config.root_anchor_available
+
+    def test_manual_with_anchor_override_is_correct(self):
+        config = config_from_install(InstallMethod.MANUAL, anchor_included=True)
+        assert config.root_anchor_available
+
+
+class TestNamedConfRendering:
+    def test_apt_get_matches_fig4(self):
+        text = named_conf_for(InstallMethod.APT_GET)
+        assert "dnssec-validation auto" in text
+        assert "lookaside" not in text
+        assert "bind.keys" not in text
+
+    def test_yum_matches_fig5(self):
+        text = named_conf_for(InstallMethod.YUM)
+        assert "dnssec-enable yes" in text
+        assert "dnssec-validation yes" in text
+        assert "dnssec-lookaside auto" in text
+        assert 'include "/etc/bind.keys"' in text
+
+    def test_manual_matches_fig6(self):
+        text = named_conf_for(InstallMethod.MANUAL)
+        assert "dnssec-lookaside auto" in text
+
+    def test_arm_edited_apt_get(self):
+        text = named_conf_for(InstallMethod.APT_GET, arm_edited=True)
+        assert "dnssec-lookaside auto" in text
+        assert "bind.keys" not in text  # the forgotten line
+
+
+class TestUnbound:
+    def test_package_install_validates_without_dlv(self):
+        config = config_from_unbound_install(UnboundInstall.PACKAGE)
+        assert config.validation_machinery_active
+        assert not config.lookaside_enabled
+
+    def test_manual_default_disables_everything(self):
+        config = config_from_unbound_install(UnboundInstall.MANUAL_DEFAULT)
+        assert not config.validation_machinery_active
+
+    def test_manual_configured_matches_fig7(self):
+        text = unbound_conf_for(UnboundInstall.MANUAL_CONFIGURED)
+        assert "auto-trust-anchor-file" in text
+        assert "dlv-anchor-file" in text
+        config = config_from_unbound_install(UnboundInstall.MANUAL_CONFIGURED)
+        assert config.lookaside_enabled and config.root_anchor_available
+
+    def test_manual_default_conf_is_commented_out(self):
+        text = unbound_conf_for(UnboundInstall.MANUAL_DEFAULT)
+        assert "# auto-trust-anchor-file" in text
+
+    def test_no_unbound_state_leaks_everything(self):
+        """The paper's Section 4.4 claim: Unbound's config style makes
+        the flood-DLV misconfiguration unrepresentable."""
+        for install in UnboundInstall:
+            config = config_from_unbound_install(install)
+            floods_dlv = (
+                config.lookaside_enabled and not config.root_anchor_available
+            )
+            assert not floods_dlv
+
+
+class TestEnvironments:
+    def test_sixteen_per_resolver(self):
+        assert len(all_environments("bind")) == 16
+        assert len(all_environments("unbound")) == 16
+
+    def test_rejects_unknown_resolver(self):
+        with pytest.raises(ValueError):
+            all_environments("djbdns")
+
+    def test_versions_match_table1(self):
+        environments = {
+            (env.os.name, env.manual_install): env
+            for env in all_environments("bind")
+        }
+        assert environments[("Debian 7", False)].version == "9.8.4"
+        assert environments[("Fedora 22", False)].version == "9.10.2"
+        assert environments[("Debian 7", True)].version == "9.10.3"
+
+    def test_installer_follows_os_family(self):
+        for env in all_environments("bind"):
+            if env.manual_install:
+                assert env.installer == "manual"
+            elif env.os.family is OsFamily.DEBIAN:
+                assert env.installer == "apt-get"
+            else:
+                assert env.installer == "yum"
+
+    def test_default_config_per_installer(self):
+        for env in all_environments("bind"):
+            config = env.default_config()
+            if env.installer == "yum":
+                assert config.lookaside_enabled
+                assert config.root_anchor_available
+            elif env.installer == "apt-get":
+                assert not config.lookaside_enabled
+
+    def test_describe(self):
+        env = all_environments("bind")[0]
+        text = env.describe()
+        assert "CentOS 6.7" in text and "bind" in text
+
+    def test_unbound_environments_never_flood(self):
+        for env in all_environments("unbound"):
+            config = env.default_config()
+            assert not (
+                config.lookaside_enabled and not config.root_anchor_available
+            )

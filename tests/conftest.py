@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Registers a hypothesis profile without per-example deadlines: several
+property tests build whole simulated universes per example, and their
+wall-clock time varies with machine load, not with input size.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

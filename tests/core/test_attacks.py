@@ -1,0 +1,176 @@
+"""Tests for the remedy-tampering attacks and registry outages
+(paper Section 6.2.3 "Attacks" and Section 8.4 outages)."""
+
+import pytest
+
+from repro.core import (
+    LeakageExperiment,
+    OutageServer,
+    TamperingProxy,
+    interpose_tampering,
+    restore,
+    take_down,
+)
+from repro.dnscore import Message, Name, RCode, RRType
+from repro.resolver import ValidationStatus, correct_bind_config
+from repro.workloads import (
+    AlexaWorkload,
+    Universe,
+    UniverseParams,
+    WorkloadParams,
+    secured_domains,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def build_world(**universe_overrides):
+    workload = AlexaWorkload(25, WorkloadParams(seed=61))
+    universe = Universe(
+        workload.domains,
+        UniverseParams(
+            modulus_bits=256,
+            registry_filler=tuple(workload.registry_filler(400)),
+            **universe_overrides,
+        ),
+    )
+    return workload, universe
+
+
+def tamper_all_providers(universe, **kwargs):
+    proxies = []
+    for address in universe._provider_addresses:
+        proxies.append(interpose_tampering(universe.network, address, **kwargs))
+    return proxies
+
+
+class TestZbitTampering:
+    def test_forced_z_bit_reopens_the_leak(self):
+        """An attacker setting Z on every response defeats the Z-bit
+        remedy: the resolver believes every zone has a deposit."""
+        workload, universe = build_world(deploy_zbit_signal=True)
+        tamper_all_providers(universe, force_z_bit=True)
+        config = correct_bind_config(zbit_signaling=True)
+        experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+        result = experiment.run(workload.names(25))
+        assert result.leakage.leaked_count > 0
+
+    def test_cleared_z_bit_downgrades_islands(self):
+        """Clearing Z suppresses legitimate look-aside: islands of
+        security lose their DLV validation path."""
+        specs = secured_domains()
+        universe = Universe(
+            specs, UniverseParams(modulus_bits=256, deploy_zbit_signal=True)
+        )
+        tamper_all_providers(universe, force_z_bit=False)
+        config = correct_bind_config(zbit_signaling=True)
+        experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+        result = experiment.run([s.name for s in specs])
+        # Only the 40 on-path-secured domains validate; islands lose AD.
+        assert result.authenticated_answers == 40
+
+    def test_tamper_counter(self):
+        workload, universe = build_world(deploy_zbit_signal=True)
+        proxies = tamper_all_providers(universe, force_z_bit=True)
+        config = correct_bind_config(zbit_signaling=True)
+        experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+        experiment.run(workload.names(5))
+        assert sum(p.tampered_responses for p in proxies) > 0
+
+
+class TestTxtTampering:
+    def test_rewritten_txt_reopens_the_leak(self):
+        workload, universe = build_world(deploy_txt_signal=True)
+        tamper_all_providers(universe, rewrite_txt_signal=1)
+        config = correct_bind_config(txt_signaling=True)
+        experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+        result = experiment.run(workload.names(25))
+        assert result.leakage.leaked_count > 0
+
+    def test_hardened_resolver_rejects_forged_signal_from_signed_zone(self):
+        """With validate_txt_signal on, a signed zone's rewritten TXT
+        fails its RRSIG check and the signal is discarded."""
+        specs = secured_domains(dlv_deposited_islands=False)
+        universe = Universe(
+            specs, UniverseParams(modulus_bits=256, deploy_txt_signal=True)
+        )
+        tamper_all_providers(universe, rewrite_txt_signal=1)
+        config = correct_bind_config(
+            txt_signaling=True, validate_txt_signal=True
+        )
+        resolver = universe.make_resolver(config)
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        # Signal forged to 1, but signature check fails -> treated as
+        # no signal -> look-aside vetoed -> no registry traffic.
+        assert result.lookaside_vetoed
+        assert not universe.capture.queries_to(universe.registry_address)
+
+    def test_hardened_resolver_accepts_genuine_signal(self):
+        specs = secured_domains()
+        universe = Universe(
+            specs, UniverseParams(modulus_bits=256, deploy_txt_signal=True)
+        )
+        config = correct_bind_config(
+            txt_signaling=True, validate_txt_signal=True
+        )
+        resolver = universe.make_resolver(config)
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert result.status is ValidationStatus.SECURE
+
+    def test_unsigned_zone_signal_cannot_be_hardened(self):
+        """The residual risk the paper acknowledges: unsigned zones have
+        no signature to check, so their signal is trusted as-is."""
+        workload, universe = build_world(deploy_txt_signal=True)
+        tamper_all_providers(universe, rewrite_txt_signal=1)
+        config = correct_bind_config(
+            txt_signaling=True, validate_txt_signal=True
+        )
+        resolver = universe.make_resolver(config)
+        unsigned = next(s for s in workload.domains if not s.signed)
+        result = resolver.resolve(unsigned.name, RRType.A)
+        assert not result.lookaside_vetoed
+
+
+class TestProxyMechanics:
+    def test_untouched_response_passes_through(self):
+        workload, universe = build_world()
+        address = universe._provider_addresses[0]
+        proxy = interpose_tampering(universe.network, address)
+        resolver = universe.make_resolver(correct_bind_config())
+        resolver.resolve(workload.names(1)[0], RRType.A)
+        assert proxy.tampered_responses == 0
+
+    def test_restore_brings_original_back(self):
+        workload, universe = build_world()
+        address = universe.registry_address
+        original = universe.network.server_at(address)
+        take_down(universe.network, address)
+        assert isinstance(universe.network.server_at(address), OutageServer)
+        restore(universe.network, address, original)
+        assert universe.network.server_at(address) is original
+
+
+class TestRegistryOutage:
+    def test_outage_downgrades_islands_without_breaking_resolution(self):
+        specs = secured_domains()
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        outage = take_down(universe.network, universe.registry_address)
+        resolver = universe.make_resolver(correct_bind_config())
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert result.rcode is RCode.NOERROR  # the answer still flows
+        assert result.status is not ValidationStatus.SECURE
+        assert outage.queries_seen > 0
+
+    def test_secure_domains_unaffected_by_outage(self):
+        specs = secured_domains()
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        take_down(universe.network, universe.registry_address)
+        resolver = universe.make_resolver(correct_bind_config())
+        anchored = next(s for s in specs if s.ds_in_parent)
+        result = resolver.resolve(anchored.name, RRType.A)
+        assert result.status is ValidationStatus.SECURE

@@ -1,0 +1,93 @@
+"""Tests for NSEC zone enumeration of the registry (Section 7.3)."""
+
+import pytest
+
+from repro.core import NsecZoneWalker
+from repro.crypto import KeyPool
+from repro.dnscore import Name
+from repro.servers import DenialMode, DLVRegistryServer
+from repro.netsim import Network, ZeroLatency
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+POOL = KeyPool(seed=71, pool_size=8, modulus_bits=256)
+ORIGIN = n("dlv.isc.org")
+DOMAINS = [
+    "alpha.com", "beta.com", "gamma.net", "delta.org", "epsilon.de",
+    "zeta.com", "eta.net", "theta.org",
+]
+
+
+def build(denial=DenialMode.NSEC, hashed=False):
+    network = Network(latency=ZeroLatency())
+    server = DLVRegistryServer.build(
+        origin=ORIGIN,
+        keyset=POOL.keys_for_zone(ORIGIN),
+        deposits={n(d): POOL.keys_for_zone(n(d)) for d in DOMAINS},
+        denial=denial,
+        hashed=hashed,
+    )
+    network.register("registry", server)
+    return network, server
+
+
+class TestNsecWalk:
+    def test_enumerates_every_deposit(self):
+        network, server = build()
+        walker = NsecZoneWalker(network, "registry", ORIGIN)
+        result = walker.walk()
+        assert result.complete
+        enumerated = {d.to_text() for d in result.enumerated_domains(ORIGIN)}
+        assert enumerated == {d + "." for d in DOMAINS}
+
+    def test_query_cost_is_linear_in_zone_size(self):
+        network, server = build()
+        walker = NsecZoneWalker(network, "registry", ORIGIN)
+        result = walker.walk()
+        assert result.queries_sent <= len(DOMAINS) + 2
+
+    def test_budget_stops_walk(self):
+        network, server = build()
+        walker = NsecZoneWalker(network, "registry", ORIGIN)
+        result = walker.walk(max_queries=3)
+        assert not result.complete
+        assert result.queries_sent == 3
+        assert 0 < len(result.owners) <= 4
+
+    def test_empty_zone_walk_terminates_immediately(self):
+        network = Network(latency=ZeroLatency())
+        server = DLVRegistryServer.build(
+            origin=ORIGIN, keyset=POOL.keys_for_zone(ORIGIN), deposits={}
+        )
+        network.register("registry", server)
+        walker = NsecZoneWalker(network, "registry", ORIGIN)
+        result = walker.walk()
+        assert result.complete
+        assert result.enumerated_domains(ORIGIN) == []
+
+
+class TestNsec3Resists:
+    def test_walk_fails_against_nsec3(self):
+        network, server = build(denial=DenialMode.NSEC3)
+        walker = NsecZoneWalker(network, "registry", ORIGIN)
+        result = walker.walk(max_queries=50)
+        assert not result.complete
+        assert result.enumerated_domains(ORIGIN) == []
+
+
+class TestHashedZoneWalk:
+    def test_walk_yields_only_digests(self):
+        """A hashed registry can still be NSEC-walked, but the attacker
+        learns digests, not names — enumeration and query privacy
+        compose."""
+        network, server = build(hashed=True)
+        walker = NsecZoneWalker(network, "registry", ORIGIN)
+        result = walker.walk()
+        assert result.complete
+        labels = [d.labels[0] for d in result.enumerated_domains(ORIGIN)]
+        assert len(labels) == len(DOMAINS)
+        for label in labels:
+            assert all(c in "0123456789abcdef" for c in label)

@@ -1,0 +1,112 @@
+"""Tests for the leakage classifier and report."""
+
+import pytest
+
+from repro.core import LeakageCase, LeakageClassifier, LeakageExperiment
+from repro.dnscore import Name, RRType
+from repro.resolver import broken_anchor_bind_config, correct_bind_config
+from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def run():
+    workload = AlexaWorkload(60, WorkloadParams(seed=23))
+    universe = Universe(
+        workload.domains,
+        UniverseParams(
+            modulus_bits=256,
+            registry_filler=tuple(workload.registry_filler(1000)),
+        ),
+    )
+    experiment = LeakageExperiment(universe, correct_bind_config())
+    result = experiment.run(workload.names(60))
+    return workload, universe, experiment, result
+
+
+class TestClassification:
+    def test_only_registry_traffic_classified(self, run):
+        workload, universe, experiment, result = run
+        classified = experiment.classifier.classify_queries(result.capture)
+        for item in classified:
+            assert item.record.dst == universe.registry_address
+
+    def test_case1_iff_deposited(self, run):
+        workload, universe, experiment, result = run
+        classified = experiment.classifier.classify_queries(result.capture)
+        for item in classified:
+            has = universe.registry_zone.has_owner(item.record.qname)
+            assert (item.case is LeakageCase.CASE1) == has
+
+    def test_tld_level_flag(self, run):
+        workload, universe, experiment, result = run
+        classified = experiment.classifier.classify_queries(result.capture)
+        for item in classified:
+            relative = item.record.qname.relativize(universe.registry_origin)
+            assert item.tld_level == (len(relative) == 1)
+
+    def test_leaked_domains_are_case2_queried_domains(self, run):
+        workload, universe, experiment, result = run
+        queried = set(workload.names(60))
+        for domain in result.leakage.leaked_domains:
+            assert domain in queried
+            assert not universe.has_dlv_deposit(domain)
+
+    def test_served_domains_have_deposits(self, run):
+        workload, universe, experiment, result = run
+        for domain in result.leakage.served_domains:
+            assert universe.has_dlv_deposit(domain)
+
+    def test_response_kinds_cover_dlv_responses(self, run):
+        workload, universe, experiment, result = run
+        leak = result.leakage
+        assert leak.noerror_responses == len(leak.served_domains) >= 0
+        assert leak.nxdomain_responses > 0
+
+
+class TestReportArithmetic:
+    def test_case_split_sums(self, run):
+        _, _, _, result = run
+        leak = result.leakage
+        assert leak.case1_queries + leak.case2_queries == leak.dlv_queries
+
+    def test_proportion(self, run):
+        _, _, _, result = run
+        leak = result.leakage
+        assert leak.leaked_proportion == leak.leaked_count / leak.domains_queried
+
+    def test_utility_fraction_bounds(self, run):
+        _, _, _, result = run
+        assert 0.0 <= result.leakage.utility_fraction <= 1.0
+
+    def test_case2_fraction_dominates_for_popular_domains(self, run):
+        _, _, _, result = run
+        assert result.leakage.case2_fraction > 0.8
+
+
+class TestBrokenAnchorFloodsDlv:
+    def test_indeterminate_everywhere_and_more_leaks(self):
+        workload = AlexaWorkload(60, WorkloadParams(seed=23))
+        universe = Universe(
+            workload.domains,
+            UniverseParams(
+                modulus_bits=256,
+                registry_filler=tuple(workload.registry_filler(1000)),
+            ),
+        )
+        experiment = LeakageExperiment(universe, broken_anchor_bind_config())
+        result = experiment.run(workload.names(60))
+        statuses = result.status_counts
+        # Everything is indeterminate on-path; the only secure zones are
+        # those rescued off-path by a DLV deposit (the DLV anchor is
+        # still configured in this misconfiguration).
+        assert statuses.get("indeterminate", 0) >= 55
+        assert statuses.get("insecure", 0) == 0
+        assert statuses.get("indeterminate", 0) + statuses.get("secure", 0) == 60
+        assert result.leakage.leaked_count > 0
+        # Even deposited/secured domains can't validate on-path, so DLV
+        # is consulted for everything not already cached.
+        assert result.leakage.dlv_queries >= result.leakage.leaked_count

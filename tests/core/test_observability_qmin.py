@@ -1,0 +1,138 @@
+"""Tests for qname minimisation and the observer-exposure analysis."""
+
+import pytest
+
+from repro.core import (
+    LeakageExperiment,
+    observer_exposures,
+    standard_universe,
+    standard_workload,
+    universe_observers,
+)
+from repro.core.observability import _contains_domain
+from repro.dnscore import Name, RCode, RRType
+from repro.resolver import correct_bind_config
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """The same 30-domain workload resolved with and without qmin."""
+    workload = standard_workload(30)
+    results = {}
+    for qmin in (False, True):
+        universe = standard_universe(workload, filler_count=1500)
+        config = correct_bind_config(qname_minimization=qmin)
+        experiment = LeakageExperiment(universe, config, ptr_fraction=0.0)
+        result = experiment.run(workload.names(30))
+        results[qmin] = (universe, result)
+    return workload, results
+
+
+class TestContainsDomain:
+    def test_exact(self):
+        assert _contains_domain(n("example.com"), n("example.com"))
+
+    def test_subdomain(self):
+        assert _contains_domain(n("www.example.com"), n("example.com"))
+
+    def test_dlv_form(self):
+        assert _contains_domain(n("example.com.dlv.isc.org"), n("example.com"))
+
+    def test_negative(self):
+        assert not _contains_domain(n("example.org"), n("example.com"))
+        assert not _contains_domain(n("com"), n("example.com"))
+
+    def test_label_run_must_be_contiguous(self):
+        assert not _contains_domain(n("example.x.com"), n("example.com"))
+
+
+class TestQnameMinimization:
+    def test_answers_identical(self, worlds):
+        workload, results = worlds
+        for qmin, (universe, result) in results.items():
+            assert result.rcode_counts == {"NOERROR": 30}
+
+    def test_root_sees_no_full_domains_with_qmin(self, worlds):
+        workload, results = worlds
+        universe, result = results[True]
+        exposures = {
+            e.role: e
+            for e in observer_exposures(
+                result.capture, workload.names(30), universe_observers(universe)
+            )
+        }
+        assert len(exposures["root"].exposed_domains) == 0
+
+    def test_root_sees_domains_without_qmin(self, worlds):
+        workload, results = worlds
+        universe, result = results[False]
+        exposures = {
+            e.role: e
+            for e in observer_exposures(
+                result.capture, workload.names(30), universe_observers(universe)
+            )
+        }
+        assert len(exposures["root"].exposed_domains) > 0
+
+    def test_registry_exposure_unaffected_by_qmin(self, worlds):
+        """The headline of this extension: qname minimisation does not
+        mitigate the DLV leak — look-aside names embed the domain."""
+        workload, results = worlds
+        for qmin, (universe, result) in results.items():
+            exposures = {
+                e.role: e
+                for e in observer_exposures(
+                    result.capture, workload.names(30), universe_observers(universe)
+                )
+            }
+            registry = exposures["dlv-registry"]
+            assert len(registry.exposed_domains) == result.leakage.leaked_count + len(
+                result.leakage.served_domains
+            )
+            assert len(registry.exposed_domains) > 10
+
+    def test_minimized_probes_use_ns_qtype(self, worlds):
+        workload, results = worlds
+        universe, result = results[True]
+        root_queries = [
+            r for r in result.capture if r.is_query and r.dst == universe.root_address
+        ]
+        assert root_queries
+        for record in root_queries:
+            if record.qname.is_root():
+                continue  # validator fetches the root's own DNSKEY/NS
+            # Descent probes are minimised: one label, qtype NS (DS
+            # queries at TLD cuts are also legitimate root traffic).
+            assert record.qname.label_count <= 2
+            assert record.qtype in (RRType.NS, RRType.DS)
+
+    def test_nxdomain_still_detected_with_qmin(self, worlds):
+        workload, results = worlds
+        universe, result = results[True]
+        resolver = universe.make_resolver(
+            correct_bind_config(qname_minimization=True)
+        )
+        outcome = resolver.resolve(n("definitely-not-real.com"), RRType.A)
+        assert outcome.rcode is RCode.NXDOMAIN
+
+
+class TestExposureReport:
+    def test_fields(self, worlds):
+        workload, results = worlds
+        universe, result = results[False]
+        exposures = observer_exposures(
+            result.capture, workload.names(30), universe_observers(universe)
+        )
+        for exposure in exposures:
+            assert exposure.distinct_qnames <= exposure.queries_received
+            assert 0.0 <= exposure.exposure_fraction(30) <= 1.0
+
+    def test_unlisted_observers_ignored(self, worlds):
+        workload, results = worlds
+        universe, result = results[False]
+        exposures = observer_exposures(result.capture, workload.names(30), {})
+        assert exposures == []

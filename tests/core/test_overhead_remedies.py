@@ -1,0 +1,123 @@
+"""Tests for overhead metrics, comparisons, and remedy runs."""
+
+import pytest
+
+from repro.core import (
+    LeakageExperiment,
+    MetricComparison,
+    OverheadComparison,
+    OverheadMetrics,
+    Remedy,
+    compare_all,
+    comparisons_against_baseline,
+    resolver_config_for,
+    run_remedy,
+    universe_params_for,
+)
+from repro.core.overhead import SignalingCost
+from repro.dnscore import RRType
+from repro.resolver import correct_bind_config
+from repro.workloads import AlexaWorkload, UniverseParams, WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AlexaWorkload(50, WorkloadParams(seed=33))
+
+
+@pytest.fixture(scope="module")
+def base_params(workload):
+    return UniverseParams(
+        modulus_bits=256,
+        registry_filler=tuple(workload.registry_filler(800)),
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(workload, base_params):
+    return compare_all(
+        workload.domains,
+        workload.names(50),
+        correct_bind_config(),
+        base_params,
+        remedies=(Remedy.NONE, Remedy.TXT, Remedy.ZBIT, Remedy.HASHED),
+    )
+
+
+class TestMetricComparison:
+    def test_overhead_and_ratio(self):
+        comparison = MetricComparison(baseline=100.0, total=120.0)
+        assert comparison.overhead == pytest.approx(20.0)
+        assert comparison.ratio == pytest.approx(0.2)
+
+    def test_zero_baseline(self):
+        assert MetricComparison(baseline=0.0, total=5.0).ratio == 0.0
+
+    def test_between(self):
+        a = OverheadMetrics(10.0, 1000, 50, {})
+        b = OverheadMetrics(12.0, 1100, 60, {})
+        comparison = OverheadComparison.between("x", a, b)
+        assert comparison.queries.overhead == 10
+        row = comparison.row()
+        assert row["time_ratio"] == pytest.approx(0.2)
+
+
+class TestRemedyRecipes:
+    def test_universe_params(self, base_params):
+        assert universe_params_for(Remedy.TXT, base_params).deploy_txt_signal
+        assert universe_params_for(Remedy.ZBIT, base_params).deploy_zbit_signal
+        assert universe_params_for(Remedy.HASHED, base_params).registry_hashed
+        assert universe_params_for(Remedy.NONE, base_params) == base_params
+
+    def test_resolver_config(self):
+        base = correct_bind_config()
+        assert resolver_config_for(Remedy.TXT, base).txt_signaling
+        assert resolver_config_for(Remedy.ZBIT, base).zbit_signaling
+        assert resolver_config_for(Remedy.HASHED, base).hashed_dlv
+        assert resolver_config_for(Remedy.NONE, base) == base
+
+
+class TestRemedyOutcomes:
+    def test_baseline_leaks(self, runs):
+        assert runs[Remedy.NONE].result.leakage.leaked_count > 0
+
+    def test_txt_eliminates_case2_leakage(self, runs):
+        assert runs[Remedy.TXT].result.leakage.leaked_count == 0
+
+    def test_zbit_eliminates_case2_leakage(self, runs):
+        assert runs[Remedy.ZBIT].result.leakage.leaked_count == 0
+
+    def test_zbit_adds_no_queries_over_txt(self, runs):
+        zbit_queries = runs[Remedy.ZBIT].result.overhead.queries_issued
+        txt_queries = runs[Remedy.TXT].result.overhead.queries_issued
+        assert zbit_queries < txt_queries
+
+    def test_hashed_mode_exposes_no_domains(self, runs):
+        result = runs[Remedy.HASHED].result
+        assert result.leakage.leaked_count == 0
+        assert result.leakage.dlv_queries > 0  # digests still flow
+
+    def test_islands_still_validated_under_remedies(self, runs, workload):
+        baseline_ad = runs[Remedy.NONE].result.authenticated_answers
+        for remedy in (Remedy.TXT, Remedy.ZBIT, Remedy.HASHED):
+            assert runs[remedy].result.authenticated_answers == baseline_ad
+
+    def test_comparisons_exclude_baseline(self, runs):
+        rows = comparisons_against_baseline(runs)
+        labels = {row.label for row in rows}
+        assert "dlv" not in labels
+        assert {"txt", "zbit", "hashed-dlv"} == labels
+
+
+class TestSignalingCost:
+    def test_txt_cost_measured_from_capture(self, runs):
+        capture = runs[Remedy.TXT].result.capture
+        cost = SignalingCost.of_query_type(capture, RRType.TXT)
+        assert cost.exchanges > 0
+        assert cost.bytes > cost.exchanges * 50
+        assert cost.seconds > 0
+
+    def test_no_txt_cost_in_baseline(self, runs):
+        capture = runs[Remedy.NONE].result.capture
+        cost = SignalingCost.of_query_type(capture, RRType.TXT)
+        assert cost.exchanges == 0

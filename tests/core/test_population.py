@@ -1,0 +1,76 @@
+"""Tests for the multi-user population experiment (Section 7.3.1)."""
+
+import pytest
+
+from repro.core import make_profiles, run_population
+from repro.resolver import correct_bind_config
+from repro.workloads import AlexaWorkload, UniverseParams, WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def setting():
+    workload = AlexaWorkload(60, WorkloadParams(seed=151))
+    profiles = make_profiles(workload, user_count=4, domains_per_user=10)
+    params = UniverseParams(
+        modulus_bits=256,
+        registry_filler=tuple(workload.registry_filler(800)),
+    )
+    return workload, profiles, params
+
+
+@pytest.fixture(scope="module")
+def results(setting):
+    workload, profiles, params = setting
+    shared = run_population(
+        workload.domains, profiles, correct_bind_config(), True, params
+    )
+    dedicated = run_population(
+        workload.domains, profiles, correct_bind_config(), False, params
+    )
+    return shared, dedicated
+
+
+class TestProfiles:
+    def test_profile_shape(self, setting):
+        workload, profiles, _ = setting
+        assert len(profiles) == 4
+        for profile in profiles:
+            assert len(profile.names) == 10
+            assert len(set(profile.names)) == 10
+
+    def test_profiles_overlap_on_popular_head(self, setting):
+        workload, profiles, _ = setting
+        sets = [set(p.names) for p in profiles]
+        union = set().union(*sets)
+        total = sum(len(s) for s in sets)
+        assert len(union) < total  # popular domains shared across users
+
+    def test_deterministic(self, setting):
+        workload, _, _ = setting
+        a = make_profiles(workload, 3, 5, seed=1)
+        b = make_profiles(workload, 3, 5, seed=1)
+        assert [p.names for p in a] == [p.names for p in b]
+
+
+class TestGranularity:
+    def test_shared_resolver_is_one_source(self, results):
+        shared, _ = results
+        assert shared.observed_sources == 1
+        assert shared.attributable_users == 0
+
+    def test_dedicated_resolvers_attribute_users(self, results):
+        _, dedicated = results
+        assert dedicated.observed_sources == 4
+        assert dedicated.attributable_users == 4
+        assert all(count > 0 for count in dedicated.per_user_exposure.values())
+
+    def test_aggregate_exposure_similar_either_way(self, results):
+        shared, dedicated = results
+        assert shared.aggregate_exposed > 0
+        assert dedicated.aggregate_exposed >= shared.aggregate_exposed
+
+    def test_shared_cache_suppresses_duplicate_queries(self, results):
+        """Overlapping profiles behind one cache produce fewer DLV
+        queries than four independent caches."""
+        shared, dedicated = results
+        assert shared.total_dlv_queries < dedicated.total_dlv_queries

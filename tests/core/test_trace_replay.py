@@ -1,0 +1,35 @@
+"""Tests for the packet-level trace replay cross-validation."""
+
+import pytest
+
+from repro.core import replay_zipf_stream
+from repro.workloads import AlexaWorkload, WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AlexaWorkload(60, WorkloadParams(seed=191))
+
+
+class TestTraceReplay:
+    def test_model_matches_packet_level(self, workload):
+        result = replay_zipf_stream(workload, query_count=300, seed=5)
+        assert result.prediction_error <= 0.05
+
+    def test_txt_cost_scales_with_zones_not_queries(self, workload):
+        short = replay_zipf_stream(workload, query_count=150, seed=6)
+        long = replay_zipf_stream(workload, query_count=600, seed=6)
+        # Four times the queries, but the TXT cost grows with *distinct
+        # zones*, which grow much slower under Zipf popularity.
+        assert long.queries_replayed == 4 * short.queries_replayed
+        assert long.measured_txt_exchanges < 2.5 * short.measured_txt_exchanges
+
+    def test_deterministic(self, workload):
+        a = replay_zipf_stream(workload, query_count=200, seed=9)
+        b = replay_zipf_stream(workload, query_count=200, seed=9)
+        assert a == b
+
+    def test_distinct_zone_accounting(self, workload):
+        result = replay_zipf_stream(workload, query_count=300, seed=5)
+        assert result.distinct_zones <= len(workload)
+        assert result.predicted_txt_exchanges <= result.distinct_zones

@@ -1,0 +1,100 @@
+"""Tests for DS/DLV digests, the hashed-DLV label, and NSEC3 hashing."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    HASH_LABEL_HEX_CHARS,
+    base32hex_encode,
+    generate_keypair,
+    hash_domain_label,
+    make_dlv,
+    make_ds,
+    make_zone_key,
+    nsec3_hash,
+    nsec3_owner_label,
+    verify_ds_matches,
+)
+from repro.dnscore import DigestType, Name, RRType
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def ksk():
+    return make_zone_key(generate_keypair(random.Random(3), 256), ksk=True)
+
+
+@pytest.fixture(scope="module")
+def other_ksk():
+    return make_zone_key(generate_keypair(random.Random(4), 256), ksk=True)
+
+
+class TestDsDigest:
+    def test_ds_matches_its_key(self, ksk):
+        ds = make_ds(n("example.com"), ksk.dnskey)
+        assert verify_ds_matches(n("example.com"), ksk.dnskey, ds)
+
+    def test_ds_rejects_other_key(self, ksk, other_ksk):
+        ds = make_ds(n("example.com"), ksk.dnskey)
+        assert not verify_ds_matches(n("example.com"), other_ksk.dnskey, ds)
+
+    def test_ds_is_owner_specific(self, ksk):
+        """Two zones sharing pool key material still get distinct DS
+        digests — the property that makes key pooling safe."""
+        ds_a = make_ds(n("a.com"), ksk.dnskey)
+        ds_b = make_ds(n("b.com"), ksk.dnskey)
+        assert ds_a.digest != ds_b.digest
+        assert not verify_ds_matches(n("b.com"), ksk.dnskey, ds_a)
+
+    def test_sha1_supported(self, ksk):
+        ds = make_ds(n("example.com"), ksk.dnskey, DigestType.SHA1)
+        assert len(ds.digest) == 20
+        assert verify_ds_matches(n("example.com"), ksk.dnskey, ds)
+
+    def test_dlv_mirrors_ds(self, ksk):
+        ds = make_ds(n("example.com"), ksk.dnskey)
+        dlv = make_dlv(n("example.com"), ksk.dnskey)
+        assert dlv.rtype is RRType.DLV
+        assert (dlv.key_tag, dlv.digest) == (ds.key_tag, ds.digest)
+
+
+class TestHashedDlvLabel:
+    def test_label_is_valid_dns_label(self):
+        label = hash_domain_label(n("example.com"))
+        assert len(label) == HASH_LABEL_HEX_CHARS <= 63
+        assert all(c in "0123456789abcdef" for c in label)
+
+    def test_deterministic(self):
+        assert hash_domain_label(n("example.com")) == hash_domain_label(
+            n("EXAMPLE.com")
+        )
+
+    def test_distinct_domains_distinct_labels(self):
+        assert hash_domain_label(n("a.com")) != hash_domain_label(n("b.com"))
+
+
+class TestNsec3:
+    def test_iterations_change_hash(self):
+        name = n("example.com")
+        assert nsec3_hash(name, b"salt", 0) != nsec3_hash(name, b"salt", 5)
+
+    def test_salt_changes_hash(self):
+        name = n("example.com")
+        assert nsec3_hash(name, b"a", 1) != nsec3_hash(name, b"b", 1)
+
+    def test_owner_label_fits_dns(self):
+        label = nsec3_owner_label(n("example.com"), b"\xaa\xbb", 10)
+        assert len(label) == 32  # SHA-1 -> 160 bits -> 32 base32 chars
+        assert len(label) <= 63
+
+    def test_base32hex_known_vector(self):
+        # RFC 4648 test vector: base32hex("foobar") = "cpnmuoj1e8"
+        # (lowercase, unpadded)
+        assert base32hex_encode(b"foobar") == "cpnmuoj1e8"
+
+    def test_base32hex_empty(self):
+        assert base32hex_encode(b"") == ""

@@ -1,0 +1,64 @@
+"""Tests for the number-theory primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import generate_prime, is_probable_prime, modinv
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 1105, 6601, 8911, 2**61 - 2]
+# 561, 1105, 6601, 8911 are Carmichael numbers — Fermat liars.
+
+
+@pytest.mark.parametrize("value", KNOWN_PRIMES)
+def test_known_primes(value):
+    assert is_probable_prime(value)
+
+
+@pytest.mark.parametrize("value", KNOWN_COMPOSITES)
+def test_known_composites_including_carmichael(value):
+    assert not is_probable_prime(value)
+
+
+def test_generate_prime_size_and_primality():
+    rng = random.Random(1)
+    for bits in (16, 64, 128):
+        prime = generate_prime(bits, rng)
+        assert prime.bit_length() == bits
+        assert is_probable_prime(prime)
+
+
+def test_generate_prime_deterministic_under_seed():
+    assert generate_prime(64, random.Random(7)) == generate_prime(64, random.Random(7))
+
+
+def test_generate_prime_rejects_tiny():
+    with pytest.raises(ValueError):
+        generate_prime(2, random.Random(0))
+
+
+class TestModinv:
+    def test_basic(self):
+        assert modinv(3, 11) == 4
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(st.integers(2, 10**6))
+    @settings(max_examples=100)
+    def test_inverse_property(self, modulus):
+        value = 65537
+        if modulus % 65537 == 0:
+            return
+        # gcd must be 1 for an inverse to exist.
+        import math
+
+        if math.gcd(value, modulus) != 1:
+            return
+        inverse = modinv(value, modulus)
+        assert (value * inverse) % modulus == 1
+        assert 0 <= inverse < modulus

@@ -1,0 +1,113 @@
+"""Tests for RSA signatures, zone keys, and the key pool."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    KeyPool,
+    RSAPublicKey,
+    generate_keypair,
+    make_zone_key,
+)
+from repro.dnscore import Name
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(random.Random(99), modulus_bits=512)
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_keypair(random.Random(100), modulus_bits=512)
+
+
+class TestRsa:
+    def test_sign_verify(self, keypair):
+        data = b"the quick brown fox"
+        signature = keypair.sign(data)
+        assert keypair.public_key.verify(data, signature)
+
+    def test_tampered_data_fails(self, keypair):
+        signature = keypair.sign(b"original")
+        assert not keypair.public_key.verify(b"tampered", signature)
+
+    def test_wrong_key_fails(self, keypair, other_keypair):
+        signature = keypair.sign(b"data")
+        assert not other_keypair.public_key.verify(b"data", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = bytearray(keypair.sign(b"data"))
+        signature[0] ^= 0xFF
+        assert not keypair.public_key.verify(b"data", bytes(signature))
+
+    def test_oversized_signature_rejected(self, keypair):
+        modulus_bytes = (keypair.modulus.bit_length() + 7) // 8
+        huge = (keypair.modulus + 1).to_bytes(modulus_bytes + 1, "big")
+        assert not keypair.public_key.verify(b"data", huge)
+
+    def test_public_key_byte_roundtrip(self, keypair):
+        public = keypair.public_key
+        assert RSAPublicKey.from_bytes(public.to_bytes()) == public
+
+    def test_deterministic_generation(self):
+        a = generate_keypair(random.Random(5), 256)
+        b = generate_keypair(random.Random(5), 256)
+        assert a == b
+
+    def test_modulus_has_requested_size(self, keypair):
+        assert keypair.modulus.bit_length() == 512
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_verify_property(self, data):
+        keypair = generate_keypair(random.Random(1), 256)
+        assert keypair.public_key.verify(data, keypair.sign(data))
+
+
+class TestZoneKeys:
+    def test_ksk_zsk_flags(self, keypair):
+        assert make_zone_key(keypair, ksk=True).dnskey.flags == 257
+        assert make_zone_key(keypair, ksk=False).dnskey.flags == 256
+
+    def test_key_tag_matches_dnskey(self, keypair):
+        zone_key = make_zone_key(keypair, ksk=True)
+        assert zone_key.key_tag == zone_key.dnskey.key_tag()
+
+
+class TestKeyPool:
+    def test_same_origin_same_keys(self):
+        pool = KeyPool(seed=1, pool_size=8, modulus_bits=256)
+        first = pool.keys_for_zone(Name.from_text("example.com"))
+        second = pool.keys_for_zone(Name.from_text("example.com"))
+        assert first is second
+
+    def test_stable_across_pool_instances(self):
+        origin = Name.from_text("example.com")
+        a = KeyPool(seed=1, pool_size=8, modulus_bits=256).keys_for_zone(origin)
+        b = KeyPool(seed=1, pool_size=8, modulus_bits=256).keys_for_zone(origin)
+        assert a.ksk.dnskey == b.ksk.dnskey
+
+    def test_ksk_and_zsk_differ(self):
+        pool = KeyPool(seed=1, pool_size=8, modulus_bits=256)
+        keyset = pool.keys_for_zone(Name.from_text("example.com"))
+        assert keyset.ksk.dnskey != keyset.zsk.dnskey
+
+    def test_rejects_odd_pool(self):
+        with pytest.raises(ValueError):
+            KeyPool(pool_size=5)
+
+    def test_fresh_keyset_differs_from_pool(self):
+        pool = KeyPool(seed=1, pool_size=8, modulus_bits=256)
+        origin = Name.from_text("example.com")
+        pooled = pool.keys_for_zone(origin)
+        fresh = pool.fresh_keyset()
+        assert fresh.ksk.dnskey != pooled.ksk.dnskey
+
+    def test_bounded_memory_over_many_origins(self):
+        pool = KeyPool(seed=1, pool_size=8, modulus_bits=256)
+        for index in range(100):
+            pool.keys_for_zone(Name.from_text(f"domain{index}.com"))
+        assert len(pool._keysets) <= 4

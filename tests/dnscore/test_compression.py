@@ -1,0 +1,172 @@
+"""Tests for RFC 1035 name compression in the wire codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnscore import (
+    A,
+    CNAME,
+    Message,
+    MX,
+    Name,
+    NS,
+    RCode,
+    RRType,
+    RRset,
+    SOA,
+    WireError,
+    decode_message,
+    encode_message,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def referral_response():
+    """A referral is where compression shines: repeated owner names."""
+    query = Message.make_query(5, n("www.example.com"), RRType.A, dnssec_ok=True)
+    ns = RRset(
+        n("example.com"),
+        RRType.NS,
+        86400,
+        (NS(n("ns1.example.com")), NS(n("ns2.example.com"))),
+    )
+    glue = RRset(n("ns1.example.com"), RRType.A, 86400, (A("192.0.2.53"),))
+    return query.make_response(authority=(ns,), additional=(glue,))
+
+
+def soa_response():
+    query = Message.make_query(6, n("missing.example.com"), RRType.A)
+    soa = RRset(
+        n("example.com"),
+        RRType.SOA,
+        900,
+        (SOA(n("ns1.example.com"), n("hostmaster.example.com"), 7),),
+    )
+    return query.make_response(rcode=RCode.NXDOMAIN, authority=(soa,))
+
+
+class TestCompressedRoundtrip:
+    @pytest.mark.parametrize(
+        "message", [referral_response(), soa_response()], ids=["referral", "soa"]
+    )
+    def test_roundtrip(self, message):
+        wire = encode_message(message, compress=True)
+        assert decode_message(wire) == message
+
+    def test_compression_shrinks_referrals(self):
+        message = referral_response()
+        plain = encode_message(message, compress=False)
+        packed = encode_message(message, compress=True)
+        assert len(packed) < len(plain)
+        # A realistic referral compresses by a decent margin.
+        assert len(packed) <= 0.85 * len(plain)
+
+    def test_compressed_mx_and_cname(self):
+        query = Message.make_query(9, n("example.com"), RRType.MX)
+        mx = RRset(
+            n("example.com"),
+            RRType.MX,
+            3600,
+            (MX(10, n("mail.example.com")), MX(20, n("backup.example.com"))),
+        )
+        cname = RRset(
+            n("alias.example.com"),
+            RRType.CNAME,
+            3600,
+            (CNAME(n("example.com")),),
+        )
+        response = query.make_response(answer=(mx, cname))
+        wire = encode_message(response, compress=True)
+        assert decode_message(wire) == response
+
+    def test_uncompressed_unchanged_by_flag(self):
+        message = referral_response()
+        assert encode_message(message) == encode_message(message, compress=False)
+
+    def test_wire_size_matches_uncompressed_mode(self):
+        message = referral_response()
+        assert message.wire_size() == len(encode_message(message, compress=False))
+
+
+class TestPointerDecoding:
+    def test_pointer_to_question_name(self):
+        """Hand-crafted message: answer owner is a pointer to offset 12
+        (the question name)."""
+        query = Message.make_query(3, n("x.test"), RRType.A)
+        wire = bytearray(encode_message(query))
+        # Patch header: qr=1, ancount=1.
+        wire[2] |= 0x80
+        wire[7] = 1
+        record = (
+            b"\xc0\x0c"  # pointer to offset 12
+            + b"\x00\x01\x00\x01\x00\x00\x01\x2c\x00\x04"  # A IN ttl=300 len=4
+            + bytes([192, 0, 2, 1])
+        )
+        message = decode_message(bytes(wire) + record)
+        assert message.answer[0].name == n("x.test")
+        assert message.answer[0].first().address == "192.0.2.1"
+
+    def test_forward_pointer_rejected(self):
+        query = Message.make_query(3, n("x.test"), RRType.A)
+        wire = bytearray(encode_message(query))
+        wire[2] |= 0x80
+        wire[7] = 1
+        # Pointer to its own offset (forward/self): invalid.
+        self_offset = len(wire)
+        record = (
+            struct_pack_pointer(self_offset)
+            + b"\x00\x01\x00\x01\x00\x00\x01\x2c\x00\x04"
+            + bytes([192, 0, 2, 1])
+        )
+        with pytest.raises(WireError):
+            decode_message(bytes(wire) + record)
+
+    def test_truncated_pointer_rejected(self):
+        query = Message.make_query(3, n("x.test"), RRType.A)
+        wire = bytearray(encode_message(query))
+        with pytest.raises(WireError):
+            decode_message(bytes(wire[:-5]) + b"\xc0")
+
+
+def struct_pack_pointer(offset):
+    return bytes([0xC0 | (offset >> 8), offset & 0xFF])
+
+
+_LABEL = st.text(alphabet="abcdef", min_size=1, max_size=6)
+
+
+@st.composite
+def multi_name_messages(draw):
+    base = draw(st.lists(_LABEL, min_size=1, max_size=3))
+    query = Message.make_query(
+        draw(st.integers(0, 0xFFFF)), Name(base), RRType.NS
+    )
+    rrsets = []
+    seen_owners = set()
+    for index in range(draw(st.integers(1, 3))):
+        owner_labels = draw(st.lists(_LABEL, min_size=0, max_size=2)) + base
+        owner = Name(owner_labels)
+        if owner in seen_owners:
+            continue  # the decoder merges same-(owner,type) records
+        seen_owners.add(owner)
+        target = Name([draw(_LABEL)] + base)
+        rrsets.append(RRset(owner, RRType.NS, 300, (NS(target),)))
+    return query.make_response(authority=tuple(rrsets))
+
+
+class TestCompressionProperties:
+    @settings(max_examples=150)
+    @given(multi_name_messages())
+    def test_compressed_roundtrip(self, message):
+        wire = encode_message(message, compress=True)
+        assert decode_message(wire) == message
+
+    @settings(max_examples=150)
+    @given(multi_name_messages())
+    def test_compression_never_grows(self, message):
+        plain = encode_message(message, compress=False)
+        packed = encode_message(message, compress=True)
+        assert len(packed) <= len(plain)

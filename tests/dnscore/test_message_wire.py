@@ -1,0 +1,207 @@
+"""Tests for messages and the wire codec, including the size-accounting
+equivalence the network simulator relies on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnscore import (
+    A,
+    DLV,
+    Edns,
+    HeaderFlags,
+    Message,
+    Name,
+    NS,
+    NSEC,
+    Question,
+    RCode,
+    RRType,
+    RRset,
+    SOA,
+    TXT,
+    WireError,
+    decode_message,
+    encode_message,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def make_rrset(name="example.com", rtype=RRType.A, ttl=300):
+    if rtype is RRType.A:
+        rdatas = (A("192.0.2.10"), A("192.0.2.11"))
+    elif rtype is RRType.NS:
+        rdatas = (NS(n("ns1.example.com")),)
+    else:
+        raise AssertionError(rtype)
+    return RRset(n(name), rtype, ttl, rdatas)
+
+
+class TestHeaderFlags:
+    def test_roundtrip_all_set(self):
+        flags = HeaderFlags(
+            qr=True, aa=True, tc=True, rd=True, ra=True, z=True, ad=True,
+            cd=True, rcode=RCode.NXDOMAIN,
+        )
+        assert HeaderFlags.from_wire(flags.to_wire()) == flags
+
+    def test_z_bit_is_independent(self):
+        plain = HeaderFlags()
+        with_z = plain.replace(z=True)
+        assert plain.to_wire() ^ with_z.to_wire() == 0x0040
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_from_wire_total(self, word):
+        # Mask to fields we model: opcode 0/4/5 and rcode 0-5 only.
+        word &= ~0x7800
+        word = (word & ~0x000F) | (word % 6)
+        flags = HeaderFlags.from_wire(word)
+        assert flags.to_wire() == word
+
+
+class TestMessageConstruction:
+    def test_make_query_sets_do_bit_via_edns(self):
+        query = Message.make_query(1, n("example.com"), RRType.A, dnssec_ok=True)
+        assert query.dnssec_ok()
+        assert query.edns is not None
+
+    def test_make_query_without_dnssec_has_no_edns(self):
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        assert query.edns is None
+        assert not query.dnssec_ok()
+
+    def test_make_response_mirrors_query(self):
+        query = Message.make_query(42, n("example.com"), RRType.A, dnssec_ok=True)
+        response = query.make_response(
+            rcode=RCode.NXDOMAIN, authoritative=True, z_bit=True
+        )
+        assert response.message_id == 42
+        assert response.question == query.question
+        assert response.flags.qr and response.flags.aa and response.flags.z
+        assert response.rcode is RCode.NXDOMAIN
+        assert response.edns == query.edns
+
+    def test_find_rrsets_by_section(self):
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        response = query.make_response(
+            answer=(make_rrset(),),
+            authority=(make_rrset(rtype=RRType.NS),),
+        )
+        assert len(response.find_rrsets(RRType.A)) == 1
+        assert response.find_rrsets(RRType.A, section="authority") == []
+        assert len(response.find_rrsets(RRType.NS, section="authority")) == 1
+
+    def test_get_rrset(self):
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        response = query.make_response(answer=(make_rrset(),))
+        assert response.get_rrset(n("example.com"), RRType.A) is not None
+        assert response.get_rrset(n("other.com"), RRType.A) is None
+
+
+class TestWireCodec:
+    def test_query_roundtrip(self):
+        query = Message.make_query(7, n("www.example.com"), RRType.A, dnssec_ok=True)
+        assert decode_message(encode_message(query)) == query
+
+    def test_response_roundtrip_with_all_sections(self):
+        query = Message.make_query(9, n("example.com"), RRType.A, dnssec_ok=True)
+        soa = RRset(
+            n("com"),
+            RRType.SOA,
+            900,
+            (SOA(n("a.gtld-servers.net"), n("nstld.verisign-grs.com"), 1),),
+        )
+        nsec = RRset(
+            n("example.com"),
+            RRType.NSEC,
+            900,
+            (NSEC(n("examplf.com"), frozenset({RRType.NS, RRType.NSEC})),),
+        )
+        response = query.make_response(
+            rcode=RCode.NXDOMAIN,
+            answer=(),
+            authority=(soa, nsec),
+            additional=(make_rrset("ns1.example.com"),),
+            authoritative=True,
+        )
+        assert decode_message(encode_message(response)) == response
+
+    def test_dlv_query_roundtrip(self):
+        query = Message.make_query(
+            3, n("example.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True
+        )
+        decoded = decode_message(encode_message(query))
+        assert decoded.question.rtype is RRType.DLV
+
+    def test_wire_size_matches_encoding_simple(self):
+        query = Message.make_query(7, n("example.com"), RRType.A, dnssec_ok=True)
+        assert query.wire_size() == len(encode_message(query))
+
+    def test_truncated_rejected(self):
+        query = Message.make_query(7, n("example.com"), RRType.A)
+        wire = encode_message(query)
+        with pytest.raises(WireError):
+            decode_message(wire[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        query = Message.make_query(7, n("example.com"), RRType.A)
+        with pytest.raises(WireError):
+            decode_message(encode_message(query) + b"\x00")
+
+    def test_txt_dlv_signal_survives_wire(self):
+        query = Message.make_query(5, n("example.com"), RRType.TXT)
+        txt = RRset(n("example.com"), RRType.TXT, 300, (TXT(("dlv=1",)),))
+        response = query.make_response(answer=(txt,))
+        decoded = decode_message(encode_message(response))
+        assert decoded.answer[0].first().dlv_signal() == 1
+
+
+_LABEL = st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789"), min_size=1, max_size=8)
+_NAMES = st.lists(_LABEL, min_size=0, max_size=4).map(Name)
+
+
+@st.composite
+def messages(draw):
+    qname = draw(_NAMES)
+    rtype = draw(st.sampled_from([RRType.A, RRType.TXT, RRType.DS, RRType.DLV, RRType.DNSKEY]))
+    query = Message.make_query(
+        draw(st.integers(0, 0xFFFF)),
+        qname,
+        rtype,
+        dnssec_ok=draw(st.booleans()),
+    )
+    if draw(st.booleans()):
+        return query
+    answer = []
+    if draw(st.booleans()):
+        owner = draw(_NAMES)
+        count = draw(st.integers(1, 3))
+        answer.append(
+            RRset(
+                owner,
+                RRType.A,
+                draw(st.integers(0, 86400)),
+                tuple(A(f"10.0.{i}.{draw(st.integers(0, 255))}") for i in range(count)),
+            )
+        )
+    return query.make_response(
+        rcode=draw(st.sampled_from([RCode.NOERROR, RCode.NXDOMAIN, RCode.SERVFAIL])),
+        answer=tuple(answer),
+        authoritative=draw(st.booleans()),
+        z_bit=draw(st.booleans()),
+    )
+
+
+class TestWireProperties:
+    @settings(max_examples=200)
+    @given(messages())
+    def test_roundtrip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @settings(max_examples=200)
+    @given(messages())
+    def test_wire_size_equals_encoded_length(self, message):
+        """The network's fast-path size accounting must be byte-exact."""
+        assert message.wire_size() == len(encode_message(message))

@@ -1,0 +1,156 @@
+"""Tests for repro.dnscore.names."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnscore import ROOT, Name, NameError_, canonical_sort, name_between
+
+
+def n(text: str) -> Name:
+    return Name.from_text(text)
+
+
+class TestParsing:
+    def test_from_text_basic(self):
+        name = n("www.Example.COM")
+        assert name.labels == ("www", "example", "com")
+
+    def test_trailing_dot_optional(self):
+        assert n("example.com.") == n("example.com")
+
+    def test_root_spellings(self):
+        assert n(".") is ROOT or n(".") == ROOT
+        assert n("") == ROOT
+        assert ROOT.is_root()
+
+    def test_to_text_roundtrip(self):
+        assert n("a.b.c").to_text() == "a.b.c."
+        assert ROOT.to_text() == "."
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(NameError_):
+            Name(["a", "", "b"])
+
+    def test_rejects_oversized_label(self):
+        with pytest.raises(NameError_):
+            Name(["x" * 64])
+
+    def test_rejects_oversized_name(self):
+        labels = ["x" * 63] * 4
+        with pytest.raises(NameError_):
+            Name(labels)
+
+    def test_case_insensitive_equality(self):
+        assert Name(["WWW", "Example", "Com"]) == n("www.example.com")
+
+
+class TestRelations:
+    def test_parent(self):
+        assert n("www.example.com").parent() == n("example.com")
+        assert n("com").parent() == ROOT
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(NameError_):
+            ROOT.parent()
+
+    def test_strip_left(self):
+        assert n("a.b.c").strip_left(2) == n("c")
+        with pytest.raises(NameError_):
+            n("a.b").strip_left(3)
+
+    def test_is_subdomain_of(self):
+        assert n("www.example.com").is_subdomain_of(n("example.com"))
+        assert n("example.com").is_subdomain_of(n("example.com"))
+        assert n("example.com").is_subdomain_of(ROOT)
+        assert not n("example.com").is_subdomain_of(n("example.org"))
+        assert not n("badexample.com").is_subdomain_of(n("example.com"))
+
+    def test_relativize(self):
+        assert n("a.b.example.com").relativize(n("example.com")) == ("a", "b")
+        assert n("example.com").relativize(n("example.com")) == ()
+        with pytest.raises(NameError_):
+            n("example.org").relativize(n("example.com"))
+
+    def test_concatenate_and_prepend(self):
+        assert n("example").concatenate(n("com")) == n("example.com")
+        assert n("example.com").prepend("www") == n("www.example.com")
+
+    def test_ancestors(self):
+        chain = list(n("a.b.c").ancestors())
+        assert chain == [n("a.b.c"), n("b.c"), n("c"), ROOT]
+
+    def test_common_ancestor(self):
+        assert n("a.x.com").common_ancestor(n("b.x.com")) == n("x.com")
+        assert n("a.com").common_ancestor(n("a.org")) == ROOT
+
+
+class TestCanonicalOrdering:
+    def test_rfc4034_example_order(self):
+        # The ordering example from RFC 4034 section 6.1.
+        ordered = [
+            n("example"),
+            n("a.example"),
+            n("yljkjljk.a.example"),
+            n("z.a.example"),
+            n("zabc.a.example"),
+            n("z.example"),
+        ]
+        shuffled = list(reversed(ordered))
+        assert canonical_sort(shuffled) == ordered
+
+    def test_ancestor_sorts_first(self):
+        assert n("example.com") < n("a.example.com")
+
+    def test_name_between_simple(self):
+        assert name_between(n("b.com"), n("a.com"), n("c.com"))
+        assert not name_between(n("a.com"), n("a.com"), n("c.com"))
+        assert not name_between(n("d.com"), n("a.com"), n("c.com"))
+
+    def test_name_between_wrapped(self):
+        # NSEC from the canonically-last name wraps to the apex.
+        assert name_between(n("zz.com"), n("y.com"), n("com"))
+        assert not name_between(n("x.com"), n("y.com"), n("com"))
+
+    def test_name_between_self_loop_covers_everything_else(self):
+        assert name_between(n("anything.com"), n("com"), n("com"))
+        assert not name_between(n("com"), n("com"), n("com"))
+
+
+_LABEL = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=10,
+).filter(lambda s: not s.startswith("-"))
+
+
+@st.composite
+def names(draw):
+    labels = draw(st.lists(_LABEL, min_size=0, max_size=5))
+    return Name(labels)
+
+
+class TestNameProperties:
+    @given(names())
+    def test_text_roundtrip(self, name):
+        assert Name.from_text(name.to_text()) == name
+
+    @given(names())
+    def test_wire_length_matches_definition(self, name):
+        assert name.wire_length() == sum(len(l) + 1 for l in name.labels) + 1
+
+    @given(names(), names())
+    def test_ordering_total_and_consistent(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(names())
+    def test_subdomain_of_all_ancestors(self, name):
+        for ancestor in name.ancestors():
+            assert name.is_subdomain_of(ancestor)
+
+    @given(names(), names())
+    def test_concatenate_is_subdomain(self, a, b):
+        try:
+            combined = a.concatenate(b)
+        except NameError_:
+            return  # exceeded the 255-octet cap; nothing to check
+        assert combined.is_subdomain_of(b)

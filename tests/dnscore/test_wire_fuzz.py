@@ -1,0 +1,107 @@
+"""Fuzz-style robustness tests for the wire codec.
+
+A resolver parses attacker-controlled bytes; the codec must fail
+*cleanly* (WireError / RdataError, both ValueError) on anything it
+cannot parse, and mutated valid messages must never crash the decoder.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnscore import (
+    A,
+    Message,
+    Name,
+    NSEC,
+    RCode,
+    RRType,
+    RRset,
+    SOA,
+    WireError,
+    decode_message,
+    encode_message,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def sample_message():
+    query = Message.make_query(77, n("example.com"), RRType.A, dnssec_ok=True)
+    soa = RRset(
+        n("com"), RRType.SOA, 900,
+        (SOA(n("ns1.com"), n("hostmaster.com"), 1),),
+    )
+    nsec = RRset(
+        n("example.com"), RRType.NSEC, 900,
+        (NSEC(n("examplf.com"), frozenset({RRType.NS})),),
+    )
+    return query.make_response(
+        rcode=RCode.NXDOMAIN, authority=(soa, nsec), authoritative=True
+    )
+
+
+class TestRandomBytes:
+    @settings(max_examples=300)
+    @given(st.binary(min_size=0, max_size=120))
+    def test_random_bytes_fail_cleanly(self, data):
+        try:
+            message = decode_message(data)
+        except ValueError:
+            return
+        # If it decoded, it must re-encode without crashing.
+        encode_message(message)
+
+    @settings(max_examples=200)
+    @given(st.binary(min_size=12, max_size=12))
+    def test_bare_headers(self, header):
+        try:
+            decode_message(header)
+        except ValueError:
+            pass
+
+
+class TestMutatedMessages:
+    @settings(max_examples=300)
+    @given(st.data())
+    def test_single_byte_mutation_never_crashes(self, data):
+        wire = bytearray(encode_message(sample_message()))
+        index = data.draw(st.integers(0, len(wire) - 1))
+        value = data.draw(st.integers(0, 255))
+        wire[index] = value
+        try:
+            message = decode_message(bytes(wire))
+        except ValueError:
+            return
+        encode_message(message)
+
+    @settings(max_examples=100)
+    @given(st.integers(0, 200))
+    def test_truncation_never_crashes(self, cut):
+        wire = encode_message(sample_message())
+        truncated = wire[: min(cut, len(wire))]
+        if truncated == wire:
+            return
+        with pytest.raises(ValueError):
+            decode_message(truncated)
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=1, max_size=30))
+    def test_trailing_garbage_rejected(self, garbage):
+        wire = encode_message(sample_message())
+        with pytest.raises(ValueError):
+            decode_message(wire + garbage)
+
+
+class TestDecodeEncodeStability:
+    @settings(max_examples=100)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_decoded_messages_are_fixpoints(self, data):
+        """decode(encode(decode(x))) == decode(x) whenever x decodes."""
+        try:
+            first = decode_message(data)
+        except ValueError:
+            return
+        wire = encode_message(first)
+        assert decode_message(wire) == first

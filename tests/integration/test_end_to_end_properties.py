@@ -1,0 +1,89 @@
+"""Property-based end-to-end invariants over random small universes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LeakageCase, LeakageExperiment
+from repro.dnscore import RCode, RRType
+from repro.resolver import ValidationStatus, correct_bind_config
+from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+
+@st.composite
+def small_runs(draw):
+    seed = draw(st.integers(0, 2**16))
+    count = draw(st.integers(5, 18))
+    workload = AlexaWorkload(count, WorkloadParams(seed=seed))
+    universe = Universe(
+        workload.domains,
+        UniverseParams(
+            modulus_bits=256,
+            seed=seed,
+            registry_filler=tuple(workload.registry_filler(150)),
+        ),
+    )
+    experiment = LeakageExperiment(universe, correct_bind_config(), ptr_fraction=0.0)
+    result = experiment.run(workload.names(count))
+    return workload, universe, experiment, result
+
+
+class TestEndToEndInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(small_runs())
+    def test_every_domain_resolves(self, run):
+        workload, universe, experiment, result = run
+        assert result.rcode_counts == {"NOERROR": len(workload)}
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_runs())
+    def test_leakage_cases_partition_registry_traffic(self, run):
+        workload, universe, experiment, result = run
+        classified = experiment.classifier.classify_queries(result.capture)
+        case1 = [c for c in classified if c.case is LeakageCase.CASE1]
+        case2 = [c for c in classified if c.case is LeakageCase.CASE2]
+        assert len(case1) + len(case2) == len(classified)
+        # Case-1 queries name a deposited owner; Case-2 never do.
+        for item in case1:
+            assert universe.registry_zone.has_owner(item.record.qname)
+        for item in case2:
+            assert not universe.registry_zone.has_owner(item.record.qname)
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_runs())
+    def test_secure_domains_never_leak(self, run):
+        """A domain with a full chain of trust validates on-path and
+        must never appear in the leaked set."""
+        workload, universe, experiment, result = run
+        secure_names = {
+            s.name for s in workload.domains if s.signed and s.ds_in_parent
+        }
+        assert secure_names.isdisjoint(result.leakage.leaked_domains)
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_runs())
+    def test_deposited_islands_validate(self, run):
+        workload, universe, experiment, result = run
+        memo = experiment.resolver.validator._zone_security
+        for spec in workload.domains:
+            if spec.is_island_of_security() and spec.dlv_deposited:
+                security = memo.get(spec.name)
+                assert security is not None
+                assert security.status is ValidationStatus.SECURE
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_runs())
+    def test_leaked_plus_served_bounded_by_population(self, run):
+        workload, universe, experiment, result = run
+        leak = result.leakage
+        assert leak.leaked_count + len(leak.served_domains) <= len(workload)
+        assert leak.leaked_domains.isdisjoint(leak.served_domains)
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_runs())
+    def test_answers_match_universe_addresses(self, run):
+        workload, universe, experiment, result = run
+        resolver = experiment.resolver
+        for spec in workload.domains[:5]:
+            outcome = resolver.resolve(spec.name, RRType.A)
+            assert outcome.rcode is RCode.NOERROR
+            a_rrsets = [r for r in outcome.answer if r.rtype is RRType.A]
+            assert a_rrsets[0].first().address == universe.apex_address(spec.name)

@@ -1,0 +1,101 @@
+"""Unbound parity and leak recurrence over negative-TTL windows."""
+
+import pytest
+
+from repro.configs import UnboundInstall, config_from_unbound_install
+from repro.core import LeakageExperiment
+from repro.dnscore import RRType
+from repro.resolver import correct_bind_config
+from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+
+def build_world(count=40, seed=121, filler=800):
+    workload = AlexaWorkload(count, WorkloadParams(seed=seed))
+    universe = Universe(
+        workload.domains,
+        UniverseParams(
+            modulus_bits=256,
+            registry_filler=tuple(workload.registry_filler(filler)),
+        ),
+    )
+    return workload, universe
+
+
+class TestUnboundParity:
+    """Section 5: 'the measurements, results, and findings are the same
+    for both resolver software packages' — once DLV is actually
+    enabled, Unbound leaks exactly like BIND."""
+
+    def test_configured_unbound_leaks_like_bind(self):
+        workload, bind_universe = build_world()
+        _, unbound_universe = build_world()
+        bind_run = LeakageExperiment(
+            bind_universe, correct_bind_config(), ptr_fraction=0.0
+        ).run(workload.names(40))
+        unbound_config = config_from_unbound_install(
+            UnboundInstall.MANUAL_CONFIGURED
+        )
+        unbound_run = LeakageExperiment(
+            unbound_universe, unbound_config, ptr_fraction=0.0
+        ).run(workload.names(40))
+        assert unbound_run.leakage.leaked_count == bind_run.leakage.leaked_count
+        assert unbound_run.leakage.leaked_domains == bind_run.leakage.leaked_domains
+
+    def test_package_unbound_never_contacts_registry(self):
+        workload, universe = build_world()
+        config = config_from_unbound_install(UnboundInstall.PACKAGE)
+        run = LeakageExperiment(universe, config, ptr_fraction=0.0).run(
+            workload.names(40)
+        )
+        assert run.leakage.dlv_queries == 0
+
+    def test_unconfigured_unbound_does_nothing_dnssec(self):
+        workload, universe = build_world()
+        config = config_from_unbound_install(UnboundInstall.MANUAL_DEFAULT)
+        run = LeakageExperiment(universe, config, ptr_fraction=0.0).run(
+            workload.names(40)
+        )
+        assert run.leakage.dlv_queries == 0
+        assert run.status_counts == {}
+
+
+class TestLeakRecurrence:
+    """The leak is not one-shot: once the aggressive cache's NSEC TTLs
+    expire, re-querying the same domains leaks them again — why ISC's
+    'empty zone' phase-out kept collecting traffic indefinitely."""
+
+    def test_requery_within_ttl_is_silent(self):
+        workload, universe = build_world()
+        experiment = LeakageExperiment(
+            universe, correct_bind_config(), ptr_fraction=0.0
+        )
+        experiment.run(workload.names(20))
+        second = experiment.run(workload.names(20))
+        assert second.leakage.dlv_queries == 0
+
+    def test_requery_after_ttl_leaks_again(self):
+        workload, universe = build_world()
+        experiment = LeakageExperiment(
+            universe, correct_bind_config(), ptr_fraction=0.0
+        )
+        first = experiment.run(workload.names(20))
+        assert first.leakage.leaked_count > 0
+        # Let every cache (positive, negative, security memos) expire.
+        universe.clock.advance(100_000)
+        second = experiment.run(workload.names(20))
+        assert second.leakage.leaked_count > 0
+
+    def test_capture_export_rows(self):
+        workload, universe = build_world(count=5, filler=50)
+        experiment = LeakageExperiment(
+            universe, correct_bind_config(), ptr_fraction=0.0
+        )
+        experiment.run(workload.names(5))
+        rows = universe.capture.export_rows()
+        assert rows
+        first = rows[0]
+        assert set(first) == {
+            "time", "src", "dst", "direction", "qname", "qtype", "rcode",
+            "wire_size",
+        }
+        assert any(row["qtype"] == "DLV" for row in rows)

@@ -1,0 +1,162 @@
+"""Tests for packet loss, timeouts, and retry behaviour."""
+
+import pytest
+
+from repro.dnscore import Message, Name, RCode, RRType
+from repro.netsim import Network, QueryTimeout, ZeroLatency
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+class EchoServer:
+    def __init__(self):
+        self.handled = 0
+
+    def handle(self, query):
+        self.handled += 1
+        return query.make_response(rcode=RCode.NOERROR)
+
+
+def make_network(loss_rate, seed=1):
+    network = Network(latency=ZeroLatency(), loss_rate=loss_rate, loss_seed=seed)
+    server = EchoServer()
+    network.register("srv", server)
+    return network, server
+
+
+class TestLossModel:
+    def test_zero_loss_never_times_out(self):
+        network, _ = make_network(0.0)
+        for i in range(200):
+            network.query("c", "srv", Message.make_query(i, n("x.com"), RRType.A))
+
+    def test_full_range_validation(self):
+        with pytest.raises(ValueError):
+            Network(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            Network(loss_rate=-0.1)
+
+    def test_loss_raises_query_timeout(self):
+        network, _ = make_network(0.9, seed=3)
+        with pytest.raises(QueryTimeout):
+            for i in range(50):
+                network.query(
+                    "c", "srv", Message.make_query(i, n("x.com"), RRType.A)
+                )
+
+    def test_timeout_advances_clock(self):
+        network, _ = make_network(0.999, seed=4)
+        before = network.clock.now
+        with pytest.raises(QueryTimeout):
+            network.query("c", "srv", Message.make_query(1, n("x.com"), RRType.A))
+        assert network.clock.now >= before + network.loss_timeout
+
+    def test_lost_query_never_reaches_server(self):
+        network, server = make_network(0.999, seed=5)
+        # Find a query-lost event (direction is a coin flip).
+        for i in range(50):
+            try:
+                network.query(
+                    "c", "srv", Message.make_query(i, n("x.com"), RRType.A)
+                )
+            except QueryTimeout as exc:
+                if "query to" in str(exc):
+                    break
+        dropped_queries = [
+            r for r in network.capture if r.is_query and r.dropped
+        ]
+        assert dropped_queries
+
+    def test_lost_response_was_handled_by_server(self):
+        network, server = make_network(0.999, seed=6)
+        for i in range(50):
+            try:
+                network.query(
+                    "c", "srv", Message.make_query(i, n("x.com"), RRType.A)
+                )
+            except QueryTimeout as exc:
+                if "response from" in str(exc):
+                    break
+        dropped_responses = [
+            r for r in network.capture if not r.is_query and r.dropped
+        ]
+        assert dropped_responses
+        assert server.handled > 0
+
+    def test_loss_rate_statistics(self):
+        network, _ = make_network(0.3, seed=7)
+        losses = 0
+        for i in range(500):
+            try:
+                network.query(
+                    "c", "srv", Message.make_query(i, n("x.com"), RRType.A)
+                )
+            except QueryTimeout:
+                losses += 1
+        assert 0.2 <= losses / 500 <= 0.4
+
+    def test_deterministic_under_seed(self):
+        outcomes = []
+        for _ in range(2):
+            network, _ = make_network(0.5, seed=11)
+            run = []
+            for i in range(30):
+                try:
+                    network.query(
+                        "c", "srv", Message.make_query(i, n("x.com"), RRType.A)
+                    )
+                    run.append("ok")
+                except QueryTimeout:
+                    run.append("lost")
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestResolverUnderLoss:
+    def test_experiment_survives_loss(self):
+        from repro.core import LeakageExperiment
+        from repro.resolver import correct_bind_config
+        from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+        workload = AlexaWorkload(25, WorkloadParams(seed=77))
+        universe = Universe(
+            workload.domains,
+            UniverseParams(
+                modulus_bits=256,
+                loss_rate=0.05,
+                registry_filler=tuple(workload.registry_filler(300)),
+            ),
+        )
+        experiment = LeakageExperiment(
+            universe, correct_bind_config(), ptr_fraction=0.0
+        )
+        result = experiment.run(workload.names(25))
+        assert result.rcode_counts.get("NOERROR", 0) >= 23
+        assert experiment.resolver.engine.timeouts > 0
+
+    def test_leaked_count_robust_to_recoverable_loss(self):
+        """With retries, the leaked-domain count stays the structural
+        invariant it is in the lossless run — loss perturbs timing and
+        duplicate queries, not which ranges get touched."""
+        from repro.core import LeakageExperiment
+        from repro.resolver import correct_bind_config
+        from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+        workload = AlexaWorkload(30, WorkloadParams(seed=78))
+        counts = set()
+        for loss in (0.0, 0.03):
+            universe = Universe(
+                workload.domains,
+                UniverseParams(
+                    modulus_bits=256,
+                    loss_rate=loss,
+                    registry_filler=tuple(workload.registry_filler(300)),
+                ),
+            )
+            experiment = LeakageExperiment(
+                universe, correct_bind_config(), ptr_fraction=0.0
+            )
+            counts.add(experiment.run(workload.names(30)).leakage.leaked_count)
+        assert len(counts) == 1

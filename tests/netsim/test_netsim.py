@@ -1,0 +1,185 @@
+"""Tests for the simulated clock, latency, capture, and network."""
+
+import pytest
+
+from repro.dnscore import Message, Name, RCode, RRType
+from repro.netsim import (
+    Capture,
+    LatencyModel,
+    Network,
+    NetworkError,
+    PacketRecord,
+    SimClock,
+    ZeroLatency,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+class EchoServer:
+    """Responds NOERROR/empty to everything; counts queries."""
+
+    def __init__(self):
+        self.seen = []
+
+    def handle(self, query):
+        self.seen.append(query)
+        return query.make_response(rcode=RCode.NOERROR, authoritative=True)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_start_offset(self):
+        assert SimClock(start=100.0).now == 100.0
+
+
+class TestLatencyModel:
+    def test_base_rtt_stable_per_address(self):
+        model = LatencyModel(seed=1)
+        assert model.base_rtt("a") == model.base_rtt("a")
+
+    def test_sample_within_bounds(self):
+        model = LatencyModel(seed=1, min_base=0.01, max_base=0.05, jitter=0.002)
+        for _ in range(100):
+            rtt = model.sample("server")
+            assert 0.01 <= rtt <= 0.052
+
+    def test_deterministic_under_seed(self):
+        a = [LatencyModel(seed=9).sample("x") for _ in range(10)]
+        b = [LatencyModel(seed=9).sample("x") for _ in range(10)]
+        assert a == b
+
+    def test_distinct_addresses_distinct_bases(self):
+        model = LatencyModel(seed=2)
+        bases = {model.base_rtt(f"srv{i}") for i in range(20)}
+        assert len(bases) > 1
+
+    def test_zero_latency(self):
+        assert ZeroLatency().sample("anything") == 0.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyModel(min_base=0.5, max_base=0.1)
+
+
+class TestNetwork:
+    def make_network(self):
+        network = Network(latency=ZeroLatency())
+        server = EchoServer()
+        network.register("198.51.100.1", server)
+        return network, server
+
+    def test_query_delivers_and_responds(self):
+        network, server = self.make_network()
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        response = network.query("client", "198.51.100.1", query)
+        assert response.is_response()
+        assert len(server.seen) == 1
+
+    def test_unknown_address_raises(self):
+        network, _ = self.make_network()
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        with pytest.raises(NetworkError):
+            network.query("client", "203.0.113.9", query)
+
+    def test_duplicate_registration_rejected(self):
+        network, _ = self.make_network()
+        with pytest.raises(ValueError):
+            network.register("198.51.100.1", EchoServer())
+
+    def test_capture_records_both_directions(self):
+        network, _ = self.make_network()
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        network.query("client", "198.51.100.1", query)
+        assert len(network.capture) == 2
+        records = list(network.capture)
+        assert records[0].is_query and not records[1].is_query
+        assert records[0].dst == records[1].src == "198.51.100.1"
+
+    def test_clock_advances_by_rtt(self):
+        network = Network(latency=LatencyModel(seed=3))
+        network.register("s", EchoServer())
+        before = network.clock.now
+        network.query("c", "s", Message.make_query(1, n("x.com"), RRType.A))
+        assert network.clock.now > before
+
+    def test_wire_sizes_recorded(self):
+        network, _ = self.make_network()
+        query = Message.make_query(1, n("example.com"), RRType.A)
+        network.query("client", "198.51.100.1", query)
+        assert all(record.wire_size > 12 for record in network.capture)
+
+    def test_verified_roundtrip_mode_matches_fast_path(self):
+        query = Message.make_query(1, n("example.com"), RRType.A, dnssec_ok=True)
+        fast = Network(latency=ZeroLatency())
+        fast.register("s", EchoServer())
+        slow = Network(latency=ZeroLatency(), verify_wire_roundtrip=True)
+        slow.register("s", EchoServer())
+        fast.query("c", "s", query)
+        slow.query("c", "s", query)
+        fast_sizes = [r.wire_size for r in fast.capture]
+        slow_sizes = [r.wire_size for r in slow.capture]
+        assert fast_sizes == slow_sizes
+
+
+class TestCaptureAnalysis:
+    def populate(self):
+        network = Network(latency=ZeroLatency())
+        network.register("auth", EchoServer())
+        network.register("dlv", EchoServer())
+        for i, (rtype, dst) in enumerate(
+            [
+                (RRType.A, "auth"),
+                (RRType.AAAA, "auth"),
+                (RRType.DLV, "dlv"),
+                (RRType.DLV, "dlv"),
+                (RRType.DS, "auth"),
+            ]
+        ):
+            network.query("client", dst, Message.make_query(i, n(f"d{i}.com"), rtype))
+        return network.capture
+
+    def test_queries_of_type_is_the_paper_filter(self):
+        capture = self.populate()
+        assert len(capture.queries_of_type(RRType.DLV)) == 2
+        assert len(capture.queries_of_type(RRType.A)) == 1
+
+    def test_queries_to(self):
+        capture = self.populate()
+        assert len(capture.queries_to("dlv")) == 2
+
+    def test_histogram(self):
+        histogram = self.populate().query_type_histogram()
+        assert histogram[RRType.DLV] == 2
+        assert histogram[RRType.DS] == 1
+
+    def test_total_bytes_counts_everything(self):
+        capture = self.populate()
+        assert capture.total_bytes() == sum(r.wire_size for r in capture)
+
+    def test_query_count(self):
+        assert self.populate().query_count() == 5
+
+    def test_response_for(self):
+        capture = self.populate()
+        query = capture.queries()[0]
+        response = capture.response_for(query)
+        assert response is not None
+        assert response.message.message_id == query.message.message_id
+
+    def test_clear(self):
+        capture = self.populate()
+        capture.clear()
+        assert len(capture) == 0

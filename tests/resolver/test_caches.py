@@ -1,0 +1,202 @@
+"""Tests for the positive cache and the negative/aggressive caches."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dnscore import A, NSEC, Name, RRType, RRset, canonical_sort
+from repro.netsim import SimClock
+from repro.resolver import NegativeCache, RRsetCache
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def a_rrset(name="example.com", ttl=300):
+    return RRset(n(name), RRType.A, ttl, (A("192.0.2.1"),))
+
+
+def nsec_rrset(owner, next_name, ttl=600):
+    return RRset(
+        n(owner),
+        RRType.NSEC,
+        ttl,
+        (NSEC(n(next_name), frozenset({RRType.DLV})),),
+    )
+
+
+class TestRRsetCache:
+    def test_put_get(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.put(a_rrset())
+        assert cache.get(n("example.com"), RRType.A).rrset == a_rrset()
+
+    def test_expires_with_clock(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.put(a_rrset(ttl=10))
+        clock.advance(11)
+        assert cache.get(n("example.com"), RRType.A) is None
+
+    def test_fresh_just_before_expiry(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.put(a_rrset(ttl=10))
+        clock.advance(9.5)
+        assert cache.get(n("example.com"), RRType.A) is not None
+
+    def test_max_ttl_cap(self):
+        clock = SimClock()
+        cache = RRsetCache(clock, max_ttl=100)
+        cache.put(a_rrset(ttl=10_000))
+        clock.advance(101)
+        assert cache.get(n("example.com"), RRType.A) is None
+
+    def test_hit_miss_counters(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.get(n("example.com"), RRType.A)
+        cache.put(a_rrset())
+        cache.get(n("example.com"), RRType.A)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_status_annotation(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.put(a_rrset(), status="secure")
+        assert cache.get(n("example.com"), RRType.A).status == "secure"
+
+    def test_set_status_on_existing(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.put(a_rrset())
+        cache.set_status(n("example.com"), RRType.A, "insecure")
+        assert cache.get(n("example.com"), RRType.A).status == "insecure"
+
+    def test_flush(self):
+        clock = SimClock()
+        cache = RRsetCache(clock)
+        cache.put(a_rrset())
+        cache.flush()
+        assert len(cache) == 0
+
+
+class TestClassicNegativeCache:
+    def test_nxdomain(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.put_nxdomain(n("gone.com"), 60)
+        assert cache.is_nxdomain(n("gone.com"))
+        assert cache.known_negative(n("gone.com"), RRType.A)
+
+    def test_nodata_is_type_specific(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.put_nodata(n("x.com"), RRType.AAAA, 60)
+        assert cache.is_nodata(n("x.com"), RRType.AAAA)
+        assert not cache.is_nodata(n("x.com"), RRType.A)
+
+    def test_expiry(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.put_nxdomain(n("gone.com"), 30)
+        clock.advance(31)
+        assert not cache.is_nxdomain(n("gone.com"))
+
+    def test_ttl_capped(self):
+        clock = SimClock()
+        cache = NegativeCache(clock, max_ttl=50)
+        cache.put_nxdomain(n("gone.com"), 10_000)
+        clock.advance(51)
+        assert not cache.is_nxdomain(n("gone.com"))
+
+
+class TestAggressiveNsecCache:
+    ZONE = Name.from_text("dlv.isc.org")
+
+    def test_range_covers_between(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.add_nsec(self.ZONE, nsec_rrset("a.com.dlv.isc.org", "f.com.dlv.isc.org"))
+        assert cache.nsec_covers(self.ZONE, n("c.com.dlv.isc.org"))
+        assert not cache.nsec_covers(self.ZONE, n("z.com.dlv.isc.org"))
+
+    def test_endpoints_not_covered(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.add_nsec(self.ZONE, nsec_rrset("a.com.dlv.isc.org", "f.com.dlv.isc.org"))
+        assert not cache.nsec_covers(self.ZONE, n("a.com.dlv.isc.org"))
+        assert not cache.nsec_covers(self.ZONE, n("f.com.dlv.isc.org"))
+
+    def test_wrapped_range(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        # Last NSEC in the chain wraps back to the apex.
+        cache.add_nsec(self.ZONE, nsec_rrset("z.org.dlv.isc.org", "dlv.isc.org"))
+        assert cache.nsec_covers(self.ZONE, n("zz.org.dlv.isc.org"))
+
+    def test_zone_isolation(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.add_nsec(self.ZONE, nsec_rrset("a.com.dlv.isc.org", "f.com.dlv.isc.org"))
+        assert not cache.nsec_covers(n("other.zone"), n("c.com.dlv.isc.org"))
+
+    def test_range_expiry(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.add_nsec(
+            self.ZONE, nsec_rrset("a.com.dlv.isc.org", "f.com.dlv.isc.org", ttl=10)
+        )
+        clock.advance(11)
+        assert not cache.nsec_covers(self.ZONE, n("c.com.dlv.isc.org"))
+
+    def test_refresh_replaces_range(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.add_nsec(self.ZONE, nsec_rrset("a.com.dlv.isc.org", "b.com.dlv.isc.org"))
+        cache.add_nsec(self.ZONE, nsec_rrset("a.com.dlv.isc.org", "f.com.dlv.isc.org"))
+        assert cache.nsec_range_count(self.ZONE) == 1
+        assert cache.nsec_covers(self.ZONE, n("c.com.dlv.isc.org"))
+
+    def test_aggressive_hits_counter(self):
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        cache.add_nsec(self.ZONE, nsec_rrset("a.com.dlv.isc.org", "f.com.dlv.isc.org"))
+        cache.nsec_covers(self.ZONE, n("c.com.dlv.isc.org"))
+        assert cache.aggressive_hits == 1
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+        st.text(alphabet="abcdefghij", min_size=1, max_size=5),
+    )
+    def test_chain_coverage_matches_reference(self, labels, probe_label):
+        """Covered names are exactly those strictly inside a cached
+        range — checked against a brute-force reference over a full
+        NSEC chain built from random owner labels."""
+        clock = SimClock()
+        cache = NegativeCache(clock)
+        zone = self.ZONE
+        owners = canonical_sort(
+            [zone] + [zone.prepend(label, "com") for label in labels]
+        )
+        for index, owner in enumerate(owners):
+            next_owner = owners[(index + 1) % len(owners)]
+            cache.add_nsec(
+                zone,
+                RRset(
+                    owner,
+                    RRType.NSEC,
+                    600,
+                    (NSEC(next_owner, frozenset({RRType.DLV})),),
+                ),
+            )
+        probe = zone.prepend(probe_label, "com")
+        expected = probe not in owners
+        assert cache.nsec_covers(zone, probe) == expected

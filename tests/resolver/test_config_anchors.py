@@ -1,0 +1,160 @@
+"""Tests for ResolverConfig semantics and trust-anchor stores."""
+
+import random
+
+import pytest
+
+from repro.crypto import generate_keypair, make_ds, make_zone_key
+from repro.dnscore import Name, ROOT
+from repro.resolver import (
+    LookasideSetting,
+    ResolverConfig,
+    ResolverFlavor,
+    TrustAnchor,
+    TrustAnchorStore,
+    ValidationSetting,
+    broken_anchor_bind_config,
+    correct_bind_config,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+class TestBindConfigSemantics:
+    def test_correct_config_is_fully_enabled(self):
+        config = correct_bind_config()
+        assert config.validation_machinery_active
+        assert config.root_anchor_available
+        assert config.lookaside_enabled
+
+    def test_broken_anchor_still_validates_and_looks_aside(self):
+        """The paper's central misconfiguration: machinery runs, anchor
+        unusable, DLV flooded."""
+        config = broken_anchor_bind_config()
+        assert config.validation_machinery_active
+        assert not config.root_anchor_available
+        assert config.lookaside_enabled
+
+    def test_validation_auto_uses_builtin_anchor(self):
+        config = ResolverConfig(
+            dnssec_validation=ValidationSetting.AUTO,
+            trust_anchor_included=False,
+        )
+        assert config.root_anchor_available
+
+    def test_validation_yes_needs_include(self):
+        config = ResolverConfig(
+            dnssec_validation=ValidationSetting.YES,
+            trust_anchor_included=False,
+        )
+        assert not config.root_anchor_available
+
+    def test_validation_no_disables_everything(self):
+        config = ResolverConfig(
+            dnssec_validation=ValidationSetting.NO,
+            dnssec_lookaside=LookasideSetting.AUTO,
+        )
+        assert not config.validation_machinery_active
+        assert not config.lookaside_enabled
+
+    def test_dnssec_disable_kills_lookaside(self):
+        config = ResolverConfig(
+            dnssec_enable=False, dnssec_lookaside=LookasideSetting.AUTO
+        )
+        assert not config.lookaside_enabled
+
+    def test_lookaside_needs_dlv_anchor(self):
+        config = ResolverConfig(
+            dnssec_lookaside=LookasideSetting.AUTO, dlv_anchor_included=False
+        )
+        assert not config.lookaside_enabled
+
+
+class TestUnboundConfigSemantics:
+    def test_anchor_file_is_the_switch(self):
+        with_anchor = ResolverConfig(
+            flavor=ResolverFlavor.UNBOUND,
+            trust_anchor_included=True,
+            dlv_anchor_included=False,
+        )
+        without = ResolverConfig(
+            flavor=ResolverFlavor.UNBOUND,
+            trust_anchor_included=False,
+            dlv_anchor_included=False,
+        )
+        assert with_anchor.validation_machinery_active
+        assert not without.validation_machinery_active
+
+    def test_unbound_cannot_validate_without_usable_anchor(self):
+        """The unrepresentable-misconfiguration property: if Unbound
+        validates at all, an anchor is present."""
+        for anchor in (True, False):
+            for dlv in (True, False):
+                config = ResolverConfig(
+                    flavor=ResolverFlavor.UNBOUND,
+                    trust_anchor_included=anchor,
+                    dlv_anchor_included=dlv,
+                )
+                if config.root_anchor_available:
+                    assert config.trust_anchor_included
+
+    def test_dlv_anchor_enables_lookaside(self):
+        config = ResolverConfig(
+            flavor=ResolverFlavor.UNBOUND,
+            trust_anchor_included=True,
+            dlv_anchor_included=True,
+        )
+        assert config.lookaside_enabled
+
+
+class TestDescribe:
+    def test_describe_mentions_remedies(self):
+        config = correct_bind_config(txt_signaling=True)
+        assert "txt" in config.describe()
+
+    def test_describe_plain(self):
+        text = broken_anchor_bind_config().describe()
+        assert "anchor=no" in text
+
+
+class TestTrustAnchors:
+    @pytest.fixture(scope="class")
+    def ksk(self):
+        return make_zone_key(generate_keypair(random.Random(8), 256), ksk=True)
+
+    def test_anchor_requires_exactly_one_form(self, ksk):
+        with pytest.raises(ValueError):
+            TrustAnchor(zone=ROOT)
+        with pytest.raises(ValueError):
+            TrustAnchor(
+                zone=ROOT, dnskey=ksk.dnskey, ds=make_ds(ROOT, ksk.dnskey)
+            )
+
+    def test_ds_anchor_matches_key(self, ksk):
+        anchor = TrustAnchor(zone=ROOT, ds=make_ds(ROOT, ksk.dnskey))
+        assert anchor.matches_key(ksk.dnskey)
+
+    def test_dnskey_anchor_matches_exact_key(self, ksk):
+        anchor = TrustAnchor(zone=ROOT, dnskey=ksk.dnskey)
+        assert anchor.matches_key(ksk.dnskey)
+
+    def test_closest_enclosing(self, ksk):
+        store = TrustAnchorStore()
+        store.add(TrustAnchor(zone=ROOT, dnskey=ksk.dnskey))
+        store.add(TrustAnchor(zone=n("dlv.isc.org"), dnskey=ksk.dnskey))
+        assert store.closest_enclosing(n("x.dlv.isc.org")).zone == n("dlv.isc.org")
+        assert store.closest_enclosing(n("example.com")).zone == ROOT
+
+    def test_anchor_for_zone_is_exact(self, ksk):
+        store = TrustAnchorStore()
+        store.add(TrustAnchor(zone=ROOT, dnskey=ksk.dnskey))
+        assert store.anchor_for_zone(n("com")) is None
+        assert store.anchor_for_zone(ROOT) is not None
+
+    def test_remove(self, ksk):
+        store = TrustAnchorStore()
+        store.add(TrustAnchor(zone=ROOT, dnskey=ksk.dnskey))
+        store.remove(ROOT)
+        assert not store.has_any()

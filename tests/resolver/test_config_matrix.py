@@ -1,0 +1,95 @@
+"""Exhaustive conformance checks over the resolver-config space."""
+
+import itertools
+
+import pytest
+
+from repro.resolver import (
+    LookasideSetting,
+    ResolverConfig,
+    ResolverFlavor,
+    ValidationSetting,
+)
+
+
+def all_bind_configs():
+    for enable, validation, lookaside, anchor, dlv_anchor in itertools.product(
+        (True, False),
+        ValidationSetting,
+        LookasideSetting,
+        (True, False),
+        (True, False),
+    ):
+        yield ResolverConfig(
+            flavor=ResolverFlavor.BIND,
+            dnssec_enable=enable,
+            dnssec_validation=validation,
+            dnssec_lookaside=lookaside,
+            trust_anchor_included=anchor,
+            dlv_anchor_included=dlv_anchor,
+        )
+
+
+def all_unbound_configs():
+    for anchor, dlv_anchor in itertools.product((True, False), (True, False)):
+        yield ResolverConfig(
+            flavor=ResolverFlavor.UNBOUND,
+            trust_anchor_included=anchor,
+            dlv_anchor_included=dlv_anchor,
+        )
+
+
+class TestConfigInvariants:
+    """Invariants over the whole configuration space."""
+
+    def test_lookaside_implies_validation_machinery(self):
+        for config in itertools.chain(all_bind_configs(), all_unbound_configs()):
+            if config.lookaside_enabled:
+                assert config.validation_machinery_active
+
+    def test_anchor_availability_implies_machinery(self):
+        for config in itertools.chain(all_bind_configs(), all_unbound_configs()):
+            if config.root_anchor_available:
+                assert config.validation_machinery_active
+
+    def test_lookaside_requires_dlv_anchor(self):
+        for config in itertools.chain(all_bind_configs(), all_unbound_configs()):
+            if config.lookaside_enabled:
+                assert config.dlv_anchor_included
+
+    def test_dnssec_disable_kills_everything_in_bind(self):
+        for config in all_bind_configs():
+            if not config.dnssec_enable:
+                assert not config.validation_machinery_active
+                assert not config.lookaside_enabled
+
+    def test_unintentional_flood_class_is_bind_only(self):
+        """The paper's Section 4.4 claim, sharpened: the *unintentional*
+        state "configured for root-anchored validation but the anchor
+        material is missing" exists only in BIND's configuration space.
+        (Unbound can still be pointed at DLV *deliberately* — an
+        explicit dlv-anchor-file — but validating-without-material is
+        unrepresentable because the anchor file IS the switch.)"""
+        from repro.resolver import ValidationSetting
+
+        bind_trap = [
+            config
+            for config in all_bind_configs()
+            if config.validation_machinery_active
+            and config.dnssec_validation is ValidationSetting.YES
+            and not config.root_anchor_available
+        ]
+        assert bind_trap
+        for config in all_unbound_configs():
+            if config.validation_machinery_active:
+                # Whatever Unbound validates with, its material exists.
+                assert config.trust_anchor_included or config.dlv_anchor_included
+
+    def test_describe_total(self):
+        for config in itertools.chain(all_bind_configs(), all_unbound_configs()):
+            text = config.describe()
+            assert config.flavor.value in text
+
+    def test_configs_hashable_and_comparable(self):
+        configs = list(all_bind_configs())
+        assert len(set(configs)) == len(configs)

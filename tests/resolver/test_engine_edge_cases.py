@@ -1,0 +1,156 @@
+"""Iterative-engine edge cases: CNAME chasing, loops, cut expiry."""
+
+import pytest
+
+from repro.crypto import KeyPool
+from repro.dnscore import A, CNAME, Name, NS, RCode, RRType
+from repro.netsim import Network, ZeroLatency
+from repro.resolver import (
+    IterativeEngine,
+    NegativeCache,
+    ResolutionError,
+    RRsetCache,
+)
+from repro.servers import AuthoritativeServer
+from repro.zones import ZoneBuilder, standard_ns_hosts
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+POOL = KeyPool(seed=51, pool_size=8, modulus_bits=256)
+
+
+def build_world(cname_loop=False, short_ttl=None):
+    """Root -> {com, org}; example.com has CNAMEs into example.org."""
+    network = Network(latency=ZeroLatency())
+
+    example_com = ZoneBuilder(n("example.com"))
+    example_com.with_ns(standard_ns_hosts(n("example.com"), ["10.1.0.3"]))
+    if cname_loop:
+        example_com.with_rrset(
+            n("alias.example.com"), RRType.CNAME, [CNAME(n("alias2.example.com"))]
+        )
+        example_com.with_rrset(
+            n("alias2.example.com"), RRType.CNAME, [CNAME(n("alias.example.com"))]
+        )
+    else:
+        example_com.with_rrset(
+            n("alias.example.com"), RRType.CNAME, [CNAME(n("real.example.org"))]
+        )
+
+    example_org = ZoneBuilder(n("example.org"))
+    example_org.with_ns(standard_ns_hosts(n("example.org"), ["10.1.0.4"]))
+    example_org.with_address(n("real.example.org"), ipv4="10.1.0.80")
+
+    com = ZoneBuilder(n("com"), default_ttl=short_ttl or 3600)
+    com.with_ns(standard_ns_hosts(n("com"), ["10.1.0.1"]))
+    com.delegate(
+        n("example.com"),
+        standard_ns_hosts(n("example.com"), ["10.1.0.3"]),
+        ttl=short_ttl,
+    )
+
+    org = ZoneBuilder(n("org"))
+    org.with_ns(standard_ns_hosts(n("org"), ["10.1.0.2"]))
+    org.delegate(n("example.org"), standard_ns_hosts(n("example.org"), ["10.1.0.4"]))
+
+    root = ZoneBuilder(Name(()))
+    root.with_ns([(n("ns1.rootsrv.net"), "10.1.0.0")])
+    root.delegate(n("com"), standard_ns_hosts(n("com"), ["10.1.0.1"]))
+    root.delegate(n("org"), standard_ns_hosts(n("org"), ["10.1.0.2"]))
+
+    network.register("10.1.0.0", AuthoritativeServer([root.build()]))
+    network.register("10.1.0.1", AuthoritativeServer([com.build()]))
+    network.register("10.1.0.2", AuthoritativeServer([org.build()]))
+    network.register("10.1.0.3", AuthoritativeServer([example_com.build()]))
+    network.register("10.1.0.4", AuthoritativeServer([example_org.build()]))
+    engine = IterativeEngine(
+        network=network,
+        address="10.1.0.100",
+        cache=RRsetCache(network.clock),
+        negcache=NegativeCache(network.clock),
+        root_hints=["10.1.0.0"],
+        sld_ns_requery_fraction=0.0,
+        ns_address_lookups=False,
+        tld_priming=False,
+    )
+    return network, engine
+
+
+class TestCnameChasing:
+    def test_cross_zone_chase(self):
+        _, engine = build_world()
+        outcome = engine.resolve(n("alias.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        types = [rrset.rtype for rrset in outcome.answer]
+        assert RRType.CNAME in types and RRType.A in types
+        final = [r for r in outcome.answer if r.rtype is RRType.A][0]
+        assert final.name == n("real.example.org")
+
+    def test_cname_query_itself_not_chased(self):
+        _, engine = build_world()
+        outcome = engine.resolve(n("alias.example.com"), RRType.CNAME)
+        assert [r.rtype for r in outcome.answer] == [RRType.CNAME]
+
+    def test_cname_loop_detected(self):
+        _, engine = build_world(cname_loop=True)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("alias.example.com"), RRType.A)
+
+
+class TestCutExpiry:
+    def test_expired_cut_falls_back_to_parent(self):
+        network, engine = build_world(short_ttl=10)
+        engine.resolve(n("example.com"), RRType.NS)
+        assert engine.deepest_cut(n("x.example.com")) == n("example.com")
+        network.clock.advance(11)
+        # The example.com cut has expired; descent restarts at com.
+        assert engine.deepest_cut(n("x.example.com")) in (n("com"), Name(()))
+        outcome = engine.resolve(n("example.com"), RRType.NS)
+        assert outcome.rcode is RCode.NOERROR
+
+    def test_root_cut_never_expires(self):
+        network, engine = build_world()
+        network.clock.advance(10**9)
+        assert engine.deepest_cut(n("anything.com")) == Name(())
+
+
+class TestChainBookkeeping:
+    def test_known_cuts_are_root_first(self):
+        _, engine = build_world()
+        engine.resolve(n("alias.example.com"), RRType.A)
+        chain = engine.known_cuts(n("alias.example.com"))
+        assert chain[0] == Name(())
+        assert chain[-1] == n("example.com")
+
+    def test_parent_cut(self):
+        _, engine = build_world()
+        engine.resolve(n("alias.example.com"), RRType.A)
+        assert engine.parent_cut(n("example.com")) == n("com")
+        assert engine.parent_cut(Name(())) is None
+
+    def test_queries_sent_counter(self):
+        _, engine = build_world()
+        before = engine.queries_sent
+        engine.resolve(n("real.example.org"), RRType.A)
+        assert engine.queries_sent > before
+
+
+class TestNegativeResults:
+    def test_nxdomain_cached_for_repeat(self):
+        network, engine = build_world()
+        engine.resolve(n("missing.example.org"), RRType.A)
+        packets = len(network.capture)
+        outcome = engine.resolve(n("missing.example.org"), RRType.A)
+        assert outcome.rcode is RCode.NXDOMAIN
+        assert outcome.from_cache
+        assert len(network.capture) == packets
+
+    def test_nodata_cached_per_type(self):
+        network, engine = build_world()
+        engine.resolve(n("real.example.org"), RRType.AAAA)  # NODATA
+        outcome = engine.resolve(n("real.example.org"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert outcome.answer

@@ -1,0 +1,76 @@
+"""Remaining small paths: probe construction, handle() edges, stub
+retry fallback."""
+
+import pytest
+
+from repro.dnscore import Message, Name, RCode, ROOT, RRType
+from repro.netsim import Network, ZeroLatency
+from repro.resolver import StubClient, correct_bind_config
+from repro.resolver.engine import IterativeEngine
+from repro.workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+class TestMinimizedProbe:
+    probe = staticmethod(IterativeEngine._minimized_probe)
+
+    def test_one_label_past_cut(self):
+        assert self.probe(n("a.b.example.com"), n("com"), None) == n("example.com")
+
+    def test_explicit_count(self):
+        assert self.probe(n("a.b.example.com"), n("com"), 3) == n("b.example.com")
+
+    def test_clamped_to_full_name(self):
+        assert self.probe(n("example.com"), n("example.com"), 99) == n("example.com")
+
+    def test_from_root(self):
+        assert self.probe(n("example.com"), ROOT, None) == n("com")
+
+
+class TestHandleEdges:
+    @pytest.fixture(scope="class")
+    def resolver(self):
+        workload = AlexaWorkload(5, WorkloadParams(seed=211))
+        universe = Universe(workload.domains, UniverseParams(modulus_bits=256))
+        return universe.make_resolver(correct_bind_config())
+
+    def test_response_message_rejected(self, resolver):
+        query = Message.make_query(1, n("x.com"), RRType.A)
+        bounced = resolver.handle(query.make_response())
+        assert bounced.rcode is RCode.FORMERR
+
+    def test_recursion_available_flag(self, resolver):
+        query = Message.make_query(2, n("no-such-name-at-all.com"), RRType.A)
+        response = resolver.handle(query)
+        assert response.flags.ra
+        assert response.flags.qr
+
+
+class TestStubFallback:
+    def test_persistent_loss_yields_local_servfail(self):
+        network = Network(latency=ZeroLatency(), loss_rate=0.999, loss_seed=3)
+
+        class Silent:
+            def handle(self, query):
+                return query.make_response()
+
+        network.register("resolver", Silent())
+        stub = StubClient(network, "stub", "resolver")
+        response = stub.query(n("example.com"))
+        assert response.rcode is RCode.SERVFAIL
+
+    def test_stub_ids_increment(self):
+        network = Network(latency=ZeroLatency())
+
+        class Echo:
+            def handle(self, query):
+                return query.make_response()
+
+        network.register("resolver", Echo())
+        stub = StubClient(network, "stub", "resolver")
+        first = stub.query(n("a.com"))
+        second = stub.query(n("b.com"))
+        assert first.message_id != second.message_id

@@ -1,0 +1,284 @@
+"""Resolver behaviour tests against a small simulated universe."""
+
+import pytest
+
+from repro.dnscore import Name, RCode, RRType
+from repro.resolver import (
+    ResolverConfig,
+    TrustAnchor,
+    TrustAnchorStore,
+    ValidationStatus,
+    broken_anchor_bind_config,
+    correct_bind_config,
+)
+from repro.workloads import (
+    AlexaWorkload,
+    Universe,
+    UniverseParams,
+    WorkloadParams,
+    secured_domains,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def small_universe(**overrides):
+    workload = AlexaWorkload(30, WorkloadParams(seed=99))
+    params = UniverseParams(
+        modulus_bits=256,
+        registry_filler=tuple(workload.registry_filler(500)),
+        **overrides,
+    )
+    return workload, Universe(workload.domains, params)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return small_universe()
+
+
+class TestBasicResolution:
+    def test_a_answer(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        result = resolver.resolve(workload.names(1)[0], RRType.A)
+        assert result.rcode is RCode.NOERROR
+        assert result.answer[0].rtype is RRType.A
+
+    def test_answer_address_matches_universe(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        name = workload.names(2)[1]
+        result = resolver.resolve(name, RRType.A)
+        assert result.answer[0].first().address == universe.apex_address(name)
+
+    def test_nxdomain_for_unregistered_name(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        result = resolver.resolve(n("no-such-domain-here.com"), RRType.A)
+        assert result.rcode is RCode.NXDOMAIN
+
+    def test_second_query_served_from_cache(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        name = workload.names(3)[2]
+        resolver.resolve(name, RRType.A)
+        before = len(universe.capture)
+        result = resolver.resolve(name, RRType.A)
+        assert result.rcode is RCode.NOERROR
+        assert len(universe.capture) == before  # no new packets
+
+    def test_out_of_bailiwick_ns_resolvable(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        oob = [s for s in workload.domains if s.out_of_bailiwick_ns]
+        assert oob, "workload should contain OOB domains"
+        result = resolver.resolve(oob[0].name, RRType.A)
+        assert result.rcode is RCode.NOERROR
+
+    def test_ptr_resolution_through_reverse_tree(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        name = workload.names(1)[0]
+        resolver.resolve(name, RRType.A)
+        octets = universe.apex_address(name).split(".")
+        reverse = Name(list(reversed(octets)) + ["in-addr", "arpa"])
+        result = resolver.resolve(reverse, RRType.PTR)
+        assert result.rcode is RCode.NOERROR
+        assert result.answer[0].rtype is RRType.PTR
+
+
+class TestValidationStatuses:
+    def test_unsigned_domain_is_insecure(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        unsigned = next(s for s in workload.domains if not s.signed)
+        result = resolver.resolve(unsigned.name, RRType.A)
+        assert result.status is ValidationStatus.INSECURE
+        assert not result.authenticated
+
+    def test_secured_domain_is_secure(self):
+        specs = secured_domains()
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        resolver = universe.make_resolver(correct_bind_config())
+        anchored = next(s for s in specs if s.ds_in_parent)
+        result = resolver.resolve(anchored.name, RRType.A)
+        assert result.status is ValidationStatus.SECURE
+        assert result.authenticated
+
+    def test_island_secured_via_dlv(self):
+        specs = secured_domains()
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        resolver = universe.make_resolver(correct_bind_config())
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert result.status is ValidationStatus.SECURE
+        assert result.lookaside is not None
+        assert result.lookaside.anchored_at == island.name
+
+    def test_island_without_dlv_stays_insecure(self):
+        specs = secured_domains(dlv_deposited_islands=False)
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        resolver = universe.make_resolver(correct_bind_config())
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert result.status is ValidationStatus.INSECURE
+
+    def test_missing_anchor_makes_everything_indeterminate(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(broken_anchor_bind_config())
+        result = resolver.resolve(workload.names(1)[0], RRType.A)
+        assert result.status is ValidationStatus.INDETERMINATE
+        assert result.rcode is RCode.NOERROR  # answers still flow
+
+    def test_wrong_anchor_is_bogus_servfail(self, world):
+        workload, universe = world
+        wrong = universe.keys.fresh_keyset()
+        resolver = universe.make_resolver(correct_bind_config())
+        resolver.anchors.remove(Name(()))
+        resolver.anchors.add(TrustAnchor(zone=Name(()), dnskey=wrong.ksk.dnskey))
+        result = resolver.resolve(workload.names(5)[4], RRType.A)
+        assert result.status is ValidationStatus.BOGUS
+        assert result.rcode is RCode.SERVFAIL
+
+    def test_validation_disabled_has_no_status(self, world):
+        workload, universe = world
+        from repro.resolver import ValidationSetting
+
+        config = ResolverConfig(dnssec_validation=ValidationSetting.NO)
+        resolver = universe.make_resolver(config)
+        result = resolver.resolve(workload.names(4)[3], RRType.A)
+        assert result.status is None
+        assert result.rcode is RCode.NOERROR
+
+
+class TestLookasideBehaviour:
+    def test_no_lookaside_when_disabled(self, world):
+        workload, universe = world
+        from repro.resolver import LookasideSetting
+
+        config = correct_bind_config(dnssec_lookaside=LookasideSetting.NO)
+        resolver = universe.make_resolver(config)
+        before = len(universe.capture.queries_of_type(RRType.DLV))
+        resolver.resolve(workload.names(6)[5], RRType.A)
+        after = len(universe.capture.queries_of_type(RRType.DLV))
+        assert before == after
+
+    def test_label_stripping_order(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        candidates = resolver.lookaside.candidates(n("bbs.sub1.example.com"))
+        assert candidates == [
+            n("bbs.sub1.example.com"),
+            n("sub1.example.com"),
+            n("example.com"),
+            n("com"),
+        ]
+
+    def test_dlv_query_name_construction(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        assert resolver.lookaside.dlv_query_name(n("example.com")) == n(
+            "example.com.dlv.isc.org"
+        )
+
+    def test_aggressive_cache_suppresses_repeat_ranges(self, world):
+        """Two unsigned domains in a TLD with no registry entries: the
+        first leaks, the second is suppressed by the cached NSEC."""
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        tail = [
+            s.name
+            for s in workload.domains
+            if s.name.labels[-1] == "ru" and not s.signed
+        ]
+        if len(tail) < 2:
+            tail = [
+                s.name
+                for s in workload.domains
+                if s.name.labels[-1] == "cn" and not s.signed
+            ]
+        if len(tail) < 2:
+            pytest.skip("workload has too few tail-TLD domains")
+        resolver.resolve(tail[0], RRType.A)
+        first = resolver.lookaside.total_queries_sent
+        resolver.resolve(tail[1], RRType.A)
+        assert resolver.lookaside.total_queries_sent == first
+        assert resolver.lookaside.total_queries_suppressed > 0
+
+    def test_exact_negative_cache_suppresses_repeat_name(self, world):
+        workload, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        unsigned = next(s for s in workload.domains if not s.signed)
+        resolver.resolve(unsigned.name, RRType.A)
+        resolver.validator.invalidate_below(unsigned.name)
+        sent_before = resolver.lookaside.total_queries_sent
+        resolver.lookaside.try_lookaside(unsigned.name)
+        assert resolver.lookaside.total_queries_sent == sent_before
+
+
+class TestRemedyGating:
+    def make_world(self, **universe_overrides):
+        return small_universe(**universe_overrides)
+
+    def test_txt_gate_blocks_dlv_for_undeposited(self):
+        workload, universe = self.make_world(deploy_txt_signal=True)
+        config = correct_bind_config(txt_signaling=True)
+        resolver = universe.make_resolver(config)
+        unsigned = next(s for s in workload.domains if not s.signed)
+        result = resolver.resolve(unsigned.name, RRType.A)
+        assert result.lookaside_vetoed
+        assert result.lookaside is None
+        assert not universe.capture.queries_to(universe.registry_address)
+
+    def test_zbit_gate_blocks_dlv_for_undeposited(self):
+        workload, universe = self.make_world(deploy_zbit_signal=True)
+        config = correct_bind_config(zbit_signaling=True)
+        resolver = universe.make_resolver(config)
+        unsigned = next(s for s in workload.domains if not s.signed)
+        result = resolver.resolve(unsigned.name, RRType.A)
+        assert result.lookaside_vetoed
+        assert not universe.capture.queries_to(universe.registry_address)
+
+    def test_txt_gate_admits_deposited_island(self):
+        specs = secured_domains()
+        universe = Universe(
+            specs,
+            UniverseParams(modulus_bits=256, deploy_txt_signal=True),
+        )
+        config = correct_bind_config(txt_signaling=True)
+        resolver = universe.make_resolver(config)
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert not result.lookaside_vetoed
+        assert result.status is ValidationStatus.SECURE
+
+    def test_hashed_dlv_sends_digest_labels(self):
+        workload, universe = self.make_world(registry_hashed=True)
+        config = correct_bind_config(hashed_dlv=True)
+        resolver = universe.make_resolver(config)
+        unsigned = next(s for s in workload.domains if not s.signed)
+        resolver.resolve(unsigned.name, RRType.A)
+        dlv_queries = [
+            q
+            for q in universe.capture.queries_of_type(RRType.DLV)
+            if q.dst == universe.registry_address
+        ]
+        assert dlv_queries
+        for q in dlv_queries:
+            label = q.qname.labels[0]
+            assert all(c in "0123456789abcdef" for c in label)
+            assert unsigned.name.labels[0] not in q.qname.labels
+
+    def test_hashed_island_still_validates(self):
+        specs = secured_domains()
+        universe = Universe(
+            specs, UniverseParams(modulus_bits=256, registry_hashed=True)
+        )
+        config = correct_bind_config(hashed_dlv=True)
+        resolver = universe.make_resolver(config)
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert result.status is ValidationStatus.SECURE

@@ -1,0 +1,86 @@
+"""A stale or wrong DLV trust anchor (e.g. after a registry key roll).
+
+With a wrong anchor the resolver cannot validate anything the registry
+returns: DLV records do not anchor chains, denials cannot feed the
+aggressive cache — so islands stay insecure AND more queries leak.
+A double failure mode the paper's outage discussion gestures at.
+"""
+
+import pytest
+
+from repro.core import LeakageExperiment
+from repro.dnscore import RRType
+from repro.resolver import TrustAnchor, ValidationStatus, correct_bind_config
+from repro.workloads import (
+    AlexaWorkload,
+    Universe,
+    UniverseParams,
+    WorkloadParams,
+    secured_domains,
+)
+
+
+def make_resolver_with_stale_anchor(universe):
+    resolver = universe.make_resolver(correct_bind_config())
+    wrong = universe.keys.fresh_keyset()
+    resolver.anchors.remove(universe.registry_origin)
+    resolver.anchors.add(
+        TrustAnchor(zone=universe.registry_origin, dnskey=wrong.ksk.dnskey)
+    )
+    return resolver
+
+
+class TestStaleDlvAnchor:
+    def test_islands_lose_validation(self):
+        specs = secured_domains()
+        universe = Universe(specs, UniverseParams(modulus_bits=256))
+        resolver = make_resolver_with_stale_anchor(universe)
+        island = next(s for s in specs if s.is_island_of_security())
+        result = resolver.resolve(island.name, RRType.A)
+        assert result.status is not ValidationStatus.SECURE
+
+    def test_queries_still_leak_without_benefit(self):
+        """The worst of both: the registry keeps seeing the queries but
+        can no longer provide any validation utility."""
+        workload = AlexaWorkload(25, WorkloadParams(seed=201))
+        universe = Universe(
+            workload.domains,
+            UniverseParams(
+                modulus_bits=256,
+                registry_filler=tuple(workload.registry_filler(400)),
+            ),
+        )
+        resolver = make_resolver_with_stale_anchor(universe)
+        for spec in workload.domains:
+            resolver.resolve(spec.name, RRType.A)
+        registry_queries = [
+            q
+            for q in universe.capture.queries_of_type(RRType.DLV)
+            if q.dst == universe.registry_address
+        ]
+        assert registry_queries
+
+    def test_aggressive_caching_degrades(self):
+        """Unvalidatable NSEC records cannot enter the aggressive cache,
+        so suppression weakens versus the healthy-anchor baseline."""
+        workload = AlexaWorkload(30, WorkloadParams(seed=202))
+
+        def leak_count(stale):
+            universe = Universe(
+                workload.domains,
+                UniverseParams(
+                    modulus_bits=256,
+                    registry_filler=tuple(workload.registry_filler(400)),
+                ),
+            )
+            if stale:
+                resolver = make_resolver_with_stale_anchor(universe)
+            else:
+                resolver = universe.make_resolver(correct_bind_config())
+            stub = universe.make_stub(resolver)
+            for spec in workload.domains:
+                stub.query(spec.name, RRType.A)
+            return resolver.negcache.nsec_range_count(universe.registry_origin)
+
+        assert leak_count(stale=True) == 0
+        assert leak_count(stale=False) > 0

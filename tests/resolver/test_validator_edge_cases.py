@@ -1,0 +1,171 @@
+"""Validator edge cases: signature windows, CD queries, bogus chains."""
+
+import dataclasses
+
+import pytest
+
+from repro.dnscore import Name, RCode, RRType, RRSIG, RRset, Message
+from repro.resolver import ValidationStatus, correct_bind_config
+from repro.workloads import (
+    AlexaWorkload,
+    Universe,
+    UniverseParams,
+    WorkloadParams,
+    secured_domains,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def secured_world():
+    specs = secured_domains()
+    return specs, Universe(specs, UniverseParams(modulus_bits=256))
+
+
+class TestSignatureWindow:
+    def test_expired_rrsig_rejected(self, secured_world):
+        """A signature whose window ended before the simulated 'now'
+        must not validate."""
+        specs, universe = secured_world
+        resolver = universe.make_resolver(correct_bind_config())
+        anchored = next(s for s in specs if s.ds_in_parent)
+        outcome = resolver.engine.resolve(anchored.name, RRType.A)
+        assert outcome.rrsig is not None
+        original = outcome.rrsig.first()
+        expired = dataclasses.replace(original, expiration=0, inception=0)
+        forged_outcome = dataclasses.replace(
+            outcome,
+            rrsig=RRset(
+                outcome.rrsig.name, RRType.RRSIG, outcome.rrsig.ttl, (expired,)
+            ),
+        )
+        # Advance past the forged expiration (clock starts > 0 anyway
+        # after the resolution traffic above).
+        assert universe.clock.now > 0
+        status = resolver.validator.validate_outcome(forged_outcome)
+        assert status is ValidationStatus.BOGUS
+
+    def test_not_yet_valid_rrsig_rejected(self, secured_world):
+        specs, universe = secured_world
+        resolver = universe.make_resolver(correct_bind_config())
+        anchored = [s for s in specs if s.ds_in_parent][1]
+        outcome = resolver.engine.resolve(anchored.name, RRType.A)
+        future = dataclasses.replace(
+            outcome.rrsig.first(), inception=2**31 - 2, expiration=2**31 - 1
+        )
+        forged_outcome = dataclasses.replace(
+            outcome,
+            rrsig=RRset(
+                outcome.rrsig.name, RRType.RRSIG, outcome.rrsig.ttl, (future,)
+            ),
+        )
+        status = resolver.validator.validate_outcome(forged_outcome)
+        assert status is ValidationStatus.BOGUS
+
+    def test_valid_window_accepted(self, secured_world):
+        specs, universe = secured_world
+        resolver = universe.make_resolver(correct_bind_config())
+        anchored = [s for s in specs if s.ds_in_parent][2]
+        result = resolver.resolve(anchored.name, RRType.A)
+        assert result.status is ValidationStatus.SECURE
+
+
+class TestCheckingDisabled:
+    def test_cd_query_skips_dlv_entirely(self):
+        workload = AlexaWorkload(15, WorkloadParams(seed=81))
+        universe = Universe(
+            workload.domains,
+            UniverseParams(
+                modulus_bits=256,
+                registry_filler=tuple(workload.registry_filler(300)),
+            ),
+        )
+        resolver = universe.make_resolver(correct_bind_config())
+        stub = universe.make_stub(resolver)
+        for spec in workload.domains[:10]:
+            query = Message.make_query(
+                1, spec.name, RRType.A, dnssec_ok=True, checking_disabled=True
+            )
+            response = universe.network.query(
+                stub.address, resolver.address, query
+            )
+            assert response.rcode is RCode.NOERROR
+            assert not response.flags.ad
+        assert not universe.capture.queries_to(universe.registry_address)
+
+    def test_cd_query_still_answers(self, secured_world):
+        specs, universe = secured_world
+        resolver = universe.make_resolver(correct_bind_config())
+        query = Message.make_query(
+            7, specs[0].name, RRType.A, dnssec_ok=True, checking_disabled=True
+        )
+        response = resolver.handle(query)
+        assert response.rcode is RCode.NOERROR
+        assert response.answer
+
+
+class TestBogusChains:
+    def test_ds_pointing_at_wrong_key_is_bogus(self):
+        """A parent-published DS that matches no child DNSKEY makes the
+        child bogus (zone-poisoning defence)."""
+        from repro.crypto import KeyPool, make_ds
+        from repro.dnscore import A, NS
+        from repro.servers import AuthoritativeServer
+        from repro.zones import ZoneBuilder, standard_ns_hosts
+        from repro.netsim import Network, ZeroLatency
+        from repro.resolver import (
+            RecursiveResolver,
+            TrustAnchor,
+            TrustAnchorStore,
+        )
+
+        pool = KeyPool(seed=91, pool_size=8, modulus_bits=256)
+        network = Network(latency=ZeroLatency())
+        wrong_keys = pool.fresh_keyset()
+        child_keys = pool.keys_for_zone(n("victim.test"))
+
+        child = ZoneBuilder(n("victim.test"))
+        child.with_ns(standard_ns_hosts(n("victim.test"), ["10.9.0.2"]))
+        child.with_address(n("victim.test"), ipv4="10.9.0.9")
+        child_zone = child.signed(child_keys)
+
+        tld = ZoneBuilder(n("test"))
+        tld.with_ns(standard_ns_hosts(n("test"), ["10.9.0.1"]))
+        # Poisoned DS: digest of the WRONG key.
+        tld.zone.add(
+            n("victim.test"), RRType.NS, [NS(n("ns1.victim.test"))]
+        )
+        tld.zone.add(n("ns1.victim.test"), RRType.A, [A("10.9.0.2")])
+        tld.zone.add(
+            n("victim.test"), RRType.DS,
+            [make_ds(n("victim.test"), wrong_keys.ksk.dnskey)],
+        )
+        tld_keys = pool.keys_for_zone(n("test"))
+        tld_zone = tld.signed(tld_keys)
+
+        root = ZoneBuilder(Name(()))
+        root.with_ns([(n("ns1.rootsrv.test"), "10.9.0.0")])
+        root.delegate(n("test"), standard_ns_hosts(n("test"), ["10.9.0.1"]), child_keyset=tld_keys)
+        root_keys = pool.keys_for_zone(Name(()))
+        root_zone = root.signed(root_keys)
+
+        network.register("10.9.0.0", AuthoritativeServer([root_zone]))
+        network.register("10.9.0.1", AuthoritativeServer([tld_zone]))
+        network.register("10.9.0.2", AuthoritativeServer([child_zone]))
+
+        anchors = TrustAnchorStore()
+        anchors.add(TrustAnchor(zone=Name(()), dnskey=root_keys.ksk.dnskey))
+        resolver = RecursiveResolver(
+            network=network,
+            address="10.9.0.100",
+            config=correct_bind_config(dlv_anchor_included=False),
+            root_hints=["10.9.0.0"],
+            anchors=anchors,
+        )
+        network.register(resolver.address, resolver)
+        result = resolver.resolve(n("victim.test"), RRType.A)
+        assert result.status is ValidationStatus.BOGUS
+        assert result.rcode is RCode.SERVFAIL

@@ -1,0 +1,100 @@
+"""Tests for the authoritative server front-end."""
+
+import pytest
+
+from repro.crypto import KeyPool
+from repro.dnscore import Message, Name, RCode, RRType, TXT
+from repro.servers import AuthoritativeServer
+from repro.zones import ZoneBuilder, standard_ns_hosts
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+POOL = KeyPool(seed=21, pool_size=8, modulus_bits=256)
+
+
+@pytest.fixture()
+def server():
+    com = ZoneBuilder(n("com"))
+    com.with_ns(standard_ns_hosts(n("com"), ["192.0.2.1"]))
+    com.delegate(n("example.com"), standard_ns_hosts(n("example.com"), ["192.0.2.9"]))
+    com_zone = com.signed(POOL.keys_for_zone(n("com")))
+    example = ZoneBuilder(n("example.com"))
+    example.with_ns(standard_ns_hosts(n("example.com"), ["192.0.2.9"]))
+    example.with_address(n("example.com"), ipv4="192.0.2.80")
+    example.with_rrset(n("example.com"), RRType.TXT, [TXT(("dlv=1",))])
+    example_zone = example.build()
+    return AuthoritativeServer([com_zone, example_zone])
+
+
+class TestRouting:
+    def test_deepest_zone_wins(self, server):
+        assert server.find_zone(n("example.com")).origin == n("example.com")
+        assert server.find_zone(n("other.com")).origin == n("com")
+
+    def test_unserved_name_refused(self, server):
+        query = Message.make_query(1, n("example.org"), RRType.A)
+        assert server.handle(query).rcode is RCode.REFUSED
+
+    def test_duplicate_zone_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.add_zone(server.find_zone(n("example.com")))
+
+
+class TestResponses:
+    def test_answer_is_authoritative(self, server):
+        query = Message.make_query(2, n("example.com"), RRType.A)
+        response = server.handle(query)
+        assert response.rcode is RCode.NOERROR
+        assert response.flags.aa
+        assert response.answer[0].rtype is RRType.A
+
+    def test_referral_is_not_authoritative(self, server):
+        com = server.find_zone(n("com"))
+        only_com = AuthoritativeServer([com])
+        query = Message.make_query(3, n("example.com"), RRType.A)
+        response = only_com.handle(query)
+        assert not response.flags.aa
+        assert response.find_rrsets(RRType.NS, section="authority")
+
+    def test_nxdomain(self, server):
+        query = Message.make_query(4, n("missing.example.com"), RRType.A)
+        response = server.handle(query)
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_nxdomain_with_do_carries_nsec(self, server):
+        query = Message.make_query(5, n("missing.com"), RRType.A, dnssec_ok=True)
+        response = server.handle(query)
+        assert response.find_rrsets(RRType.NSEC, section="authority")
+
+    def test_malformed_query_formerr(self, server):
+        query = Message.make_query(6, n("example.com"), RRType.A)
+        response = server.handle(query.make_response())
+        assert response.rcode is RCode.FORMERR
+
+
+class TestZBitSignalling:
+    def make_server(self, deposits):
+        example = ZoneBuilder(n("example.com"))
+        example.with_ns(standard_ns_hosts(n("example.com"), ["192.0.2.9"]))
+        example.with_address(n("example.com"), ipv4="192.0.2.80")
+        return AuthoritativeServer(
+            [example.build()],
+            zbit_signal=lambda qname: Name(qname.labels[-2:]) in deposits,
+        )
+
+    def test_z_bit_set_for_deposited_zone(self):
+        server = self.make_server({n("example.com")})
+        query = Message.make_query(7, n("example.com"), RRType.A)
+        assert server.handle(query).flags.z
+
+    def test_z_bit_clear_without_deposit(self):
+        server = self.make_server(set())
+        query = Message.make_query(8, n("example.com"), RRType.A)
+        assert not server.handle(query).flags.z
+
+    def test_no_signal_without_predicate(self, server):
+        query = Message.make_query(9, n("example.com"), RRType.A)
+        assert not server.handle(query).flags.z

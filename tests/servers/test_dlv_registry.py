@@ -1,0 +1,183 @@
+"""Tests for the DLV registry zone and server."""
+
+import pytest
+
+from repro.crypto import KeyPool, hash_domain_label, make_dlv, verify_ds_matches
+from repro.dnscore import Message, Name, RCode, RRType, name_between
+from repro.servers import DenialMode, DLVRegistryServer
+from repro.zones import verify_rrset_signature
+from repro.zones.zone import LookupOutcome, ZoneError
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+POOL = KeyPool(seed=31, pool_size=8, modulus_bits=256)
+ORIGIN = n("dlv.isc.org")
+
+
+def build_registry(domains=("alpha.com", "beta.net", "gamma.org"), **kwargs):
+    deposits = {n(d): POOL.keys_for_zone(n(d)) for d in domains}
+    return DLVRegistryServer.build(
+        origin=ORIGIN,
+        keyset=POOL.keys_for_zone(ORIGIN),
+        deposits=deposits,
+        **kwargs,
+    )
+
+
+class TestDeposits:
+    def test_registered_name_plain(self):
+        registry = build_registry().registry
+        assert registry.registered_name(n("alpha.com")) == n("alpha.com.dlv.isc.org")
+
+    def test_registered_name_hashed(self):
+        registry = build_registry(hashed=True).registry
+        expected = ORIGIN.prepend(hash_domain_label(n("alpha.com")))
+        assert registry.registered_name(n("alpha.com")) == expected
+
+    def test_has_deposit(self):
+        registry = build_registry().registry
+        assert registry.has_deposit(n("alpha.com"))
+        assert not registry.has_deposit(n("other.com"))
+
+    def test_deposit_count(self):
+        assert build_registry().registry.deposit_count() == 3
+
+    def test_dlv_rdata_authenticates_depositor_ksk(self):
+        registry = build_registry().registry
+        result = registry.lookup(n("alpha.com.dlv.isc.org"), RRType.DLV)
+        dlv = result.answer[0].first()
+        ksk = POOL.keys_for_zone(n("alpha.com")).ksk.dnskey
+        assert verify_ds_matches(n("alpha.com"), ksk, dlv)
+
+
+class TestLookup:
+    def test_positive_answer_with_rrsig(self):
+        registry = build_registry().registry
+        result = registry.lookup(
+            n("alpha.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True
+        )
+        assert result.outcome is LookupOutcome.ANSWER
+        types = [rrset.rtype for rrset in result.answer]
+        assert types == [RRType.DLV, RRType.RRSIG]
+
+    def test_rrsig_verifies_with_zone_zsk(self):
+        registry = build_registry().registry
+        result = registry.lookup(
+            n("alpha.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True
+        )
+        dlv_rrset, rrsig_rrset = result.answer
+        assert verify_rrset_signature(
+            dlv_rrset, rrsig_rrset.first(), registry.keyset.zsk.dnskey
+        )
+
+    def test_nxdomain_with_covering_nsec(self):
+        registry = build_registry().registry
+        qname = n("missing.com.dlv.isc.org")
+        result = registry.lookup(qname, RRType.DLV, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.NXDOMAIN
+        nsec_rrsets = [r for r in result.authority if r.rtype is RRType.NSEC]
+        assert len(nsec_rrsets) == 1
+        nsec = nsec_rrsets[0]
+        assert name_between(qname, nsec.name, nsec.first().next_name)
+
+    def test_empty_non_terminal_is_nodata(self):
+        registry = build_registry().registry
+        result = registry.lookup(n("com.dlv.isc.org"), RRType.DLV)
+        assert result.outcome is LookupOutcome.NODATA
+
+    def test_apex_dnskey(self):
+        registry = build_registry().registry
+        result = registry.lookup(ORIGIN, RRType.DNSKEY)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert len(result.answer[0]) == 2
+
+    def test_out_of_zone_rejected(self):
+        registry = build_registry().registry
+        with pytest.raises(ZoneError):
+            registry.lookup(n("example.com"), RRType.DLV)
+
+    def test_wrong_type_at_deposit_is_nodata(self):
+        registry = build_registry().registry
+        result = registry.lookup(n("alpha.com.dlv.isc.org"), RRType.A)
+        assert result.outcome is LookupOutcome.NODATA
+
+
+class TestEmptyRegistry:
+    """ISC's phase-out mode: the zone lives on with zero deposits."""
+
+    def test_every_query_is_nxdomain(self):
+        registry = DLVRegistryServer.build(
+            origin=ORIGIN, keyset=POOL.keys_for_zone(ORIGIN), deposits={}
+        ).registry
+        result = registry.lookup(n("any.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.NXDOMAIN
+
+    def test_single_nsec_covers_whole_zone(self):
+        registry = DLVRegistryServer.build(
+            origin=ORIGIN, keyset=POOL.keys_for_zone(ORIGIN), deposits={}
+        ).registry
+        result = registry.lookup(n("x.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True)
+        nsec = next(r for r in result.authority if r.rtype is RRType.NSEC)
+        assert nsec.name == ORIGIN
+        assert nsec.first().next_name == ORIGIN
+
+
+class TestNsec3Mode:
+    def test_nxdomain_carries_nsec3_not_nsec(self):
+        registry = build_registry(denial=DenialMode.NSEC3).registry
+        result = registry.lookup(
+            n("missing.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True
+        )
+        types = [r.rtype for r in result.authority]
+        assert RRType.NSEC3 in types
+        assert RRType.NSEC not in types
+
+    def test_positive_answers_unaffected(self):
+        registry = build_registry(denial=DenialMode.NSEC3).registry
+        result = registry.lookup(n("alpha.com.dlv.isc.org"), RRType.DLV)
+        assert result.outcome is LookupOutcome.ANSWER
+
+
+class TestHashedMode:
+    def test_lookup_by_hash_label(self):
+        registry = build_registry(hashed=True).registry
+        qname = ORIGIN.prepend(hash_domain_label(n("alpha.com")))
+        result = registry.lookup(qname, RRType.DLV)
+        assert result.outcome is LookupOutcome.ANSWER
+
+    def test_plain_name_lookup_misses(self):
+        registry = build_registry(hashed=True).registry
+        result = registry.lookup(n("alpha.com.dlv.isc.org"), RRType.DLV)
+        assert result.outcome is LookupOutcome.NXDOMAIN
+
+
+class TestServerFrontend:
+    def test_wire_roundtrip_answer(self):
+        server = build_registry()
+        query = Message.make_query(
+            1, n("alpha.com.dlv.isc.org"), RRType.DLV, dnssec_ok=True
+        )
+        response = server.handle(query)
+        assert response.rcode is RCode.NOERROR
+        assert response.answer[0].rtype is RRType.DLV
+
+    def test_no_such_name_response(self):
+        """The registry's NXDOMAIN is the paper's "No such name"."""
+        server = build_registry()
+        query = Message.make_query(2, n("zzz.com.dlv.isc.org"), RRType.DLV)
+        response = server.handle(query)
+        assert response.rcode is RCode.NXDOMAIN
+        assert response.rcode.describe() == "No such name"
+
+    def test_extra_owner_entries(self):
+        extra = {n("filler.com"): make_dlv(n("filler.com"), POOL.keys_for_zone(n("filler.com")).ksk.dnskey)}
+        server = DLVRegistryServer.build(
+            origin=ORIGIN,
+            keyset=POOL.keys_for_zone(ORIGIN),
+            deposits={},
+            extra_owners=extra,
+        )
+        assert server.registry.has_deposit(n("filler.com"))

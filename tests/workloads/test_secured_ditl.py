@@ -1,0 +1,105 @@
+"""Tests for the secured-45 set and the DITL trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DitlParams,
+    FULL_TRACE_MINUTES,
+    FULL_TRACE_TOTAL_QUERIES,
+    ISLAND_COUNT,
+    RATE_MAX_QPM,
+    RATE_MIN_QPM,
+    SECURED_DOMAIN_COUNT,
+    evaluate_txt_overhead,
+    generate_trace,
+    island_names,
+    secured_domains,
+)
+
+
+class TestSecuredSet:
+    def test_counts(self):
+        specs = secured_domains()
+        assert len(specs) == SECURED_DOMAIN_COUNT == 45
+        islands = [s for s in specs if s.is_island_of_security()]
+        assert len(islands) == ISLAND_COUNT == 5
+
+    def test_all_signed(self):
+        assert all(spec.signed for spec in secured_domains())
+
+    def test_islands_deposited_by_default(self):
+        specs = secured_domains()
+        for spec in specs:
+            if spec.is_island_of_security():
+                assert spec.dlv_deposited
+            else:
+                assert not spec.dlv_deposited
+
+    def test_islands_can_be_undeposited(self):
+        specs = secured_domains(dlv_deposited_islands=False)
+        assert not any(spec.dlv_deposited for spec in specs)
+
+    def test_island_names_helper(self):
+        names = island_names()
+        assert len(names) == 5
+        assert all("island-" in name.to_text() for name in names)
+
+    def test_names_unique(self):
+        names = [spec.name for spec in secured_domains()]
+        assert len(set(names)) == len(names)
+
+
+class TestDitlTrace:
+    def test_full_scale_envelope(self):
+        trace = generate_trace(DitlParams(scale=1.0))
+        rescaled = trace.per_minute
+        assert len(rescaled) == FULL_TRACE_MINUTES
+        assert rescaled.min() >= RATE_MIN_QPM
+        assert rescaled.max() <= RATE_MAX_QPM
+
+    def test_total_near_published(self):
+        trace = generate_trace(DitlParams(scale=1.0))
+        assert abs(trace.total_queries - FULL_TRACE_TOTAL_QUERIES) < 0.05 * FULL_TRACE_TOTAL_QUERIES
+
+    def test_scaled_trace_rescales_back(self):
+        trace = generate_trace(DitlParams(scale=0.01))
+        rescaled_total = trace.total_queries * trace.rescale_factor()
+        assert abs(rescaled_total - FULL_TRACE_TOTAL_QUERIES) < 0.10 * FULL_TRACE_TOTAL_QUERIES
+
+    def test_deterministic(self):
+        a = generate_trace(DitlParams(seed=1, scale=0.01))
+        b = generate_trace(DitlParams(seed=1, scale=0.01))
+        assert np.array_equal(a.per_minute, b.per_minute)
+
+    def test_cumulative_monotone(self):
+        trace = generate_trace(DitlParams(scale=0.01))
+        cumulative = trace.cumulative()
+        assert np.all(np.diff(cumulative) > 0)
+
+
+class TestDitlOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        params = DitlParams(scale=0.005)
+        return evaluate_txt_overhead(generate_trace(params), params)
+
+    def test_overhead_grows_monotonically(self, result):
+        assert np.all(np.diff(result.cumulative_overhead_bytes) >= 0)
+
+    def test_overhead_is_fraction_of_baseline(self, result):
+        assert 0 < result.total_overhead_bytes < result.total_baseline_bytes
+
+    def test_cache_bounds_fetches(self, result):
+        """TXT fetches per minute cannot exceed query volume."""
+        assert np.all(
+            result.txt_fetches_per_minute <= result.trace.per_minute
+        )
+
+    def test_rescaled_overhead_order_of_magnitude(self):
+        """The paper reports ~1.2 GB over the full trace; the model
+        should land within a factor of ~2."""
+        params = DitlParams(scale=0.02)
+        result = evaluate_txt_overhead(generate_trace(params), params)
+        rescaled_gb = result.rescaled_total_overhead_bytes() / 1e9
+        assert 0.5 <= rescaled_gb <= 2.5

@@ -1,0 +1,134 @@
+"""Tests for the Universe builder."""
+
+import pytest
+
+from repro.dnscore import Name, RRType
+from repro.resolver import correct_bind_config
+from repro.workloads import (
+    AlexaWorkload,
+    ReverseZone,
+    Universe,
+    UniverseParams,
+    WorkloadParams,
+)
+from repro.zones.zone import LookupOutcome, ZoneError
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture(scope="module")
+def world():
+    workload = AlexaWorkload(40, WorkloadParams(seed=13))
+    universe = Universe(
+        workload.domains,
+        UniverseParams(modulus_bits=256, registry_filler=tuple(workload.registry_filler(100))),
+    )
+    return workload, universe
+
+
+class TestTopology:
+    def test_root_zone_signed_and_delegating(self, world):
+        _, universe = world
+        assert universe.root_zone.signed
+        assert n("com") in universe.root_zone.delegations()
+        assert n("in-addr.arpa") in universe.root_zone.delegations()
+
+    def test_unsigned_tlds_have_no_ds_in_root(self, world):
+        _, universe = world
+        assert universe.root_zone.get(n("ru"), RRType.DS) is None
+        assert universe.root_zone.get(n("com"), RRType.DS) is not None
+
+    def test_registry_chain_delegated(self, world):
+        _, universe = world
+        org = universe._tld_zones["org"]
+        assert n("isc.org") in org.delegations()
+        assert universe.isc_zone.get(n("dlv.isc.org"), RRType.DS) is not None
+
+    def test_registry_deposits_match_specs(self, world):
+        workload, universe = world
+        for spec in workload:
+            assert universe.has_dlv_deposit(spec.name) == spec.dlv_deposited
+
+    def test_registry_filler_counted(self, world):
+        workload, universe = world
+        own = sum(1 for s in workload if s.dlv_deposited)
+        assert universe.registry_zone.deposit_count() == own + 100
+
+    def test_apex_addresses_unique(self, world):
+        workload, universe = world
+        addresses = [universe.apex_address(s.name) for s in workload]
+        assert all(addresses)
+        assert len(set(addresses)) == len(addresses)
+
+    def test_spec_lookup(self, world):
+        workload, universe = world
+        spec = workload.domains[0]
+        assert universe.spec_for(spec.name) is spec
+
+    def test_empty_registry_mode(self):
+        workload = AlexaWorkload(10, WorkloadParams(seed=13))
+        universe = Universe(
+            workload.domains,
+            UniverseParams(modulus_bits=256, registry_empty=True),
+        )
+        assert universe.registry_zone.deposit_count() == 0
+
+
+class TestAnchors:
+    def test_root_anchor_validates_root_ksk(self, world):
+        _, universe = world
+        anchor = universe.root_trust_anchor()
+        assert anchor.matches_key(universe.root_keys.ksk.dnskey)
+
+    def test_anchors_for_correct_config(self, world):
+        _, universe = world
+        store = universe.anchors_for(correct_bind_config())
+        assert store.anchor_for_zone(Name(())) is not None
+        assert store.anchor_for_zone(universe.registry_origin) is not None
+
+    def test_anchors_for_broken_config(self, world):
+        from repro.resolver import broken_anchor_bind_config
+
+        _, universe = world
+        store = universe.anchors_for(broken_anchor_bind_config())
+        assert store.anchor_for_zone(Name(())) is None
+        assert store.anchor_for_zone(universe.registry_origin) is not None
+
+
+class TestFactories:
+    def test_resolvers_get_distinct_addresses(self, world):
+        _, universe = world
+        a = universe.make_resolver(correct_bind_config())
+        b = universe.make_resolver(correct_bind_config())
+        assert a.address != b.address
+
+    def test_stub_points_at_resolver(self, world):
+        _, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        stub = universe.make_stub(resolver)
+        assert stub.resolver_address == resolver.address
+
+    def test_resolver_latency_pinned_low(self, world):
+        _, universe = world
+        resolver = universe.make_resolver(correct_bind_config())
+        assert universe.network.latency.base_rtt(resolver.address) < 0.005
+
+
+class TestReverseZone:
+    def test_ptr_answer(self):
+        zone = ReverseZone()
+        result = zone.lookup(n("4.3.2.1.in-addr.arpa"), RRType.PTR)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert result.answer[0].rtype is RRType.PTR
+
+    def test_non_ptr_is_nodata(self):
+        zone = ReverseZone()
+        result = zone.lookup(n("4.3.2.1.in-addr.arpa"), RRType.A)
+        assert result.outcome is LookupOutcome.NODATA
+
+    def test_out_of_zone_rejected(self):
+        zone = ReverseZone()
+        with pytest.raises(ZoneError):
+            zone.lookup(n("example.com"), RRType.PTR)

@@ -1,0 +1,83 @@
+"""Property-based round-trip tests for the master-file serialiser."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dnscore import A, MX, Name, NS, RRType, TXT
+from repro.zones import ZoneBuilder, standard_ns_hosts, zone_from_text, zone_to_text
+
+_LABEL = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+
+
+@st.composite
+def random_zones(draw):
+    builder = ZoneBuilder(Name(["zone", "test"]))
+    builder.with_ns(standard_ns_hosts(Name(["zone", "test"]), ["10.3.0.1"]))
+    used = set()
+    for index in range(draw(st.integers(0, 8))):
+        label = draw(_LABEL)
+        kind = draw(st.sampled_from(["a", "mx", "txt", "ns"]))
+        key = (label, kind)
+        if key in used:
+            continue
+        used.add(key)
+        owner = Name([label, "zone", "test"])
+        if kind == "a":
+            if builder.zone.get(owner, RRType.A) is None:
+                builder.with_rrset(
+                    owner, RRType.A, [A(f"10.3.1.{index + 1}")]
+                )
+        elif kind == "mx":
+            if builder.zone.get(owner, RRType.MX) is None:
+                builder.with_rrset(
+                    owner,
+                    RRType.MX,
+                    [MX(draw(st.integers(0, 99)), Name([draw(_LABEL), "example", "net"]))],
+                )
+        elif kind == "txt":
+            if builder.zone.get(owner, RRType.TXT) is None:
+                text = draw(
+                    st.text(
+                        alphabet="abcdefgh 0123456789=", min_size=0, max_size=30
+                    )
+                )
+                builder.with_rrset(owner, RRType.TXT, [TXT((text,))])
+        elif kind == "ns":
+            if builder.zone.get(owner, RRType.NS) is None:
+                builder.with_rrset(
+                    owner, RRType.NS, [NS(Name([draw(_LABEL), "example", "org"]))]
+                )
+    return builder.build()
+
+
+class TestMasterFileProperties:
+    @settings(max_examples=60)
+    @given(random_zones())
+    def test_roundtrip_preserves_records(self, zone):
+        parsed = zone_from_text(zone_to_text(zone))
+        assert parsed.origin == zone.origin
+        assert len(parsed) == len(zone)
+        for rrset in zone.rrsets():
+            restored = parsed.get(rrset.name, rrset.rtype)
+            assert restored is not None
+            assert set(restored.rdatas) == set(rrset.rdatas)
+
+    @settings(max_examples=60)
+    @given(random_zones())
+    def test_serialisation_is_stable(self, zone):
+        once = zone_to_text(zone)
+        twice = zone_to_text(zone_from_text(once))
+        assert once == twice
+
+    @settings(max_examples=30)
+    @given(random_zones())
+    def test_roundtripped_zone_signs_and_serves(self, zone):
+        from repro.crypto import KeyPool
+        from repro.zones.zone import LookupOutcome
+
+        parsed = zone_from_text(zone_to_text(zone))
+        pool = KeyPool(seed=171, pool_size=8, modulus_bits=256)
+        parsed.sign(pool.keys_for_zone(parsed.origin))
+        result = parsed.lookup(
+            Name(["definitely-missing", "zone", "test"]), RRType.A, dnssec_ok=True
+        )
+        assert result.outcome is LookupOutcome.NXDOMAIN

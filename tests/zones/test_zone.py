@@ -1,0 +1,280 @@
+"""Tests for the zone model: lookup semantics and DNSSEC signing."""
+
+import pytest
+
+from repro.crypto import KeyPool, verify_ds_matches
+from repro.dnscore import (
+    A,
+    CNAME,
+    DS,
+    Name,
+    NS,
+    NSEC,
+    RRType,
+    RRset,
+    TXT,
+    canonical_sort,
+    name_between,
+)
+from repro.zones import (
+    LookupOutcome,
+    Zone,
+    ZoneBuilder,
+    ZoneError,
+    build_leaf_zone,
+    make_soa,
+    standard_ns_hosts,
+    verify_rrset_signature,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+POOL = KeyPool(seed=11, pool_size=8, modulus_bits=256)
+
+
+def build_com_zone(signed=True, with_child_ds=True):
+    """A little com zone with one secure and one insecure delegation."""
+    builder = ZoneBuilder(n("com"))
+    builder.with_ns(standard_ns_hosts(n("com"), ["192.0.2.1"]))
+    child_keys = POOL.keys_for_zone(n("secure.com")) if with_child_ds else None
+    builder.delegate(
+        n("secure.com"),
+        standard_ns_hosts(n("secure.com"), ["192.0.2.10"]),
+        child_keyset=child_keys,
+    )
+    builder.delegate(
+        n("insecure.com"),
+        standard_ns_hosts(n("insecure.com"), ["192.0.2.20"]),
+    )
+    builder.with_rrset(n("txt.com"), RRType.TXT, [TXT(("dlv=1",))])
+    if signed:
+        return builder.signed(POOL.keys_for_zone(n("com")))
+    return builder.build()
+
+
+class TestZoneConstruction:
+    def test_rejects_out_of_zone_records(self):
+        zone = Zone(n("com"))
+        with pytest.raises(ZoneError):
+            zone.add(n("example.net"), RRType.A, [A("192.0.2.1")])
+
+    def test_rejects_duplicate_rrset(self):
+        zone = Zone(n("com"))
+        zone.add(n("a.com"), RRType.A, [A("192.0.2.1")])
+        with pytest.raises(ZoneError):
+            zone.add(n("a.com"), RRType.A, [A("192.0.2.2")])
+
+    def test_rejects_modification_after_signing(self):
+        zone = build_com_zone()
+        with pytest.raises(ZoneError):
+            zone.add(n("late.com"), RRType.A, [A("192.0.2.9")])
+
+    def test_rejects_double_signing(self):
+        zone = build_com_zone()
+        with pytest.raises(ZoneError):
+            zone.sign(POOL.keys_for_zone(n("com")))
+
+    def test_empty_non_terminals_exist(self):
+        zone = Zone(n("org"))
+        zone.set_soa(make_soa(n("org")))
+        zone.add(n("deep.sub.example.org"), RRType.A, [A("192.0.2.1")])
+        assert zone.has_name(n("sub.example.org"))
+        assert zone.has_name(n("example.org"))
+
+    def test_soa_required_for_negative_answers(self):
+        zone = Zone(n("com"))
+        with pytest.raises(ZoneError):
+            zone.lookup(n("missing.com"), RRType.A)
+
+
+class TestLookupSemantics:
+    def test_answer(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("txt.com"), RRType.TXT)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert result.answer[0].rtype is RRType.TXT
+
+    def test_answer_includes_rrsig_when_do(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("txt.com"), RRType.TXT, dnssec_ok=True)
+        types = [rrset.rtype for rrset in result.answer]
+        assert types == [RRType.TXT, RRType.RRSIG]
+
+    def test_delegation_referral(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("secure.com"), RRType.A)
+        assert result.outcome is LookupOutcome.DELEGATION
+        assert result.authority[0].rtype is RRType.NS
+        glue_names = [rrset.name for rrset in result.additional]
+        assert n("ns1.secure.com") in glue_names
+
+    def test_delegation_applies_to_names_below_cut(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("www.secure.com"), RRType.A)
+        assert result.outcome is LookupOutcome.DELEGATION
+        assert result.authority[0].name == n("secure.com")
+
+    def test_secure_delegation_carries_ds(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("secure.com"), RRType.A, dnssec_ok=True)
+        types = [rrset.rtype for rrset in result.authority]
+        assert RRType.DS in types
+        assert RRType.RRSIG in types
+
+    def test_insecure_delegation_carries_nsec_no_ds_proof(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("insecure.com"), RRType.A, dnssec_ok=True)
+        types = [rrset.rtype for rrset in result.authority]
+        assert RRType.DS not in types
+        assert RRType.NSEC in types
+        nsec_rrset = next(r for r in result.authority if r.rtype is RRType.NSEC)
+        assert RRType.DS not in nsec_rrset.first().types
+
+    def test_ds_query_at_cut_answered_by_parent(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("secure.com"), RRType.DS, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert result.answer[0].rtype is RRType.DS
+
+    def test_ds_query_at_insecure_cut_is_nodata_with_nsec(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("insecure.com"), RRType.DS, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.NODATA
+        types = [rrset.rtype for rrset in result.authority]
+        assert RRType.SOA in types and RRType.NSEC in types
+
+    def test_nxdomain_with_covering_nsec(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("nonexistent.com"), RRType.A, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.NXDOMAIN
+        nsec_rrsets = [r for r in result.authority if r.rtype is RRType.NSEC]
+        assert len(nsec_rrsets) == 1
+        nsec = nsec_rrsets[0]
+        assert name_between(
+            n("nonexistent.com"), nsec.name, nsec.first().next_name
+        )
+
+    def test_nodata_for_existing_name_wrong_type(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("txt.com"), RRType.A)
+        assert result.outcome is LookupOutcome.NODATA
+
+    def test_cname_interception(self):
+        builder = ZoneBuilder(n("example.com"))
+        builder.with_ns(standard_ns_hosts(n("example.com"), ["192.0.2.1"]))
+        builder.with_rrset(
+            n("alias.example.com"), RRType.CNAME, [CNAME(n("real.example.com"))]
+        )
+        builder.with_address(n("real.example.com"), ipv4="192.0.2.5")
+        zone = builder.build()
+        result = zone.lookup(n("alias.example.com"), RRType.A)
+        assert result.outcome is LookupOutcome.CNAME
+        assert result.answer[0].rtype is RRType.CNAME
+
+    def test_out_of_zone_lookup_raises(self):
+        zone = build_com_zone()
+        with pytest.raises(ZoneError):
+            zone.lookup(n("example.net"), RRType.A)
+
+    def test_unsigned_zone_omits_dnssec_material(self):
+        zone = build_com_zone(signed=False)
+        result = zone.lookup(n("nonexistent.com"), RRType.A, dnssec_ok=True)
+        types = [rrset.rtype for rrset in result.authority]
+        assert RRType.NSEC not in types
+
+
+class TestSigning:
+    def test_dnskey_published_at_apex(self):
+        zone = build_com_zone()
+        result = zone.lookup(n("com"), RRType.DNSKEY, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert result.answer[0].rtype is RRType.DNSKEY
+        assert len(result.answer[0]) == 2  # KSK + ZSK
+
+    def test_rrsig_verifies_with_zsk(self):
+        zone = build_com_zone()
+        txt = zone.get(n("txt.com"), RRType.TXT)
+        rrsig = zone.rrsig_for(n("txt.com"), RRType.TXT).first()
+        assert verify_rrset_signature(txt, rrsig, zone.keyset.zsk.dnskey)
+
+    def test_dnskey_rrset_signed_by_ksk(self):
+        zone = build_com_zone()
+        dnskeys = zone.get(n("com"), RRType.DNSKEY)
+        rrsig = zone.rrsig_for(n("com"), RRType.DNSKEY).first()
+        assert verify_rrset_signature(dnskeys, rrsig, zone.keyset.ksk.dnskey)
+        assert not verify_rrset_signature(dnskeys, rrsig, zone.keyset.zsk.dnskey)
+
+    def test_signature_fails_for_tampered_rrset(self):
+        zone = build_com_zone()
+        rrsig = zone.rrsig_for(n("txt.com"), RRType.TXT).first()
+        forged = RRset(n("txt.com"), RRType.TXT, 3600, (TXT(("dlv=0",)),))
+        assert not verify_rrset_signature(forged, rrsig, zone.keyset.zsk.dnskey)
+
+    def test_ds_in_parent_matches_child_ksk(self):
+        zone = build_com_zone()
+        ds = zone.get(n("secure.com"), RRType.DS).first()
+        child_keys = POOL.keys_for_zone(n("secure.com"))
+        assert verify_ds_matches(n("secure.com"), child_keys.ksk.dnskey, ds)
+
+    def test_rrsig_cache_returns_same_object(self):
+        zone = build_com_zone()
+        first = zone.rrsig_for(n("txt.com"), RRType.TXT)
+        second = zone.rrsig_for(n("txt.com"), RRType.TXT)
+        assert first is second
+
+    def test_unsigned_zone_has_no_rrsigs(self):
+        zone = build_com_zone(signed=False)
+        with pytest.raises(ZoneError):
+            zone.rrsig_for(n("txt.com"), RRType.TXT)
+
+
+class TestNsecChain:
+    def test_chain_closes_in_canonical_order(self):
+        zone = build_com_zone()
+        owners = canonical_sort(
+            {rrset.name for rrset in zone.rrsets() if rrset.rtype is RRType.NSEC}
+        )
+        for index, owner in enumerate(owners):
+            nsec = zone.get(owner, RRType.NSEC).first()
+            expected_next = owners[(index + 1) % len(owners)]
+            assert nsec.next_name == expected_next
+
+    def test_covering_nsec_covers_query(self):
+        zone = build_com_zone()
+        for missing in ("aaa.com", "mmmm.com", "zzz.com", "deep.under.com"):
+            nsec_rrset = zone.covering_nsec(n(missing))
+            nsec = nsec_rrset.first()
+            assert name_between(n(missing), nsec_rrset.name, nsec.next_name)
+
+    def test_covering_nsec_rejects_existing_name(self):
+        zone = build_com_zone()
+        with pytest.raises(ZoneError):
+            zone.covering_nsec(n("txt.com"))
+
+    def test_nsec_bitmap_lists_owner_types(self):
+        zone = build_com_zone()
+        nsec = zone.get(n("txt.com"), RRType.NSEC).first()
+        assert RRType.TXT in nsec.types
+        assert RRType.NSEC in nsec.types
+        assert RRType.RRSIG in nsec.types
+
+
+class TestLeafZoneBuilder:
+    def test_leaf_zone_answers_a(self):
+        zone = build_leaf_zone(
+            n("example.com"), ["192.0.2.53"], "192.0.2.80",
+            keyset=POOL.keys_for_zone(n("example.com")),
+        )
+        result = zone.lookup(n("example.com"), RRType.A, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.ANSWER
+
+    def test_leaf_zone_with_aaaa(self):
+        zone = build_leaf_zone(
+            n("example.com"), ["192.0.2.53"], "192.0.2.80",
+            aaaa_address="2001:db8::80",
+        )
+        result = zone.lookup(n("example.com"), RRType.AAAA)
+        assert result.outcome is LookupOutcome.ANSWER

@@ -1,0 +1,137 @@
+"""Property-based tests over randomly populated zones.
+
+These pin down the zone invariants everything above relies on:
+lookup classification is total and consistent, the NSEC chain always
+covers exactly the non-existent names, and every served RRSIG verifies.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import KeyPool
+from repro.dnscore import (
+    A,
+    Name,
+    RRType,
+    TXT,
+    canonical_sort,
+    name_between,
+)
+from repro.zones import (
+    LookupOutcome,
+    ZoneBuilder,
+    standard_ns_hosts,
+    verify_rrset_signature,
+)
+
+
+POOL = KeyPool(seed=41, pool_size=8, modulus_bits=256)
+
+_LABEL = st.text(alphabet="abcdefgh", min_size=1, max_size=5)
+
+
+@st.composite
+def populated_zones(draw):
+    """A signed zone under .test with random hosts and delegations."""
+    builder = ZoneBuilder(Name(["test"]))
+    builder.with_ns(standard_ns_hosts(Name(["test"]), ["10.2.0.1"]))
+    host_labels = draw(
+        st.lists(_LABEL, min_size=0, max_size=6, unique=True)
+    )
+    delegation_labels = draw(
+        st.lists(
+            st.text(alphabet="mnopqr", min_size=1, max_size=5),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        )
+    )
+    for index, label in enumerate(host_labels):
+        builder.with_rrset(
+            Name([label, "test"]), RRType.A, [A(f"10.2.1.{index + 1}")]
+        )
+    for index, label in enumerate(delegation_labels):
+        builder.delegate(
+            Name([label, "test"]),
+            standard_ns_hosts(Name([label, "test"]), [f"10.2.2.{index + 1}"]),
+        )
+    zone = builder.signed(POOL.keys_for_zone(Name(["test"])))
+    return zone, set(host_labels), set(delegation_labels)
+
+
+class TestLookupClassification:
+    @settings(max_examples=50, deadline=None)
+    @given(populated_zones(), _LABEL)
+    def test_every_probe_classified_consistently(self, world, probe_label):
+        zone, hosts, delegations = world
+        probe = Name([probe_label, "test"])
+        result = zone.lookup(probe, RRType.A, dnssec_ok=True)
+        if probe_label in delegations:
+            assert result.outcome is LookupOutcome.DELEGATION
+        elif probe_label in hosts:
+            assert result.outcome is LookupOutcome.ANSWER
+        elif zone.has_name(probe):
+            assert result.outcome is LookupOutcome.NODATA
+        else:
+            assert result.outcome is LookupOutcome.NXDOMAIN
+
+    @settings(max_examples=50, deadline=None)
+    @given(populated_zones(), _LABEL)
+    def test_nxdomain_nsec_actually_covers(self, world, probe_label):
+        zone, hosts, delegations = world
+        probe = Name([probe_label, "test"])
+        result = zone.lookup(probe, RRType.A, dnssec_ok=True)
+        if result.outcome is not LookupOutcome.NXDOMAIN:
+            return
+        nsec_rrsets = [r for r in result.authority if r.rtype is RRType.NSEC]
+        assert len(nsec_rrsets) == 1
+        nsec = nsec_rrsets[0]
+        assert name_between(probe, nsec.name, nsec.first().next_name)
+
+    @settings(max_examples=30, deadline=None)
+    @given(populated_zones(), _LABEL)
+    def test_served_rrsigs_verify(self, world, probe_label):
+        zone, hosts, delegations = world
+        probe = Name([probe_label, "test"])
+        result = zone.lookup(probe, RRType.A, dnssec_ok=True)
+        sections = list(result.answer) + list(result.authority)
+        rrsets = {(r.name, r.rtype): r for r in sections}
+        for rrset in sections:
+            if rrset.rtype is RRType.RRSIG:
+                covered_type = rrset.first().type_covered
+                covered = rrsets.get((rrset.name, covered_type))
+                assert covered is not None
+                key = (
+                    zone.keyset.ksk.dnskey
+                    if covered_type is RRType.DNSKEY
+                    else zone.keyset.zsk.dnskey
+                )
+                assert verify_rrset_signature(covered, rrset.first(), key)
+
+
+class TestNsecChainProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(populated_zones())
+    def test_chain_is_a_single_cycle(self, world):
+        zone, _, _ = world
+        nsec_owners = [
+            rrset.name for rrset in zone.rrsets() if rrset.rtype is RRType.NSEC
+        ]
+        ordered = canonical_sort(nsec_owners)
+        # Follow the chain from the apex; it must visit every owner
+        # exactly once and return to the start.
+        visited = []
+        current = ordered[0]
+        for _ in range(len(ordered)):
+            visited.append(current)
+            current = zone.get(current, RRType.NSEC).first().next_name
+        assert current == ordered[0]
+        assert sorted(visited, key=Name.canonical_key) == ordered
+
+    @settings(max_examples=50, deadline=None)
+    @given(populated_zones())
+    def test_delegation_nsec_has_no_ds_bit(self, world):
+        zone, _, delegations = world
+        for label in delegations:
+            nsec = zone.get(Name([label, "test"]), RRType.NSEC).first()
+            assert RRType.DS not in nsec.types
+            assert RRType.NS in nsec.types
