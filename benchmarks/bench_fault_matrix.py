@@ -1,0 +1,109 @@
+"""Chaos matrix: fault scenarios × DLV degradation policies.
+
+Section 8.4 reports DLV registry outages; this bench sweeps scripted
+fault plans (fault-free, SERVFAIL outage, black-hole outage) against
+the resolver's degradation policies and reports, per cell:
+
+* availability — the stub-visible SERVFAIL rate;
+* latency — mean response time over the workload;
+* registry exposure — Case-2 queries the registry operator (or whoever
+  answers its address) could observe while degraded.
+
+The policy spread is the point: a strict resolver trades availability
+for correctness, the insecure fallback keeps answering but keeps
+leaking, and hold-down / auto-disable bound the exposure window.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core import (
+    registry_outage_scenario,
+    run_chaos_matrix,
+    standard_universe,
+    standard_workload,
+)
+from repro.dnscore import RCode
+from repro.resolver import DlvOutagePolicy, correct_bind_config
+
+#: Kept deliberately small: the matrix builds a fresh universe per cell.
+DOMAIN_COUNT = 60
+FILLER_COUNT = 1_000
+
+
+def run_matrix():
+    workload = standard_workload(DOMAIN_COUNT)
+    names = [spec.name for spec in workload.domains]
+
+    def factory():
+        return standard_universe(workload, filler_count=FILLER_COUNT)
+
+    configs = {
+        "insecure-fallback": correct_bind_config(),
+        "fallback+holddown": correct_bind_config(dlv_fail_holddown=300.0),
+        "strict-servfail": correct_bind_config(
+            dlv_outage_policy=DlvOutagePolicy.SERVFAIL
+        ),
+        "disable-after-3": correct_bind_config(
+            dlv_outage_policy=DlvOutagePolicy.DISABLE_AFTER_N,
+            dlv_disable_threshold=3,
+        ),
+    }
+    scenarios = {
+        "fault-free": None,
+        "servfail-outage": registry_outage_scenario(rcode=RCode.SERVFAIL),
+        "black-hole": registry_outage_scenario(rcode=None),
+    }
+    return run_chaos_matrix(factory, names, scenarios, configs)
+
+
+def test_fault_matrix(benchmark):
+    reports = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    text = format_table(
+        ["Scenario", "Policy", "SERVFAIL", "Mean RT (ms)", "Case-2", "Skipped"],
+        [
+            (
+                r.scenario,
+                r.policy,
+                f"{r.servfail_rate:.1%}",
+                f"{r.mean_response_time * 1000:.0f}",
+                r.case2_queries,
+                r.lookaside_skipped,
+            )
+            for r in reports
+        ],
+        title="Chaos matrix: registry fault scenarios × degradation "
+        f"policies ({DOMAIN_COUNT} domains)",
+    )
+    emit(text)
+    cells = {(r.scenario, r.policy): r for r in reports}
+
+    # Fault-free: every policy behaves identically (no degradation path
+    # is ever taken), so the resilience knobs are free when healthy.
+    healthy = [r for r in reports if r.scenario == "fault-free"]
+    assert len({(r.noerror, r.servfail, r.case2_queries) for r in healthy}) == 1
+
+    # SERVFAIL outage: the host still sees queries, so the policies
+    # produce three *distinct* exposure levels — unbounded (fallback),
+    # one-per-holddown-window, and bounded by the disable threshold.
+    outage = {p: cells[("servfail-outage", p)] for p in (
+        "insecure-fallback", "fallback+holddown", "disable-after-3"
+    )}
+    exposures = [r.case2_queries for r in outage.values()]
+    assert len(set(exposures)) == 3
+    assert (
+        outage["fallback+holddown"].case2_queries
+        < outage["disable-after-3"].case2_queries
+        < outage["insecure-fallback"].case2_queries
+    )
+    # Strict mode buys correctness with availability.
+    assert (
+        cells[("servfail-outage", "strict-servfail")].servfail
+        > cells[("servfail-outage", "insecure-fallback")].servfail
+    )
+
+    # Black hole: dropped queries never reach the registry operator, so
+    # the observable Case-2 exposure collapses to zero for every policy.
+    assert all(
+        r.case2_queries == 0 for r in reports if r.scenario == "black-hole"
+    )

@@ -12,7 +12,8 @@ import os
 from conftest import emit
 
 from repro.analysis import format_table
-from repro.core import LeakageExperiment, take_down
+from repro.core import LeakageExperiment, schedule_outage
+from repro.dnscore import RCode
 from repro.resolver import correct_bind_config
 from repro.workloads import Universe, UniverseParams, secured_domains
 
@@ -23,7 +24,13 @@ def run_outage():
     for label, outage in (("registry up", False), ("registry outage", True)):
         universe = Universe(specs, UniverseParams(modulus_bits=256))
         if outage:
-            take_down(universe.network, universe.registry_address)
+            # Scripted on the fault plan: the registry host answers
+            # SERVFAIL for the whole run, no server swap needed.
+            schedule_outage(
+                universe.network,
+                universe.registry_address,
+                rcode=RCode.SERVFAIL,
+            )
         experiment = LeakageExperiment(
             universe, correct_bind_config(), ptr_fraction=0.0
         )

@@ -4,7 +4,10 @@ from .attacks import (
     OutageServer,
     TamperingProxy,
     interpose_tampering,
+    lift_faults,
     restore,
+    schedule_brownout,
+    schedule_outage,
     take_down,
 )
 from .dictionary import AttackResult, DictionaryAttack, coverage_curve
@@ -14,7 +17,15 @@ from .observability import (
     observer_exposures,
     universe_observers,
 )
-from .experiment import ExperimentResult, LeakageExperiment
+from .experiment import (
+    ChaosReport,
+    ChaosScenario,
+    ExperimentResult,
+    LeakageExperiment,
+    registry_outage_scenario,
+    run_chaos_cell,
+    run_chaos_matrix,
+)
 from .leakage import (
     ClassifiedDlvQuery,
     LeakageCase,
@@ -48,6 +59,14 @@ from .remedies import (
 
 __all__ = [
     "AttackResult",
+    "ChaosReport",
+    "ChaosScenario",
+    "registry_outage_scenario",
+    "run_chaos_cell",
+    "run_chaos_matrix",
+    "lift_faults",
+    "schedule_brownout",
+    "schedule_outage",
     "DEFAULT_REGISTRY_FILLER_COUNT",
     "EXPERIMENT_MODULUS_BITS",
     "standard_experiment",

@@ -24,7 +24,7 @@ import dataclasses
 from typing import Callable, Optional
 
 from ..dnscore import Message, RCode, RRType, RRset, TXT
-from ..netsim import DnsServer, Network
+from ..netsim import DnsServer, FaultPlan, Network
 
 
 class TamperingProxy:
@@ -117,7 +117,13 @@ def interpose_tampering(
 
 
 def take_down(network: Network, address: str, rcode: RCode = RCode.SERVFAIL) -> OutageServer:
-    """Replace the server at *address* with an outage."""
+    """Replace the server at *address* with an outage.
+
+    Thin legacy wrapper kept for backward compatibility; new code (and
+    anything that needs outage *windows*, black holes, or brownouts)
+    should script the fault on the network's plan via
+    :func:`schedule_outage` instead of swapping servers by hand.
+    """
     outage = OutageServer(rcode=rcode)
     network.replace(address, outage)
     return outage
@@ -126,3 +132,41 @@ def take_down(network: Network, address: str, rcode: RCode = RCode.SERVFAIL) -> 
 def restore(network: Network, address: str, server: DnsServer) -> None:
     """Bring the original server back after an attack/outage."""
     network.replace(address, server)
+
+
+# ----------------------------------------------------------------------
+# Fault-plan front-ends (the first-class way to script failures)
+# ----------------------------------------------------------------------
+
+
+def schedule_outage(
+    network: Network,
+    address: str,
+    start: float = 0.0,
+    end: float = float("inf"),
+    rcode: Optional[RCode] = RCode.SERVFAIL,
+) -> FaultPlan:
+    """Script an outage of *address* on the network's fault plan.
+
+    ``rcode=None`` black-holes the address (queries time out);
+    the default ``SERVFAIL`` reproduces the reported DLV registry
+    outages (Section 8.4): the host answers, the service is broken.
+    Returns the plan for further chaining.
+    """
+    return network.faults.add_outage(address, start=start, end=end, rcode=rcode)
+
+
+def schedule_brownout(
+    network: Network,
+    address: str,
+    start: float,
+    end: float,
+    extra_latency: float,
+) -> FaultPlan:
+    """Script added latency toward *address* during ``[start, end)``."""
+    return network.faults.add_brownout(address, start, end, extra_latency)
+
+
+def lift_faults(network: Network, address: str) -> FaultPlan:
+    """Clear every scripted fault for *address*."""
+    return network.faults.clear(address)

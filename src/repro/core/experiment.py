@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..dnscore import Name, RCode, RRType
 from ..resolver import RecursiveResolver, ResolverConfig, ValidationStatus
 from ..workloads import Universe
+from .attacks import schedule_outage
 from .leakage import LeakageClassifier, LeakageReport
 from .overhead import OverheadMetrics
 
@@ -146,6 +147,144 @@ class LeakageExperiment:
             key = security.status.value if security is not None else "unknown"
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+
+# ----------------------------------------------------------------------
+# Chaos harness: fault plans × degradation policies
+# ----------------------------------------------------------------------
+
+#: A scenario scripts faults onto a freshly built universe (typically
+#: via :func:`~repro.core.attacks.schedule_outage` /
+#: :func:`~repro.core.attacks.schedule_brownout`).  ``None`` = fault-free.
+ChaosScenario = Callable[[Universe], None]
+
+
+def registry_outage_scenario(
+    rcode: Optional[RCode] = RCode.SERVFAIL,
+    start: float = 0.0,
+    end: float = float("inf"),
+) -> ChaosScenario:
+    """A scenario taking down the DLV registry (Section 8.4).
+
+    ``rcode=None`` black-holes it; an rcode keeps the host answering
+    but the service broken — the mode that still *sees* every query.
+    """
+
+    def scenario(universe: Universe) -> None:
+        schedule_outage(
+            universe.network,
+            universe.registry_address,
+            start=start,
+            end=end,
+            rcode=rcode,
+        )
+
+    return scenario
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """How one resolver policy behaved under one fault scenario."""
+
+    scenario: str
+    policy: str
+    domains: int
+    #: Stub-visible availability.
+    noerror: int
+    servfail: int
+    servfail_rate: float
+    mean_response_time: float
+    #: Registry exposure while degraded: Case-2 queries the registry
+    #: operator could observe (dropped packets never arrive, so a
+    #: black-holed registry observes nothing).
+    case2_queries: int
+    registry_queries_delivered: int
+    #: Resilience machinery activity.
+    stale_served: int
+    lookaside_skipped: int
+    lookaside_disabled: bool
+    result: ExperimentResult = dataclasses.field(repr=False)
+
+    def describe(self) -> str:
+        return (
+            f"[{self.scenario} × {self.policy}] "
+            f"servfail {self.servfail_rate:.1%} "
+            f"({self.noerror} ok / {self.servfail} fail), "
+            f"mean rt {self.mean_response_time * 1000:.0f} ms, "
+            f"case-2 exposure {self.case2_queries}, "
+            f"stale {self.stale_served}, "
+            f"skipped {self.lookaside_skipped}"
+            + (" [lookaside auto-disabled]" if self.lookaside_disabled else "")
+        )
+
+
+def run_chaos_cell(
+    universe: Universe,
+    config: ResolverConfig,
+    names: Sequence[Name],
+    scenario: Optional[ChaosScenario] = None,
+    scenario_label: str = "none",
+    policy_label: str = "",
+) -> ChaosReport:
+    """One cell of the chaos matrix: script the faults, run the
+    workload, distil availability / latency / exposure."""
+    if scenario is not None:
+        scenario(universe)
+    experiment = LeakageExperiment(universe, config)
+    result = experiment.run(names)
+    servfail = result.rcode_counts.get(RCode.SERVFAIL.name, 0)
+    noerror = result.rcode_counts.get(RCode.NOERROR.name, 0)
+    total = max(1, len(names))
+    delivered = sum(
+        1
+        for record in result.capture.queries_to(universe.registry_address)
+        if not record.dropped
+    )
+    resolver = experiment.resolver
+    return ChaosReport(
+        scenario=scenario_label,
+        policy=policy_label or config.describe(),
+        domains=len(names),
+        noerror=noerror,
+        servfail=servfail,
+        servfail_rate=servfail / total,
+        mean_response_time=result.overhead.response_time / total,
+        case2_queries=result.leakage.case2_queries,
+        registry_queries_delivered=delivered,
+        stale_served=resolver.engine.stale_served,
+        lookaside_skipped=resolver.lookaside.searches_skipped,
+        lookaside_disabled=resolver.lookaside.disabled,
+        result=result,
+    )
+
+
+def run_chaos_matrix(
+    universe_factory: Callable[[], Universe],
+    names: Sequence[Name],
+    scenarios: Mapping[str, Optional[ChaosScenario]],
+    configs: Mapping[str, ResolverConfig],
+) -> List[ChaosReport]:
+    """Sweep fault scenarios × resolver policies.
+
+    Every cell gets a *fresh* universe from ``universe_factory`` so the
+    cells are independent and each one's capture is reproducible: same
+    factory, same names, same scenario ⇒ byte-identical packet trace.
+    """
+    reports: List[ChaosReport] = []
+    for scenario_label, scenario in scenarios.items():
+        for policy_label, config in configs.items():
+            universe = universe_factory()
+            reports.append(
+                run_chaos_cell(
+                    universe,
+                    config,
+                    names,
+                    scenario=scenario,
+                    scenario_label=scenario_label,
+                    policy_label=policy_label,
+                )
+            )
+    return reports
 
 
 class _CaptureSlice:

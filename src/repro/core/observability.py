@@ -105,7 +105,7 @@ def universe_observers(universe: Universe) -> Dict[str, str]:
     """The standard observation points of a Universe: root, every TLD,
     and the DLV registry."""
     observers = {universe.root_address: "root"}
-    for label, address in universe._tld_addresses.items():
+    for label, address in universe.tld_addresses().items():
         observers[address] = f"tld:{label}"
     observers[universe.registry_address] = "dlv-registry"
     return observers

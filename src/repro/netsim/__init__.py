@@ -2,17 +2,22 @@
 
 from .capture import Capture, PacketRecord
 from .clock import SimClock
+from .faults import Brownout, FaultPlan, OutageWindow, TamperHook
 from .latency import LatencyModel, ZeroLatency
 from .network import DnsServer, Network, NetworkError, QueryTimeout
 
 __all__ = [
+    "Brownout",
     "Capture",
     "DnsServer",
+    "FaultPlan",
     "LatencyModel",
     "Network",
     "NetworkError",
+    "OutageWindow",
     "PacketRecord",
     "QueryTimeout",
     "SimClock",
+    "TamperHook",
     "ZeroLatency",
 ]

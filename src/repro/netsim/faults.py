@@ -1,0 +1,263 @@
+"""Deterministic fault injection: scripted outages, loss, brownouts.
+
+A :class:`FaultPlan` attached to a :class:`~repro.netsim.network.Network`
+scripts per-destination faults on the simulated clock:
+
+* **loss** — a per-address drop probability (plus a network-wide
+  default, subsuming the old single global ``loss_rate``);
+* **outage windows** — ``[start, end)`` intervals during which an
+  address either black-holes traffic (``rcode=None``: the query is
+  sent but never answered, the sender times out) or answers every
+  query with a fixed error (``rcode=SERVFAIL`` / ``REFUSED`` — the
+  host is up but the service is broken, the mode of the DLV registry
+  outages the paper's Section 8.4 documents);
+* **brownouts** — ``[start, end)`` intervals adding latency to every
+  exchange with an address (an overloaded or distant-failover server);
+* **tamper hooks** — a callable rewriting responses from an address
+  (the network-layer generalisation of
+  :class:`~repro.core.attacks.TamperingProxy`).
+
+Everything is seeded: loss draws come from a per-address RNG derived
+from ``(seed, address)``, so the same plan over the same traffic
+produces byte-identical captures — the property the chaos benchmarks
+and the determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dnscore import Message, RCode
+
+#: A response-rewriting hook: receives the response a server produced
+#: and returns the (possibly modified) response actually delivered.
+TamperHook = Callable[[Message], Message]
+
+
+@dataclasses.dataclass(frozen=True)
+class OutageWindow:
+    """One scripted outage of a destination address.
+
+    ``rcode=None`` models a black hole (packets vanish, senders time
+    out); a concrete :class:`RCode` models a server that is reachable
+    but answers every query with that error.
+    """
+
+    start: float
+    end: float
+    rcode: Optional[RCode] = None
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("outage window must satisfy start < end")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class Brownout:
+    """Added one-way service degradation: extra RTT inside a window."""
+
+    start: float
+    end: float
+    extra_latency: float
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("brownout window must satisfy start < end")
+        if self.extra_latency < 0:
+            raise ValueError("brownout latency must be non-negative")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclasses.dataclass
+class _AddressFaults:
+    """Faults scripted for one destination address."""
+
+    loss_rate: Optional[float] = None
+    outages: List[OutageWindow] = dataclasses.field(default_factory=list)
+    brownouts: List[Brownout] = dataclasses.field(default_factory=list)
+    tamper: Optional[TamperHook] = None
+
+
+def _validate_rate(rate: float) -> float:
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("loss rate must be in [0, 1)")
+    return rate
+
+
+class FaultPlan:
+    """A reproducible, clock-scripted fault schedule for a network.
+
+    Builder methods return ``self`` so plans read as one chained
+    expression::
+
+        plan = (
+            FaultPlan(seed=7)
+            .add_outage("10.0.0.1", start=10.0, end=40.0)          # black hole
+            .add_outage("10.0.0.2", start=0.0, rcode=RCode.SERVFAIL)
+            .add_brownout("10.0.0.3", start=5.0, end=25.0, extra_latency=0.5)
+            .set_loss("10.0.0.4", 0.2)
+        )
+    """
+
+    def __init__(self, seed: int = 0x105E, default_loss_rate: float = 0.0):
+        self.seed = seed
+        self._default_loss_rate = _validate_rate(default_loss_rate)
+        self._faults: Dict[str, _AddressFaults] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        #: Observability counters for reports and tests.
+        self.drops_injected = 0
+        self.outage_hits = 0
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+
+    @property
+    def default_loss_rate(self) -> float:
+        return self._default_loss_rate
+
+    @default_loss_rate.setter
+    def default_loss_rate(self, rate: float) -> None:
+        self._default_loss_rate = _validate_rate(rate)
+
+    def _entry(self, address: str) -> _AddressFaults:
+        if address not in self._faults:
+            self._faults[address] = _AddressFaults()
+        return self._faults[address]
+
+    def set_loss(self, address: str, rate: float) -> "FaultPlan":
+        """Per-destination loss probability, overriding the default."""
+        self._entry(address).loss_rate = _validate_rate(rate)
+        return self
+
+    def add_outage(
+        self,
+        address: str,
+        start: float = 0.0,
+        end: float = float("inf"),
+        rcode: Optional[RCode] = None,
+    ) -> "FaultPlan":
+        """Script an outage of *address* during ``[start, end)``."""
+        self._entry(address).outages.append(OutageWindow(start, end, rcode))
+        return self
+
+    def add_brownout(
+        self, address: str, start: float, end: float, extra_latency: float
+    ) -> "FaultPlan":
+        """Script added latency toward *address* during ``[start, end)``."""
+        self._entry(address).brownouts.append(Brownout(start, end, extra_latency))
+        return self
+
+    def set_tamper(self, address: str, hook: Optional[TamperHook]) -> "FaultPlan":
+        """Install (or clear) a response-rewriting hook for *address*."""
+        self._entry(address).tamper = hook
+        return self
+
+    def clear(self, address: str) -> "FaultPlan":
+        """Drop every scripted fault for *address* (loss reverts to the
+        network default)."""
+        self._faults.pop(address, None)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queried by the network on every exchange
+    # ------------------------------------------------------------------
+
+    def active_outage(self, address: str, now: float) -> Optional[OutageWindow]:
+        entry = self._faults.get(address)
+        if entry is None:
+            return None
+        for window in entry.outages:
+            if window.active(now):
+                self.outage_hits += 1
+                return window
+        return None
+
+    def roll_loss(self, address: str) -> Tuple[bool, bool]:
+        """One loss draw for an exchange with *address*.
+
+        Returns ``(lose_query, lose_response)``; at most one is true
+        (the lost packet's direction is a second coin flip, matching
+        the legacy global loss model).
+        """
+        entry = self._faults.get(address)
+        rate = (
+            entry.loss_rate
+            if entry is not None and entry.loss_rate is not None
+            else self._default_loss_rate
+        )
+        if rate <= 0.0:
+            return False, False
+        rng = self._rng(address)
+        if rng.random() >= rate:
+            return False, False
+        self.drops_injected += 1
+        if rng.random() < 0.5:
+            return True, False
+        return False, True
+
+    def extra_latency(self, address: str, now: float) -> float:
+        entry = self._faults.get(address)
+        if entry is None:
+            return 0.0
+        return sum(
+            brownout.extra_latency
+            for brownout in entry.brownouts
+            if brownout.active(now)
+        )
+
+    def tamper_response(self, address: str, response: Message) -> Message:
+        entry = self._faults.get(address)
+        if entry is None or entry.tamper is None:
+            return response
+        return entry.tamper(response)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _rng(self, address: str) -> random.Random:
+        """Per-address RNG: loss draws for one destination do not
+        depend on traffic to any other, making plans composable
+        without perturbing each other's schedules."""
+        rng = self._rngs.get(address)
+        if rng is None:
+            rng = random.Random(self.seed ^ zlib.crc32(address.encode("utf-8")))
+            self._rngs[address] = rng
+        return rng
+
+    def faulted_addresses(self) -> Tuple[str, ...]:
+        return tuple(self._faults)
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self._default_loss_rate > 0:
+            parts.append(f"loss={self._default_loss_rate:.3f}")
+        for address, entry in self._faults.items():
+            clauses: List[str] = []
+            if entry.loss_rate is not None:
+                clauses.append(f"loss={entry.loss_rate:.3f}")
+            for window in entry.outages:
+                mode = window.rcode.name if window.rcode is not None else "timeout"
+                clauses.append(f"outage[{window.start:g},{window.end:g})={mode}")
+            for brownout in entry.brownouts:
+                clauses.append(
+                    f"brownout[{brownout.start:g},{brownout.end:g})"
+                    f"=+{brownout.extra_latency:g}s"
+                )
+            if entry.tamper is not None:
+                clauses.append("tamper")
+            if clauses:
+                parts.append(f"{address}:{'+'.join(clauses)}")
+        return " ".join(parts) if parts else "no faults"
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.describe()})"

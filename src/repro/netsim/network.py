@@ -9,12 +9,12 @@ one sampled round-trip time, and records both packets in the capture.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Optional, Protocol
 
 from ..dnscore import Message, decode_message, encode_message
 from .capture import Capture, PacketRecord
 from .clock import SimClock
+from .faults import FaultPlan
 from .latency import LatencyModel
 
 
@@ -45,6 +45,7 @@ class Network:
         loss_rate: float = 0.0,
         loss_seed: int = 0x105E,
         loss_timeout: float = 1.0,
+        faults: Optional[FaultPlan] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
@@ -56,13 +57,23 @@ class Network:
         #: the decoded message is what gets delivered — a continuous codec
         #: self-check.  Off by default for speed.
         self._verify_wire_roundtrip = verify_wire_roundtrip
-        #: Probability that one exchange loses a packet (query or
-        #: response, chosen uniformly).  The sender times out and may
-        #: retry; a lost packet is still captured with dropped=True on
-        #: the leg it travelled.
-        self.loss_rate = loss_rate
-        self._loss_rng = random.Random(loss_seed)
+        #: All loss, outage, brownout, and tampering behaviour lives in
+        #: the fault plan; the legacy ``loss_rate``/``loss_seed`` pair
+        #: configures the plan's uniform default loss.
+        self.faults = faults if faults is not None else FaultPlan(
+            seed=loss_seed, default_loss_rate=loss_rate
+        )
         self.loss_timeout = loss_timeout
+
+    @property
+    def loss_rate(self) -> float:
+        """Network-wide default loss probability (per exchange, one
+        packet, direction chosen uniformly — see :class:`FaultPlan`)."""
+        return self.faults.default_loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        self.faults.default_loss_rate = rate
 
     # ------------------------------------------------------------------
     # Topology
@@ -99,7 +110,13 @@ class Network:
         """Send *message* from *src* to *dst* and return the response.
 
         Advances the clock by one sampled RTT and logs both directions to
-        the capture with their uncompressed wire sizes.
+        the capture with their uncompressed wire sizes.  Consults the
+        fault plan for scripted outages, loss, brownouts, and tampering.
+
+        Timeout accounting lives here and only here: every lost exchange
+        (dropped query, dropped response, black-holed outage) costs the
+        sender exactly ``loss_timeout`` measured from the send time —
+        callers add only their own retry backoff on top.
         """
         server = self.server_at(dst)
         if self._verify_wire_roundtrip:
@@ -110,13 +127,23 @@ class Network:
             # wire_size() computes the exact encoded length arithmetically;
             # the equivalence is enforced by a property test on the codec.
             query_size = message.wire_size()
-        lose_query = lose_response = False
-        if self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate:
-            if self._loss_rng.random() < 0.5:
-                lose_query = True
-            else:
-                lose_response = True
         send_time = self.clock.now
+        outage = self.faults.active_outage(dst, send_time)
+        if outage is not None and outage.rcode is None:
+            # Black hole: the query leaves the sender but never arrives.
+            self.capture.record(
+                PacketRecord(
+                    time=send_time,
+                    src=src,
+                    dst=dst,
+                    message=message,
+                    wire_size=query_size,
+                    dropped=True,
+                )
+            )
+            self.clock.advance(self.loss_timeout)
+            raise QueryTimeout(f"query to {dst} lost (outage)")
+        lose_query, lose_response = self.faults.roll_loss(dst)
         self.capture.record(
             PacketRecord(
                 time=send_time,
@@ -130,14 +157,21 @@ class Network:
         if lose_query:
             self.clock.advance(self.loss_timeout)
             raise QueryTimeout(f"query to {dst} lost")
-        response = server.handle(message)
+        if outage is not None:
+            # The host is reachable but the service is broken: every
+            # query earns the scripted error (the DLV registry outage
+            # mode of paper Section 8.4).
+            response = message.make_response(rcode=outage.rcode)
+        else:
+            response = server.handle(message)
+        response = self.faults.tamper_response(dst, response)
         if self._verify_wire_roundtrip:
             response_wire = encode_message(response)
             response = decode_message(response_wire)
             response_size = len(response_wire)
         else:
             response_size = response.wire_size()
-        rtt = self.latency.sample(dst)
+        rtt = self.latency.sample(dst) + self.faults.extra_latency(dst, send_time)
         arrival = self.clock.advance(rtt)
         self.capture.record(
             PacketRecord(
@@ -150,6 +184,9 @@ class Network:
             )
         )
         if lose_response:
-            self.clock.advance(self.loss_timeout)
+            # The sender's timer started at send time; the RTT already
+            # elapsed counts toward its timeout (fixing the historical
+            # rtt + full-timeout double penalty).
+            self.clock.advance(max(0.0, self.loss_timeout - rtt))
             raise QueryTimeout(f"response from {dst} lost")
         return response

@@ -3,6 +3,7 @@
 from .anchors import TrustAnchor, TrustAnchorStore
 from .cache import CachedRRset, RRsetCache
 from .config import (
+    DlvOutagePolicy,
     LookasideSetting,
     ResolverConfig,
     ResolverFlavor,
@@ -11,6 +12,7 @@ from .config import (
     correct_bind_config,
 )
 from .engine import IterativeEngine, ResolutionError, ResolutionOutcome
+from .health import ServerHealth, ServerStats
 from .lookaside import DlvLookaside, LookasideResult
 from .negcache import NegativeCache
 from .recursive import (
@@ -25,6 +27,9 @@ __all__ = [
     "CachedRRset",
     "DEFAULT_REGISTRY_ORIGIN",
     "DlvLookaside",
+    "DlvOutagePolicy",
+    "ServerHealth",
+    "ServerStats",
     "IterativeEngine",
     "LookasideResult",
     "LookasideSetting",

@@ -4,6 +4,13 @@ Entries may carry the RRSIG that came with the RRset and the validation
 status it earned, so revalidation (and hence repeat DLV traffic) is
 avoided for cache hits — matching resolver behaviour the paper's
 measurements depend on.
+
+With ``serve_stale=True`` the cache keeps expired entries around for a
+bounded window (RFC 8767) so the resolver can serve a stale answer when
+every upstream is unreachable — availability during the registry and
+authoritative outages the fault-injection benches script.  ``get``
+still returns only fresh entries; the engine asks for
+:meth:`RRsetCache.get_stale` explicitly after resolution has failed.
 """
 
 from __future__ import annotations
@@ -28,16 +35,31 @@ class CachedRRset:
     def fresh(self, now: float) -> bool:
         return now < self.expires_at
 
+    def stale_but_usable(self, now: float, stale_window: float) -> bool:
+        """Expired, but still within the RFC 8767 serve-stale window."""
+        return self.expires_at <= now < self.expires_at + stale_window
+
 
 class RRsetCache:
     """Cache keyed by (owner name, rrtype)."""
 
-    def __init__(self, clock: SimClock, max_ttl: float = 86400.0):
+    def __init__(
+        self,
+        clock: SimClock,
+        max_ttl: float = 86400.0,
+        serve_stale: bool = False,
+        stale_window: float = 86400.0,
+    ):
         self._clock = clock
         self._max_ttl = max_ttl
+        #: RFC 8767: retain expired entries for ``stale_window`` seconds
+        #: so they can be served during upstream outages.
+        self.serve_stale = serve_stale
+        self.stale_window = stale_window
         self._entries: Dict[Tuple[Name, RRType], CachedRRset] = {}
         self.hits = 0
         self.misses = 0
+        self.stale_hits = 0
 
     def get(self, name: Name, rtype: RRType) -> Optional[CachedRRset]:
         key = (name, rtype)
@@ -46,10 +68,28 @@ class RRsetCache:
             self.misses += 1
             return None
         if not entry.fresh(self._clock.now):
-            del self._entries[key]
+            if not (
+                self.serve_stale
+                and entry.stale_but_usable(self._clock.now, self.stale_window)
+            ):
+                del self._entries[key]
             self.misses += 1
             return None
         self.hits += 1
+        return entry
+
+    def get_stale(self, name: Name, rtype: RRType) -> Optional[CachedRRset]:
+        """An expired-but-retained entry, or None.  Only meaningful in
+        serve-stale mode; fresh entries are not returned (use ``get``)."""
+        if not self.serve_stale:
+            return None
+        entry = self._entries.get((name, rtype))
+        if entry is None or entry.fresh(self._clock.now):
+            return None
+        if not entry.stale_but_usable(self._clock.now, self.stale_window):
+            del self._entries[(name, rtype)]
+            return None
+        self.stale_hits += 1
         return entry
 
     def put(

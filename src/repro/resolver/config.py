@@ -43,6 +43,35 @@ class LookasideSetting(enum.Enum):
     NO = "no"
 
 
+class DlvOutagePolicy(enum.Enum):
+    """How the resolver degrades when the DLV registry is unreachable.
+
+    The paper's Section 8.4 documents registry outages breaking
+    validation for look-aside-dependent resolvers; the ISC phase-out is
+    the terminal instance.  Resolver implementations differed, and the
+    policy changes both availability *and* what the registry operator
+    observes during the outage:
+
+    * ``SERVFAIL`` — validation cannot conclude, so every answer that
+      needed the registry fails (strict-BIND behaviour: availability
+      collapses, but the search is re-attempted on every query, so the
+      registry path keeps carrying the full Case-2 exposure);
+    * ``INSECURE_FALLBACK`` — treat registry-unreachable like "no DLV
+      record": answers flow without AD (paired with
+      ``dlv_fail_holddown`` this mirrors BIND's SERVFAIL/bad cache:
+      after one failed search the resolver holds the registry down and
+      stops leaking for the hold-down window);
+    * ``DISABLE_AFTER_N`` — after ``dlv_disable_threshold`` consecutive
+      registry failures, turn look-aside off for the rest of the
+      process lifetime (the operational "rndc flush + config edit" the
+      ISC phase-out eventually forced on everyone, automated).
+    """
+
+    SERVFAIL = "servfail"
+    INSECURE_FALLBACK = "insecure-fallback"
+    DISABLE_AFTER_N = "disable-after-n-failures"
+
+
 @dataclasses.dataclass(frozen=True)
 class ResolverConfig:
     """One resolver's security configuration."""
@@ -74,6 +103,30 @@ class ResolverConfig:
     #: upstream-privacy measure the paper's threat model cites.  It
     #: hides full names from the root/TLDs but not from the registry.
     qname_minimization: bool = False
+
+    # ---- resilience (fault-injection subsystem; defaults preserve the
+    # ---- pre-resilience behaviour exactly) ----
+    #: Degradation policy when the DLV registry is unreachable.  The
+    #: default mirrors this simulator's historical behaviour (and
+    #: lenient resolvers): fall back to an insecure answer.
+    dlv_outage_policy: DlvOutagePolicy = DlvOutagePolicy.INSECURE_FALLBACK
+    #: After a failed registry search, suppress further look-aside
+    #: searches for this many sim-seconds (BIND's bad/SERVFAIL cache).
+    #: 0 disables the hold-down: every resolution re-probes the registry.
+    dlv_fail_holddown: float = 0.0
+    #: Consecutive registry failures before ``DISABLE_AFTER_N`` turns
+    #: look-aside off entirely.
+    dlv_disable_threshold: int = 5
+    #: RFC 8767 serve-stale: answer from expired cache entries when
+    #: every upstream is unreachable.
+    serve_stale: bool = False
+    #: How long past expiry an entry stays servable (RFC 8767 suggests
+    #: 1-3 days).
+    serve_stale_window: float = 86400.0
+    #: SERVFAIL/lame-server hold-down for the iterative engine: a server
+    #: that answered SERVFAIL/REFUSED (or a zone whose servers all timed
+    #: out) is skipped for this many sim-seconds.  0 disables the cache.
+    lame_ttl: float = 0.0
 
     # ------------------------------------------------------------------
     # Effective behaviour
@@ -138,6 +191,10 @@ class ResolverConfig:
         ]
         if remedies:
             parts.append("remedies=" + "+".join(remedies))
+        if self.dlv_outage_policy is not DlvOutagePolicy.INSECURE_FALLBACK:
+            parts.append(f"dlv-outage={self.dlv_outage_policy.value}")
+        if self.serve_stale:
+            parts.append("serve-stale")
         return " ".join(parts)
 
 

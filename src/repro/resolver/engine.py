@@ -36,6 +36,7 @@ from ..dnscore import (
 from ..netsim import Network
 from ..netsim.network import QueryTimeout
 from .cache import RRsetCache
+from .health import ServerHealth
 from .negcache import NegativeCache
 
 _MAX_REFERRALS = 30
@@ -44,6 +45,13 @@ _MAX_RECURSION = 6
 #: UDP retransmission attempts before the engine gives up on a server
 #: (resolvers typically retry 2-3 times before trying the next one).
 _MAX_RETRIES = 3
+#: Total sends one cut query may spend across all of a cut's addresses
+#: (the per-resolution retry budget of the failover path).
+_RETRY_BUDGET = 6
+#: Response codes that mark a server lame for the queried zone: the
+#: server is up but cannot serve, so failover to a sibling NS is the
+#: productive move (and the address enters the SERVFAIL hold-down).
+_LAME_RCODES = (RCode.SERVFAIL, RCode.REFUSED, RCode.NOTIMP)
 
 #: Negative-cache TTL used when a negative answer carries no SOA.
 _FALLBACK_NEGATIVE_TTL = 900
@@ -76,6 +84,9 @@ class ResolutionOutcome:
     z_bit: bool = False
     #: True when served from cache without touching the network.
     from_cache: bool = False
+    #: True when the answer is expired data served under RFC 8767
+    #: serve-stale because every upstream was unreachable.
+    stale: bool = False
 
     def is_positive(self) -> bool:
         return self.rcode is RCode.NOERROR and bool(self.answer)
@@ -102,12 +113,20 @@ class IterativeEngine:
         sld_ns_requery_fraction: float = 0.3,
         ns_address_lookups: bool = True,
         qname_minimization: bool = False,
+        health: Optional[ServerHealth] = None,
+        serve_stale: bool = False,
+        retry_budget: int = _RETRY_BUDGET,
     ):
         self._network = network
         self._clock = network.clock
         self.address = address
         self._cache = cache
         self._negcache = negcache
+        #: Per-server scoreboard: SRTT, failures, lame hold-downs.
+        self.health = health or ServerHealth(network.clock)
+        #: RFC 8767: serve expired cache entries when resolution fails.
+        self.serve_stale = serve_stale
+        self._retry_budget = max(1, retry_budget)
         self._dnssec_ok = dnssec_ok
         self._tld_priming = tld_priming
         self._sld_ns_requery_fraction = sld_ns_requery_fraction
@@ -125,16 +144,32 @@ class IterativeEngine:
         self._next_id = 1
         self.queries_sent = 0
         self.timeouts = 0
+        self.failovers = 0
+        self.stale_served = 0
+        self.lame_skips = 0
+
+    @property
+    def clock(self):
+        """The simulated clock the engine (and its caches) run on."""
+        return self._clock
 
     # ------------------------------------------------------------------
     # Low-level send
     # ------------------------------------------------------------------
 
-    def send_query(self, dst: str, qname: Name, qtype: RRType) -> Message:
-        """Send one query on the wire, retrying on packet loss; public
-        for the validator/DLV machinery."""
+    def send_query(
+        self, dst: str, qname: Name, qtype: RRType, attempts: int = _MAX_RETRIES
+    ) -> Message:
+        """Send one query on the wire, retrying on packet loss with
+        exponential backoff; public for the validator/DLV machinery.
+
+        The network accounts the timeout itself (the clock advances by
+        ``loss_timeout`` per drop); between retries the engine waits an
+        additional, growing backoff — the pacing a real resolver applies
+        instead of hammering a dead server back-to-back.
+        """
         last_error: Optional[QueryTimeout] = None
-        for _ in range(_MAX_RETRIES):
+        for attempt in range(attempts):
             message_id = self._next_id
             self._next_id = (self._next_id + 1) & 0xFFFF or 1
             query = Message.make_query(
@@ -142,14 +177,71 @@ class IterativeEngine:
                 dnssec_ok=self._dnssec_ok,
             )
             self.queries_sent += 1
+            sent_at = self._clock.now
             try:
-                return self._network.query(self.address, dst, query)
+                response = self._network.query(self.address, dst, query)
             except QueryTimeout as timeout:
                 self.timeouts += 1
+                self.health.record_failure(dst)
                 last_error = timeout
+                if attempt + 1 < attempts:
+                    self._clock.advance(self.health.backoff_delay(attempt))
+                continue
+            self.health.record_success(dst, self._clock.now - sent_at)
+            return response
         raise ResolutionError(
             f"query for {qname.to_text()}/{qtype.name} to {dst} timed out "
-            f"after {_MAX_RETRIES} attempts"
+            f"after {attempts} attempts"
+        ) from last_error
+
+    def query_cut(
+        self, addresses: List[str], qname: Name, qtype: RRType
+    ) -> Message:
+        """Query a cut's nameservers with failover.
+
+        Addresses are tried in health order (healthy servers keep their
+        configured order, recently-failing and lame ones are demoted).
+        Each server gets up to ``_MAX_RETRIES`` sends; a timeout
+        exhaustion or a lame response (SERVFAIL/REFUSED/NOTIMP) moves on
+        to the next address, bounded by the per-resolution retry budget.
+        """
+        ordered = self.health.order(addresses)
+        usable = [a for a in ordered if not self.health.is_lame(a)]
+        if not usable:
+            self.lame_skips += 1
+            raise ResolutionError(
+                f"every server for {qname.to_text()}/{qtype.name} is held "
+                f"down as lame ({', '.join(ordered)})"
+            )
+        budget = self._retry_budget
+        last_lame: Optional[Message] = None
+        last_error: Optional[ResolutionError] = None
+        for index, address in enumerate(usable):
+            if budget <= 0:
+                break
+            attempts = min(_MAX_RETRIES, budget)
+            budget -= attempts
+            if index > 0:
+                self.failovers += 1
+            try:
+                response = self.send_query(address, qname, qtype, attempts)
+            except ResolutionError as error:
+                last_error = error
+                continue
+            if response.rcode in _LAME_RCODES:
+                self.health.mark_lame(address)
+                self.health.record_failure(address)
+                last_lame = response
+                continue
+            return response
+        if last_lame is not None:
+            raise ResolutionError(
+                f"unusable response for {qname.to_text()}/{qtype.name} "
+                f"(rcode={last_lame.rcode.name}) from every reachable server"
+            )
+        raise ResolutionError(
+            f"no server for {qname.to_text()}/{qtype.name} answered within "
+            f"the retry budget"
         ) from last_error
 
     # ------------------------------------------------------------------
@@ -210,7 +302,12 @@ class IterativeEngine:
         answer_rrsets: List[RRset] = []
         current_name = qname
         for _ in range(_MAX_CNAME_CHAIN):
-            outcome = self._resolve_one(current_name, qtype, _depth)
+            try:
+                outcome = self._resolve_one(current_name, qtype, _depth)
+            except ResolutionError:
+                outcome = self._stale_outcome(current_name, qtype)
+                if outcome is None:
+                    raise
             answer_rrsets.extend(outcome.answer)
             cname_target = self._cname_target(outcome, current_name, qtype)
             if cname_target is None:
@@ -255,6 +352,31 @@ class IterativeEngine:
             )
         return None
 
+    def _stale_outcome(
+        self, qname: Name, qtype: RRType
+    ) -> Optional[ResolutionOutcome]:
+        """RFC 8767 serve-stale: when iterative resolution failed, fall
+        back to an expired cache entry if one is still within the stale
+        window.  Stale data is served but never re-signed into the
+        caches, and the outcome is flagged so callers can tell."""
+        if not self.serve_stale:
+            return None
+        entry = self._cache.get_stale(qname, qtype)
+        if entry is None:
+            return None
+        self.stale_served += 1
+        return ResolutionOutcome(
+            qname=qname,
+            qtype=qtype,
+            rcode=RCode.NOERROR,
+            answer=(entry.rrset,),
+            rrsig=entry.rrsig,
+            zone=self._zone_guess(qname),
+            chain=self.known_cuts(qname),
+            from_cache=True,
+            stale=True,
+        )
+
     def _zone_guess(self, qname: Name) -> Name:
         """Best-effort zone attribution for cached entries: the deepest
         known cut at-or-above the name."""
@@ -273,7 +395,7 @@ class IterativeEngine:
             else:
                 probe = qname
             effective_qtype = qtype if probe == qname else RRType.NS
-            response = self.send_query(addresses[0], probe, effective_qtype)
+            response = self.query_cut(addresses, probe, effective_qtype)
             classification = self._classify(response, probe, effective_qtype, cut)
             if classification == "answer":
                 if probe == qname:

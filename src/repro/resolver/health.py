@@ -1,0 +1,136 @@
+"""Per-server health tracking: SRTT, failures, backoff, lame caching.
+
+Real resolvers keep a per-server scoreboard: a smoothed RTT estimate
+(BIND's SRTT, Unbound's infra cache), consecutive-failure counts, and a
+short-lived "lame server" / SERVFAIL hold-down so a broken server is
+not hammered on every resolution.  The iterative engine consults this
+tracker to order a cut's addresses, to pace its retransmissions with
+exponential backoff, and to fail fast against servers it recently saw
+dead — the behaviours the fault-injection benches measure.
+
+All timing runs on the simulated clock, so health state is as
+deterministic as everything else in a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from ..netsim import SimClock
+
+#: EWMA weight of the previous SRTT estimate (BIND uses ~0.7).
+_SRTT_ALPHA = 0.7
+#: First-retry backoff in seconds; doubles per attempt up to the cap.
+_BACKOFF_BASE = 0.4
+_BACKOFF_CAP = 8.0
+
+
+@dataclasses.dataclass
+class ServerStats:
+    """The scoreboard for one server address."""
+
+    srtt: Optional[float] = None
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    last_failure_at: Optional[float] = None
+    #: Until when the server is held down as lame/SERVFAIL-ing.
+    lame_until: float = 0.0
+
+
+class ServerHealth:
+    """Tracks per-address health on the simulated clock.
+
+    ``lame_ttl`` is the SERVFAIL/lame-server hold-down: a server marked
+    lame is skipped by the engine until the hold-down expires.  The
+    default of 0 disables the cache (every query is attempted), which
+    preserves the traffic shape of fault-free experiments; resolvers
+    opt in via :class:`~repro.resolver.config.ResolverConfig.lame_ttl`.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        lame_ttl: float = 0.0,
+        backoff_base: float = _BACKOFF_BASE,
+        backoff_cap: float = _BACKOFF_CAP,
+    ):
+        if lame_ttl < 0:
+            raise ValueError("lame_ttl must be non-negative")
+        self._clock = clock
+        self.lame_ttl = lame_ttl
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._stats: Dict[str, ServerStats] = {}
+        self.lame_markings = 0
+
+    def stats(self, address: str) -> ServerStats:
+        entry = self._stats.get(address)
+        if entry is None:
+            entry = ServerStats()
+            self._stats[address] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_success(self, address: str, rtt: float) -> None:
+        entry = self.stats(address)
+        entry.successes += 1
+        entry.consecutive_failures = 0
+        if entry.srtt is None:
+            entry.srtt = rtt
+        else:
+            entry.srtt = _SRTT_ALPHA * entry.srtt + (1.0 - _SRTT_ALPHA) * rtt
+
+    def record_failure(self, address: str) -> None:
+        entry = self.stats(address)
+        entry.failures += 1
+        entry.consecutive_failures += 1
+        entry.last_failure_at = self._clock.now
+
+    def mark_lame(self, address: str) -> None:
+        """Hold an address down after a SERVFAIL/REFUSED/lame response.
+        No-op when the lame cache is disabled (``lame_ttl == 0``)."""
+        if self.lame_ttl <= 0:
+            return
+        entry = self.stats(address)
+        entry.lame_until = self._clock.now + self.lame_ttl
+        self.lame_markings += 1
+
+    def is_lame(self, address: str) -> bool:
+        entry = self._stats.get(address)
+        return entry is not None and self._clock.now < entry.lame_until
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Wait before retry number ``attempt`` (0-based): exponential,
+        deterministic, capped."""
+        return min(self.backoff_base * (2.0 ** attempt), self.backoff_cap)
+
+    def order(self, addresses: Iterable[str]) -> List[str]:
+        """Preference order over a cut's addresses.
+
+        Deduplicates, keeps healthy servers in their given order (so
+        fault-free runs are byte-identical to the pre-health engine),
+        and demotes servers with recent consecutive failures or an
+        active lame hold-down to the back.
+        """
+        seen = set()
+        unique: List[str] = []
+        for address in addresses:
+            if address not in seen:
+                seen.add(address)
+                unique.append(address)
+
+        def sort_key(address: str):
+            entry = self._stats.get(address)
+            consecutive = entry.consecutive_failures if entry is not None else 0
+            return (self.is_lame(address), consecutive)
+
+        return sorted(unique, key=sort_key)  # stable: ties keep input order

@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 from ..crypto import hash_domain_label
 from ..dnscore import Name, RCode, RRType, RRset
+from .config import DlvOutagePolicy
 from .engine import IterativeEngine, ResolutionError
 from .negcache import NegativeCache
 from .validator import ValidationStatus, Validator, ZoneSecurity
@@ -43,6 +44,13 @@ class LookasideResult:
     queries_suppressed: int
     #: The candidate name whose DLV record anchored the chain, if any.
     anchored_at: Optional[Name] = None
+    #: True when the registry could not be reached (or the search was
+    #: skipped because of a recent failure): the degradation policy in
+    #: :class:`~repro.resolver.recursive.RecursiveResolver` keys off it.
+    registry_unreachable: bool = False
+    #: Why the search never ran, when it didn't: "disabled" (auto-off
+    #: after repeated failures) or "holddown" (inside the fail window).
+    skipped: Optional[str] = None
 
 
 class DlvLookaside:
@@ -56,15 +64,29 @@ class DlvLookaside:
         registry_origin: Name,
         hashed: bool = False,
         aggressive_caching: bool = True,
+        outage_policy: DlvOutagePolicy = DlvOutagePolicy.INSECURE_FALLBACK,
+        fail_holddown: float = 0.0,
+        disable_threshold: int = 5,
     ):
         self._engine = engine
         self._validator = validator
         self._negcache = negcache
+        self._clock = engine.clock
         self.registry_origin = registry_origin
         self.hashed = hashed
         self.aggressive_caching = aggressive_caching
+        #: Graceful-degradation knobs (see :class:`DlvOutagePolicy`).
+        self.outage_policy = outage_policy
+        self.fail_holddown = fail_holddown
+        self.disable_threshold = max(1, disable_threshold)
+        #: Consecutive failed registry contacts (reset on any success).
+        self.registry_failures = 0
+        #: True once ``DISABLE_AFTER_N`` tripped: look-aside is off.
+        self.disabled = False
+        self._holddown_until = 0.0
         self.total_queries_sent = 0
         self.total_queries_suppressed = 0
+        self.searches_skipped = 0
 
     # ------------------------------------------------------------------
     # Name construction
@@ -95,9 +117,26 @@ class DlvLookaside:
     # ------------------------------------------------------------------
 
     def try_lookaside(self, zone: Name) -> LookasideResult:
-        """Search the registry for a trust anchor covering *zone*."""
+        """Search the registry for a trust anchor covering *zone*.
+
+        Degradation handling: a search that cannot reach the registry is
+        a *registry failure* — it arms the fail hold-down, counts toward
+        the auto-disable threshold, and flags the result so the resolver
+        can apply its :class:`DlvOutagePolicy`.
+        """
+        skipped = self._skip_reason()
+        if skipped is not None:
+            self.searches_skipped += 1
+            return LookasideResult(
+                status=ValidationStatus.INSECURE,
+                queries_sent=0,
+                queries_suppressed=0,
+                registry_unreachable=skipped == "holddown",
+                skipped=skipped,
+            )
         sent = 0
         suppressed = 0
+        unreachable = False
         registry_security = self._validator.zone_security(self.registry_origin)
         registry_trusted = registry_security.status is ValidationStatus.SECURE
         result_status = ValidationStatus.INSECURE
@@ -110,7 +149,10 @@ class DlvLookaside:
             try:
                 outcome = self._engine.resolve(dlv_name, RRType.DLV)
             except ResolutionError:
+                unreachable = True
+                self._note_registry_failure()
                 break
+            self._note_registry_contact()
             if not outcome.from_cache:
                 sent += 1
             if outcome.is_positive():
@@ -141,7 +183,33 @@ class DlvLookaside:
             queries_sent=sent,
             queries_suppressed=suppressed,
             anchored_at=anchored_at,
+            registry_unreachable=unreachable,
         )
+
+    # ------------------------------------------------------------------
+    # Graceful degradation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _skip_reason(self) -> Optional[str]:
+        if self.disabled:
+            return "disabled"
+        if self._clock.now < self._holddown_until:
+            return "holddown"
+        return None
+
+    def _note_registry_failure(self) -> None:
+        self.registry_failures += 1
+        if self.fail_holddown > 0:
+            self._holddown_until = self._clock.now + self.fail_holddown
+        if (
+            self.outage_policy is DlvOutagePolicy.DISABLE_AFTER_N
+            and self.registry_failures >= self.disable_threshold
+        ):
+            self.disabled = True
+
+    def _note_registry_contact(self) -> None:
+        self.registry_failures = 0
+        self._holddown_until = 0.0
 
     # ------------------------------------------------------------------
     # Pieces

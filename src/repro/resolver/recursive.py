@@ -30,8 +30,9 @@ from ..dnscore import Message, Name, RCode, ROOT, RRType, RRset
 from ..netsim import Network
 from .anchors import TrustAnchorStore
 from .cache import RRsetCache
-from .config import ResolverConfig
+from .config import DlvOutagePolicy, ResolverConfig
 from .engine import IterativeEngine, ResolutionError, ResolutionOutcome
+from .health import ServerHealth
 from .lookaside import DlvLookaside, LookasideResult
 from .negcache import NegativeCache
 from .validator import ValidationStatus, Validator
@@ -75,9 +76,14 @@ class RecursiveResolver:
         self.config = config
         self.registry_origin = registry_origin
         clock = network.clock
-        self.cache = RRsetCache(clock)
+        self.cache = RRsetCache(
+            clock,
+            serve_stale=config.serve_stale,
+            stale_window=config.serve_stale_window,
+        )
         self.negcache = NegativeCache(clock)
         self.anchors = anchors or TrustAnchorStore()
+        self.health = ServerHealth(clock, lame_ttl=config.lame_ttl)
         self.engine = IterativeEngine(
             network=network,
             address=address,
@@ -86,6 +92,8 @@ class RecursiveResolver:
             root_hints=root_hints,
             dnssec_ok=config.validation_machinery_active,
             qname_minimization=config.qname_minimization,
+            health=self.health,
+            serve_stale=config.serve_stale,
         )
         self.validator = Validator(
             engine=self.engine,
@@ -101,6 +109,9 @@ class RecursiveResolver:
             registry_origin=registry_origin,
             hashed=config.hashed_dlv,
             aggressive_caching=config.aggressive_nsec_caching,
+            outage_policy=config.dlv_outage_policy,
+            fail_holddown=config.dlv_fail_holddown,
+            disable_threshold=config.dlv_disable_threshold,
         )
         self.resolutions = 0
 
@@ -133,6 +144,17 @@ class RecursiveResolver:
         rcode = outcome.rcode
         answer = outcome.answer
         if status is ValidationStatus.BOGUS:
+            rcode = RCode.SERVFAIL
+            answer = ()
+        elif (
+            lookaside_result is not None
+            and lookaside_result.registry_unreachable
+            and self.config.dlv_outage_policy is DlvOutagePolicy.SERVFAIL
+        ):
+            # Strict degradation (Section 8.4 outages): without the
+            # registry the chain cannot conclude, and a strict resolver
+            # refuses to answer rather than fall back to insecure.
+            status = ValidationStatus.INDETERMINATE
             rcode = RCode.SERVFAIL
             answer = ()
         return ResolutionResult(

@@ -416,6 +416,11 @@ class Universe:
     def apex_address(self, name: Name) -> Optional[str]:
         return self._apex_address.get(name)
 
+    def tld_addresses(self) -> Dict[str, str]:
+        """TLD label → authoritative server address (a copy: callers
+        script faults against these without reaching into internals)."""
+        return dict(self._tld_addresses)
+
     def has_dlv_deposit(self, name: Name) -> bool:
         return self.registry_zone.has_deposit(name)
 

@@ -1,0 +1,206 @@
+"""Fault-plan tests: outage windows, per-address loss, brownouts,
+tamper hooks, and capture determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.dnscore import Message, Name, RCode, RRType
+from repro.netsim import (
+    Brownout,
+    FaultPlan,
+    LatencyModel,
+    Network,
+    OutageWindow,
+    QueryTimeout,
+    ZeroLatency,
+)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+class EchoServer:
+    def __init__(self):
+        self.handled = 0
+
+    def handle(self, query):
+        self.handled += 1
+        return query.make_response(rcode=RCode.NOERROR)
+
+
+def make_network(**kwargs):
+    network = Network(latency=ZeroLatency(), **kwargs)
+    server = EchoServer()
+    network.register("srv", server)
+    return network, server
+
+
+def ask(network, i=1, dst="srv"):
+    return network.query("c", dst, Message.make_query(i, n("x.com"), RRType.A))
+
+
+class TestOutageWindows:
+    def test_black_hole_before_during_after(self):
+        network, server = make_network()
+        network.faults.add_outage("srv", start=10.0, end=20.0)
+        ask(network)  # before the window: delivered
+        assert server.handled == 1
+        network.clock.advance(10.0 - network.clock.now)
+        with pytest.raises(QueryTimeout):
+            ask(network, i=2)
+        assert server.handled == 1  # black-holed, never arrived
+        network.clock.advance(20.0 - network.clock.now)
+        ask(network, i=3)  # window over
+        assert server.handled == 2
+
+    def test_black_hole_costs_exactly_one_timeout(self):
+        network, _ = make_network()
+        network.faults.add_outage("srv")
+        before = network.clock.now
+        with pytest.raises(QueryTimeout):
+            ask(network)
+        assert network.clock.now == pytest.approx(
+            before + network.loss_timeout
+        )
+
+    def test_rcode_outage_never_touches_server(self):
+        network, server = make_network()
+        network.faults.add_outage("srv", rcode=RCode.REFUSED)
+        response = ask(network)
+        assert response.rcode is RCode.REFUSED
+        assert server.handled == 0
+
+    def test_dropped_outage_queries_marked_in_capture(self):
+        network, _ = make_network()
+        network.faults.add_outage("srv")
+        with pytest.raises(QueryTimeout):
+            ask(network)
+        records = list(network.capture)
+        assert len(records) == 1
+        assert records[0].is_query and records[0].dropped
+
+    def test_clear_lifts_the_outage(self):
+        network, server = make_network()
+        network.faults.add_outage("srv")
+        network.faults.clear("srv")
+        ask(network)
+        assert server.handled == 1
+
+
+class TestLossAccounting:
+    def test_every_drop_costs_exactly_one_timeout(self):
+        """Regression for the historical double penalty: a lost
+        *response* used to cost rtt + loss_timeout; now every drop costs
+        exactly loss_timeout measured from send time."""
+        latency = LatencyModel(seed=1)
+        latency.pin("srv", 0.2)
+        network = Network(latency=latency, loss_rate=0.999, loss_seed=6)
+        network.register("srv", EchoServer())
+        for i in range(20):
+            before = network.clock.now
+            try:
+                ask(network, i=i)
+            except QueryTimeout:
+                assert network.clock.now == pytest.approx(
+                    before + network.loss_timeout
+                )
+
+    def test_per_address_loss_overrides_default(self):
+        network, _ = make_network()
+        network.register("lossy", EchoServer())
+        network.faults.set_loss("lossy", 0.95)
+        for i in range(100):  # default 0 loss: never times out
+            ask(network, i=i)
+        losses = 0
+        for i in range(100):
+            try:
+                ask(network, i=i, dst="lossy")
+            except QueryTimeout:
+                losses += 1
+        assert losses >= 80
+
+
+class TestBrownouts:
+    def test_brownout_adds_latency_inside_window_only(self):
+        network, _ = make_network()
+        network.faults.add_brownout("srv", 0.0, 10.0, 0.5)
+        before = network.clock.now
+        ask(network)
+        assert network.clock.now == pytest.approx(before + 0.5)
+        network.clock.advance(10.0 - network.clock.now)
+        before = network.clock.now
+        ask(network, i=2)
+        assert network.clock.now == pytest.approx(before)
+
+
+class TestTamperHooks:
+    def test_tamper_rewrites_response(self):
+        network, server = make_network()
+        hits = []
+
+        def strip_answer(response):
+            hits.append(response)
+            return dataclasses.replace(response, answer=())
+
+        network.faults.set_tamper("srv", strip_answer)
+        response = ask(network)
+        assert response.answer == ()
+        assert len(hits) == 1
+        assert server.handled == 1  # the server answered; the wire lied
+        network.faults.set_tamper("srv", None)
+        ask(network, i=2)
+        assert len(hits) == 1
+
+
+class TestValidation:
+    def test_window_bounds(self):
+        with pytest.raises(ValueError):
+            OutageWindow(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Brownout(0.0, 5.0, -0.1)
+
+    def test_loss_rates(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.set_loss("srv", 1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(default_loss_rate=-0.1)
+
+    def test_describe_mentions_faults(self):
+        plan = (
+            FaultPlan()
+            .add_outage("a", start=1.0, end=2.0)
+            .add_outage("b", rcode=RCode.SERVFAIL)
+            .set_loss("c", 0.25)
+        )
+        text = plan.describe()
+        assert "timeout" in text and "SERVFAIL" in text and "0.250" in text
+        assert FaultPlan().describe() == "no faults"
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run_once():
+        plan = (
+            FaultPlan(seed=42, default_loss_rate=0.3)
+            .add_outage("srv", start=5.0, end=8.0)
+            .set_loss("srv", 0.4)
+        )
+        network = Network(latency=ZeroLatency(), faults=plan)
+        network.register("srv", EchoServer())
+        outcomes = []
+        for i in range(60):
+            try:
+                ask(network, i=i)
+                outcomes.append("ok")
+            except QueryTimeout:
+                outcomes.append("lost")
+        return outcomes, network.capture.export_rows()
+
+    def test_same_seed_same_plan_identical_capture(self):
+        first_outcomes, first_rows = self._run_once()
+        second_outcomes, second_rows = self._run_once()
+        assert first_outcomes == second_outcomes
+        assert first_rows == second_rows

@@ -1,0 +1,203 @@
+"""Resolver resilience: retry budgets, backoff, NS failover, the lame
+cache, and RFC 8767 serve-stale."""
+
+import pytest
+
+from repro.dnscore import Name, RCode, RRType
+from repro.netsim import Network, ZeroLatency
+from repro.resolver import (
+    IterativeEngine,
+    NegativeCache,
+    ResolutionError,
+    RRsetCache,
+    ServerHealth,
+)
+from repro.servers import AuthoritativeServer
+from repro.zones import ZoneBuilder, standard_ns_hosts
+
+ROOT_ADDR = "10.3.0.0"
+COM_ADDR = "10.3.0.1"
+NS1_ADDR = "10.3.0.11"
+NS2_ADDR = "10.3.0.12"
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def build_world(lame_ttl=0.0, serve_stale=False, stale_window=86400.0, leaf_ttl=3600):
+    """Root -> com -> example.com served on TWO addresses."""
+    network = Network(latency=ZeroLatency())
+
+    example = ZoneBuilder(n("example.com"), default_ttl=leaf_ttl)
+    example.with_ns(
+        [
+            (n("ns1.example.com"), NS1_ADDR),
+            (n("ns2.example.com"), NS2_ADDR),
+        ]
+    )
+    example.with_address(n("www.example.com"), ipv4="10.3.0.80")
+    example_zone = example.build()
+
+    com = ZoneBuilder(n("com"))
+    com.with_ns(standard_ns_hosts(n("com"), [COM_ADDR]))
+    com.delegate(
+        n("example.com"),
+        [
+            (n("ns1.example.com"), NS1_ADDR),
+            (n("ns2.example.com"), NS2_ADDR),
+        ],
+    )
+
+    root = ZoneBuilder(Name(()))
+    root.with_ns([(n("ns1.rootsrv.net"), ROOT_ADDR)])
+    root.delegate(n("com"), standard_ns_hosts(n("com"), [COM_ADDR]))
+
+    network.register(ROOT_ADDR, AuthoritativeServer([root.build()]))
+    network.register(COM_ADDR, AuthoritativeServer([com.build()]))
+    leaf_server = AuthoritativeServer([example_zone])
+    network.register(NS1_ADDR, leaf_server)
+    network.register(NS2_ADDR, leaf_server)
+    engine = IterativeEngine(
+        network=network,
+        address="10.3.0.100",
+        cache=RRsetCache(
+            network.clock, serve_stale=serve_stale, stale_window=stale_window
+        ),
+        negcache=NegativeCache(network.clock),
+        root_hints=[ROOT_ADDR],
+        sld_ns_requery_fraction=0.0,
+        ns_address_lookups=False,
+        tld_priming=False,
+        health=ServerHealth(network.clock, lame_ttl=lame_ttl),
+        serve_stale=serve_stale,
+    )
+    return network, engine
+
+
+class TestRetriesAndBackoff:
+    def test_retry_exhaustion_raises_resolution_error(self):
+        network, engine = build_world()
+        network.faults.add_outage(NS1_ADDR)  # black hole
+        with pytest.raises(ResolutionError):
+            engine.send_query(NS1_ADDR, n("www.example.com"), RRType.A)
+        assert engine.timeouts == 3  # _MAX_RETRIES sends, all lost
+
+    def test_backoff_waits_between_retries(self):
+        network, engine = build_world()
+        network.faults.add_outage(NS1_ADDR)
+        before = network.clock.now
+        with pytest.raises(ResolutionError):
+            engine.send_query(NS1_ADDR, n("www.example.com"), RRType.A)
+        # 3 timeouts (1s each from the network) + backoff 0.4 + 0.8
+        # between attempts; no backoff after the final one.
+        assert network.clock.now == pytest.approx(before + 3.0 + 0.4 + 0.8)
+
+    def test_backoff_delay_grows_and_caps(self):
+        _, engine = build_world()
+        delays = [engine.health.backoff_delay(a) for a in range(6)]
+        assert delays[0] == pytest.approx(0.4)
+        assert delays[1] == pytest.approx(0.8)
+        assert delays == sorted(delays)
+        assert engine.health.backoff_delay(30) == pytest.approx(8.0)
+
+
+class TestFailover:
+    def test_failover_to_second_ns_on_black_hole(self):
+        network, engine = build_world()
+        network.faults.add_outage(NS1_ADDR)
+        response = engine.query_cut(
+            [NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A
+        )
+        assert response.rcode is RCode.NOERROR
+        assert engine.failovers == 1
+        assert engine.health.stats(NS1_ADDR).consecutive_failures >= 3
+
+    def test_failover_on_lame_rcode(self):
+        network, engine = build_world()
+        network.faults.add_outage(NS1_ADDR, rcode=RCode.SERVFAIL)
+        response = engine.query_cut(
+            [NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A
+        )
+        assert response.rcode is RCode.NOERROR
+        assert engine.failovers == 1
+
+    def test_end_to_end_resolution_survives_one_dead_ns(self):
+        network, engine = build_world()
+        network.faults.add_outage(NS1_ADDR, rcode=RCode.REFUSED)
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert outcome.answer
+
+    def test_health_ordering_demotes_failing_server(self):
+        network, engine = build_world()
+        network.faults.add_outage(NS1_ADDR)
+        engine.query_cut([NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A)
+        # After the recorded failures, the healthy server sorts first.
+        assert engine.health.order([NS1_ADDR, NS2_ADDR])[0] == NS2_ADDR
+
+
+class TestLameCache:
+    def test_lame_server_skipped_while_held_down(self):
+        network, engine = build_world(lame_ttl=60.0)
+        network.faults.add_outage(NS1_ADDR, rcode=RCode.SERVFAIL)
+        engine.query_cut([NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A)
+        assert engine.health.is_lame(NS1_ADDR)
+        sent_before = engine.queries_sent
+        engine.query_cut([NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.AAAA)
+        # The lame address was filtered out: one wire query, no retry.
+        assert engine.queries_sent == sent_before + 1
+
+    def test_lame_marking_expires(self):
+        network, engine = build_world(lame_ttl=60.0)
+        network.faults.add_outage(NS1_ADDR, rcode=RCode.SERVFAIL, end=30.0)
+        engine.query_cut([NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A)
+        assert engine.health.is_lame(NS1_ADDR)
+        network.clock.advance(61.0)
+        assert not engine.health.is_lame(NS1_ADDR)
+
+    def test_every_server_lame_fails_fast(self):
+        network, engine = build_world(lame_ttl=60.0)
+        network.faults.add_outage(NS1_ADDR, rcode=RCode.SERVFAIL)
+        network.faults.add_outage(NS2_ADDR, rcode=RCode.SERVFAIL)
+        with pytest.raises(ResolutionError):
+            engine.query_cut([NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A)
+        with pytest.raises(ResolutionError):
+            engine.query_cut([NS1_ADDR, NS2_ADDR], n("www.example.com"), RRType.A)
+        assert engine.lame_skips == 1
+
+
+class TestServeStale:
+    def _expire_and_black_hole(self, network, engine, advance):
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR and not outcome.stale
+        network.clock.advance(advance)
+        for address in (ROOT_ADDR, COM_ADDR, NS1_ADDR, NS2_ADDR):
+            network.faults.add_outage(address)
+
+    def test_stale_answer_served_when_upstreams_dead(self):
+        network, engine = build_world(serve_stale=True)
+        self._expire_and_black_hole(network, engine, advance=4000.0)
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert outcome.stale and outcome.from_cache
+        assert engine.stale_served == 1
+
+    def test_no_stale_service_by_default(self):
+        network, engine = build_world(serve_stale=False)
+        self._expire_and_black_hole(network, engine, advance=4000.0)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("www.example.com"), RRType.A)
+
+    def test_stale_window_bounds_service(self):
+        network, engine = build_world(serve_stale=True, stale_window=100.0)
+        # Expired 4000 - 3600 = 400s ago: outside the 100s window.
+        self._expire_and_black_hole(network, engine, advance=4000.0)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("www.example.com"), RRType.A)
+
+    def test_fresh_entries_unaffected_by_stale_mode(self):
+        network, engine = build_world(serve_stale=True)
+        engine.resolve(n("www.example.com"), RRType.A)
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.from_cache and not outcome.stale
