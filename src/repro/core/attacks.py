@@ -21,10 +21,18 @@ Section 8.4 also documents DLV registry *outages* breaking validation;
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
-from ..dnscore import Message, RCode, RRType, RRset, TXT
-from ..netsim import DnsServer, FaultPlan, Network
+from ..dnscore import Message, Name, RCode, RRType, RRset, TXT
+from ..netsim import (
+    DnsServer,
+    FaultPlan,
+    Network,
+    Poisoner,
+    ReferralBomber,
+    SigBomber,
+    Spoofer,
+)
 
 
 class TamperingProxy:
@@ -170,3 +178,54 @@ def schedule_brownout(
 def lift_faults(network: Network, address: str) -> FaultPlan:
     """Clear every scripted fault for *address*."""
     return network.faults.clear(address)
+
+
+# ----------------------------------------------------------------------
+# Adversary-persona deployment (byzantine fault injection)
+# ----------------------------------------------------------------------
+#
+# Each helper places a seeded persona from :mod:`repro.netsim.adversary`
+# at the topologically sensible spot in a Universe and returns it, so
+# callers can read its counters and ask it to recognise its own poison.
+
+
+def deploy_spoofer(universe, seed: int = 0, **kwargs) -> Spoofer:
+    """Race forged answers against the hosting providers' responses —
+    the terminal A/AAAA answers a Kaminsky attacker targets."""
+    spoofer = Spoofer(seed=seed, **kwargs)
+    return spoofer.deploy(universe.network.faults, *universe.hosting_addresses())
+
+
+def deploy_poisoner(
+    universe,
+    victims: Sequence[Name],
+    seed: int = 0,
+    **kwargs,
+) -> Poisoner:
+    """Turn every TLD server into an on-path poisoner piggybacking
+    out-of-bailiwick glue and DS records for *victims* onto its
+    (otherwise genuine) referrals."""
+    poisoner = Poisoner(victims=victims, seed=seed, **kwargs)
+    return poisoner.deploy(
+        universe.network.faults, *universe.tld_addresses().values()
+    )
+
+
+def deploy_referral_bomber(
+    universe, mode: str = "fanout", seed: int = 0, **kwargs
+) -> ReferralBomber:
+    """NXNS-style amplification from the TLD servers.  ``loop`` mode
+    gets real root glue so the upward referral actually loops."""
+    if mode == "loop":
+        kwargs.setdefault("loop_ns_address", universe.root_address)
+    bomber = ReferralBomber(mode=mode, seed=seed, **kwargs)
+    return bomber.deploy(
+        universe.network.faults, *universe.tld_addresses().values()
+    )
+
+
+def deploy_sig_bomber(universe, seed: int = 0, **kwargs) -> SigBomber:
+    """KeyTrap-style key/signature inflation on the hosting providers,
+    where the signed leaf zones' DNSKEY and RRSIG material originates."""
+    bomber = SigBomber(seed=seed, **kwargs)
+    return bomber.deploy(universe.network.faults, *universe.hosting_addresses())

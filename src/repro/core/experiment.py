@@ -14,10 +14,16 @@ import hashlib
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..dnscore import Name, RCode, RRType
+from ..netsim import AdversaryPersona
 from ..resolver import RecursiveResolver, ResolverConfig, ValidationStatus
 from ..workloads import Universe
 from .attacks import schedule_outage
 from .leakage import LeakageClassifier, LeakageReport
+from .observability import (
+    HardeningSnapshot,
+    hardening_snapshot,
+    poisoned_cache_entries,
+)
 from .overhead import OverheadMetrics
 
 
@@ -282,6 +288,152 @@ def run_chaos_matrix(
                     scenario=scenario,
                     scenario_label=scenario_label,
                     policy_label=policy_label,
+                )
+            )
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Adversary matrix: byzantine personas × hardening policies
+# ----------------------------------------------------------------------
+
+#: An adversary scenario deploys a persona (or several) onto a freshly
+#: built universe and returns it, so the harness can read its counters
+#: and recognise its poison.  ``None`` = the no-adversary control cell.
+AdversaryScenario = Callable[[Universe], AdversaryPersona]
+
+
+@dataclasses.dataclass
+class AdversaryReport:
+    """How one hardening policy fared against one adversary persona."""
+
+    adversary: str
+    policy: str
+    domains: int
+    #: Stub-visible availability.
+    noerror: int
+    servfail: int
+    servfail_rate: float
+    #: Queries the resolver itself sent upstream (excludes stub traffic).
+    upstream_sends: int
+    #: ``upstream_sends`` relative to the same policy's no-adversary
+    #: baseline — the amplification factor the persona achieved.
+    amplification: float
+    #: Ground truth: cache entries the persona fabricated.
+    poisoned_cache_entries: int
+    #: Signature verifications the validator attempted.
+    crypto_verify_calls: int
+    #: Defence activity (all zero for an unhardened policy).
+    hardening: HardeningSnapshot
+    #: Responses the persona actually rewrote.
+    responses_forged: int
+    #: Case-2 leakage, to confirm the defence layer does not perturb
+    #: the paper's measurement in the control cell.
+    case2_queries: int
+    result: ExperimentResult = dataclasses.field(repr=False)
+
+    def describe(self) -> str:
+        return (
+            f"[{self.adversary} × {self.policy}] "
+            f"poisoned {self.poisoned_cache_entries}, "
+            f"amplification {self.amplification:.1f}x "
+            f"({self.upstream_sends} sends), "
+            f"crypto {self.crypto_verify_calls}, "
+            f"servfail {self.servfail_rate:.1%}, "
+            f"defences[{self.hardening.describe()}]"
+        )
+
+
+def _upstream_sends(result: ExperimentResult, resolver: RecursiveResolver) -> int:
+    return sum(
+        1 for record in result.capture.queries() if record.src == resolver.address
+    )
+
+
+def run_adversary_cell(
+    universe: Universe,
+    config: ResolverConfig,
+    names: Sequence[Name],
+    adversary: Optional[AdversaryScenario] = None,
+    adversary_label: str = "none",
+    policy_label: str = "",
+    baseline_sends: Optional[int] = None,
+) -> AdversaryReport:
+    """One cell: deploy the persona, run the workload, read the damage.
+
+    ``baseline_sends`` is the same policy's no-adversary send count; when
+    given, ``amplification`` is relative to it (else 1.0).
+    """
+    persona = adversary(universe) if adversary is not None else None
+    experiment = LeakageExperiment(universe, config)
+    result = experiment.run(names)
+    resolver = experiment.resolver
+    sends = _upstream_sends(result, resolver)
+    if baseline_sends:
+        amplification = sends / baseline_sends
+    else:
+        amplification = 1.0
+    poisoned = (
+        poisoned_cache_entries(resolver, [persona]) if persona is not None else 0
+    )
+    servfail = result.rcode_counts.get(RCode.SERVFAIL.name, 0)
+    noerror = result.rcode_counts.get(RCode.NOERROR.name, 0)
+    return AdversaryReport(
+        adversary=adversary_label,
+        policy=policy_label or config.hardening.describe(),
+        domains=len(names),
+        noerror=noerror,
+        servfail=servfail,
+        servfail_rate=servfail / max(1, len(names)),
+        upstream_sends=sends,
+        amplification=amplification,
+        poisoned_cache_entries=poisoned,
+        crypto_verify_calls=resolver.validator.crypto_verify_calls,
+        hardening=hardening_snapshot(resolver),
+        responses_forged=persona.responses_forged if persona is not None else 0,
+        case2_queries=result.leakage.case2_queries,
+        result=result,
+    )
+
+
+def run_adversary_matrix(
+    universe_factory: Callable[[], Universe],
+    names: Sequence[Name],
+    adversaries: Mapping[str, Optional[AdversaryScenario]],
+    configs: Mapping[str, ResolverConfig],
+) -> List[AdversaryReport]:
+    """Sweep adversary personas × hardening policies.
+
+    For every policy a no-adversary baseline cell runs first (reported
+    with label ``none`` unless the caller supplied their own) and its
+    upstream-send count anchors the amplification factors of that
+    policy's adversary cells.  Fresh universe per cell, as in
+    :func:`run_chaos_matrix`, so cells are independent and
+    reproducible.
+    """
+    reports: List[AdversaryReport] = []
+    for policy_label, config in configs.items():
+        baseline = run_adversary_cell(
+            universe_factory(),
+            config,
+            names,
+            adversary=None,
+            adversary_label="none",
+            policy_label=policy_label,
+        )
+        reports.append(baseline)
+        for adversary_label, scenario in adversaries.items():
+            if scenario is None:
+                continue
+            reports.append(
+                run_adversary_cell(
+                    universe_factory(),
+                    config,
+                    names,
+                    adversary=scenario,
+                    adversary_label=adversary_label,
+                    policy_label=policy_label,
+                    baseline_sends=baseline.upstream_sends,
                 )
             )
     return reports

@@ -17,9 +17,11 @@ original resolution was minimised.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..dnscore import Name
+from ..netsim import AdversaryPersona
+from ..resolver import RecursiveResolver
 from ..workloads import Universe
 
 
@@ -99,6 +101,89 @@ def observer_exposures(
         )
         for address in observers
     ]
+
+
+# ----------------------------------------------------------------------
+# Hardening observability (byzantine-robustness subsystem)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class HardeningSnapshot:
+    """A point-in-time read of one resolver's defence activity.
+
+    Mirrors :class:`~repro.resolver.hardening.HardeningCounters` plus
+    the validator's crypto-attempt counter, frozen so reports can carry
+    it without aliasing the live counters.
+    """
+
+    spoofs_rejected: int
+    records_scrubbed: int
+    glue_rejected: int
+    referrals_rejected: int
+    send_budget_exhausted: int
+    ns_budget_exhausted: int
+    signature_budget_exhausted: int
+    #: Signature verifications actually attempted by the validator.
+    crypto_verify_calls: int
+
+    @property
+    def total_rejections(self) -> int:
+        return (
+            self.spoofs_rejected
+            + self.records_scrubbed
+            + self.glue_rejected
+            + self.referrals_rejected
+        )
+
+    @property
+    def budget_denials(self) -> int:
+        return (
+            self.send_budget_exhausted
+            + self.ns_budget_exhausted
+            + self.signature_budget_exhausted
+        )
+
+    def describe(self) -> str:
+        return (
+            f"spoofs={self.spoofs_rejected} scrubbed={self.records_scrubbed} "
+            f"glue={self.glue_rejected} referrals={self.referrals_rejected} "
+            f"budget-denials={self.budget_denials} "
+            f"crypto={self.crypto_verify_calls}"
+        )
+
+
+def hardening_snapshot(resolver: RecursiveResolver) -> HardeningSnapshot:
+    """Freeze the resolver's hardening counters for a report."""
+    counters = resolver.engine.counters
+    return HardeningSnapshot(
+        spoofs_rejected=counters.spoofs_rejected,
+        records_scrubbed=counters.records_scrubbed,
+        glue_rejected=counters.glue_rejected,
+        referrals_rejected=counters.referrals_rejected,
+        send_budget_exhausted=counters.send_budget_exhausted,
+        ns_budget_exhausted=counters.ns_budget_exhausted,
+        signature_budget_exhausted=counters.signature_budget_exhausted,
+        crypto_verify_calls=resolver.validator.crypto_verify_calls,
+    )
+
+
+def poisoned_cache_entries(
+    resolver: RecursiveResolver,
+    personas: Iterable[AdversaryPersona],
+) -> int:
+    """Count cache entries fabricated by any of *personas*.
+
+    Walks the positive cache directly (no hit/miss perturbation) and
+    asks each persona to recognise its own poison — the ground-truth
+    poisoning-success metric of the adversary matrix.
+    """
+    persona_list = list(personas)
+    count = 0
+    for entry in resolver.cache.entries():
+        if any(p.is_poison(entry.rrset) for p in persona_list):
+            count += 1
+    return count
 
 
 def universe_observers(universe: Universe) -> Dict[str, str]:

@@ -200,7 +200,10 @@ def _decode_name_at(data: bytes, offset: int) -> Tuple[Name, int]:
             break
         if cursor + length > len(data):
             raise WireError("truncated label")
-        labels.append(data[cursor : cursor + length].decode("ascii"))
+        try:
+            labels.append(data[cursor : cursor + length].decode("ascii"))
+        except UnicodeDecodeError as exc:
+            raise WireError("non-ascii bytes in label") from exc
         cursor += length
     if end is None:
         end = cursor
@@ -240,7 +243,12 @@ def _decode_rdata(
         return SOA(mname, rname, serial, refresh, retry, expire, minimum)
     try:
         return rdata_class_for(rtype).from_wire(data[rdata_start:rdata_end])
-    except RdataError as exc:
+    except WireError:
+        raise
+    except ValueError as exc:
+        # RdataError, enum lookups inside type bitmaps, unicode and
+        # address parsing all surface as ValueError subclasses; attacker
+        # bytes must map to WireError, nothing rawer.
         raise WireError(f"bad rdata for {rtype.name}: {exc}") from exc
 
 

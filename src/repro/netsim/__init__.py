@@ -1,5 +1,12 @@
 """Simulated network: clock, latency, routing, and packet capture."""
 
+from .adversary import (
+    AdversaryPersona,
+    Poisoner,
+    ReferralBomber,
+    SigBomber,
+    Spoofer,
+)
 from .capture import Capture, PacketRecord
 from .clock import SimClock
 from .faults import Brownout, FaultPlan, OutageWindow, TamperHook
@@ -7,7 +14,12 @@ from .latency import LatencyModel, ZeroLatency
 from .network import DnsServer, Network, NetworkError, QueryTimeout
 
 __all__ = [
+    "AdversaryPersona",
     "Brownout",
+    "Poisoner",
+    "ReferralBomber",
+    "SigBomber",
+    "Spoofer",
     "Capture",
     "DnsServer",
     "FaultPlan",

@@ -11,7 +11,13 @@ from .config import (
     broken_anchor_bind_config,
     correct_bind_config,
 )
-from .engine import IterativeEngine, ResolutionError, ResolutionOutcome
+from .engine import (
+    BudgetExceeded,
+    IterativeEngine,
+    ResolutionError,
+    ResolutionOutcome,
+)
+from .hardening import HardeningCounters, HardeningPolicy, WorkBudget
 from .health import ServerHealth, ServerStats
 from .lookaside import DlvLookaside, LookasideResult
 from .negcache import NegativeCache
@@ -28,6 +34,9 @@ __all__ = [
     "DEFAULT_REGISTRY_ORIGIN",
     "DlvLookaside",
     "DlvOutagePolicy",
+    "HardeningCounters",
+    "HardeningPolicy",
+    "WorkBudget",
     "ServerHealth",
     "ServerStats",
     "IterativeEngine",
@@ -35,6 +44,7 @@ __all__ = [
     "LookasideSetting",
     "NegativeCache",
     "RecursiveResolver",
+    "BudgetExceeded",
     "ResolutionError",
     "ResolutionOutcome",
     "ResolutionResult",

@@ -113,6 +113,14 @@ class RRsetCache:
         if entry is not None:
             entry.status = status
 
+    def entries(self):
+        """Iterate over all retained entries (fresh and stale alike).
+
+        Observability hook: the adversary matrix walks the cache looking
+        for poisoned RRsets without disturbing hit/miss counters.
+        """
+        return iter(self._entries.values())
+
     def flush(self) -> None:
         self._entries.clear()
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from .hardening import HardeningPolicy
+
 
 class ResolverFlavor(enum.Enum):
     BIND = "bind"
@@ -127,6 +129,23 @@ class ResolverConfig:
     #: that answered SERVFAIL/REFUSED (or a zone whose servers all timed
     #: out) is skipped for this many sim-seconds.  0 disables the cache.
     lame_ttl: float = 0.0
+
+    # ---- byzantine robustness (adversary subsystem; the default policy
+    # ---- is fully hardened and benign-transparent) ----
+    #: Response matching, bailiwick scrubbing, referral-direction checks
+    #: and work budgets applied by the engine and validator.  Use
+    #: ``HardeningPolicy.off()`` for the wire-trusting baseline the
+    #: adversary matrix compares against.
+    hardening: HardeningPolicy = HardeningPolicy()
+
+    # ---- engine limits (formerly module constants in engine.py,
+    # ---- promoted so chaos/adversary cells can sweep them) ----
+    #: Referrals one iterative walk may follow before giving up.
+    max_referrals: int = 30
+    #: CNAME chain length before the resolution is declared a loop.
+    max_cname_chain: int = 8
+    #: UDP retransmissions per server before failing over.
+    max_retries: int = 3
 
     # ------------------------------------------------------------------
     # Effective behaviour

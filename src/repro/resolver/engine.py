@@ -20,6 +20,7 @@ Table 4):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 from typing import Dict, List, Optional, Tuple
@@ -34,11 +35,16 @@ from ..dnscore import (
     RRset,
 )
 from ..netsim import Network
-from ..netsim.network import QueryTimeout
+from ..netsim.network import NetworkError, QueryTimeout
 from .cache import RRsetCache
+from .hardening import HardeningCounters, HardeningPolicy
 from .health import ServerHealth
 from .negcache import NegativeCache
 
+#: Engine limits, promoted into :class:`~repro.resolver.config
+#: .ResolverConfig` fields (``max_referrals`` / ``max_cname_chain`` /
+#: ``max_retries``) so chaos and adversary cells can sweep them; these
+#: module values remain the constructor defaults.
 _MAX_REFERRALS = 30
 _MAX_CNAME_CHAIN = 8
 _MAX_RECURSION = 6
@@ -59,6 +65,15 @@ _FALLBACK_NEGATIVE_TTL = 900
 
 class ResolutionError(RuntimeError):
     """Raised when iterative resolution cannot make progress."""
+
+
+class BudgetExceeded(ResolutionError):
+    """A per-resolution work budget ran out.
+
+    Distinct from ordinary resolution failure so the failover path knows
+    not to keep trying other servers: every further attempt would charge
+    the same exhausted budget.
+    """
 
 
 @dataclasses.dataclass
@@ -116,6 +131,10 @@ class IterativeEngine:
         health: Optional[ServerHealth] = None,
         serve_stale: bool = False,
         retry_budget: int = _RETRY_BUDGET,
+        hardening: Optional[HardeningPolicy] = None,
+        max_referrals: int = _MAX_REFERRALS,
+        max_cname_chain: int = _MAX_CNAME_CHAIN,
+        max_retries: int = _MAX_RETRIES,
     ):
         self._network = network
         self._clock = network.clock
@@ -142,6 +161,18 @@ class IterativeEngine:
         }
         self._primed: set = set()
         self._next_id = 1
+        #: Byzantine-robustness checks and per-resolution work budgets.
+        self.hardening = hardening or HardeningPolicy()
+        self.counters = HardeningCounters()
+        self._budget = self.hardening.fresh_budget()
+        #: Depth of open resolution sessions: while a session is open
+        #: (the recursive resolver serving one stub query), every nested
+        #: resolve — validator chains, DLV searches — draws on one
+        #: shared budget.
+        self._session_depth = 0
+        self.max_referrals = max_referrals
+        self.max_cname_chain = max_cname_chain
+        self.max_retries = max_retries
         self.queries_sent = 0
         self.timeouts = 0
         self.failovers = 0
@@ -154,11 +185,44 @@ class IterativeEngine:
         return self._clock
 
     # ------------------------------------------------------------------
+    # Work-budget sessions
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def resolution_session(self):
+        """Scope one stub-facing resolution: every resolve, validator
+        chain walk, and DLV search inside the ``with`` block draws on a
+        single fresh :class:`~repro.resolver.hardening.WorkBudget`, so
+        the hardening caps bound the *total* work one client query can
+        trigger.  Sessions nest: inner entries join the outer budget.
+        """
+        if self._session_depth == 0:
+            self._budget = self.hardening.fresh_budget()
+        self._session_depth += 1
+        try:
+            yield self._budget
+        finally:
+            self._session_depth -= 1
+
+    def charge_signature(self) -> bool:
+        """Spend one signature verification from the active budget;
+        ``False`` means the KeyTrap cap is exhausted (the validator
+        treats further verification as failed)."""
+        if self._budget.charge_signature():
+            return True
+        self.counters.signature_budget_exhausted += 1
+        return False
+
+    # ------------------------------------------------------------------
     # Low-level send
     # ------------------------------------------------------------------
 
     def send_query(
-        self, dst: str, qname: Name, qtype: RRType, attempts: int = _MAX_RETRIES
+        self,
+        dst: str,
+        qname: Name,
+        qtype: RRType,
+        attempts: Optional[int] = None,
     ) -> Message:
         """Send one query on the wire, retrying on packet loss with
         exponential backoff; public for the validator/DLV machinery.
@@ -167,9 +231,24 @@ class IterativeEngine:
         ``loss_timeout`` per drop); between retries the engine waits an
         additional, growing backoff — the pacing a real resolver applies
         instead of hammering a dead server back-to-back.
+
+        A response that does not echo the outstanding query's message id
+        and question section is a spoof: it is dropped (counted in
+        ``counters.spoofs_rejected``) and the engine keeps waiting for
+        the genuine answer by retrying, exactly like a resolver ignoring
+        forged UDP datagrams on its socket.
         """
-        last_error: Optional[QueryTimeout] = None
+        if attempts is None:
+            attempts = self.max_retries
+        last_error: Optional[Exception] = None
         for attempt in range(attempts):
+            if not self._budget.charge_send():
+                self.counters.send_budget_exhausted += 1
+                raise BudgetExceeded(
+                    f"work budget exhausted: upstream-send cap "
+                    f"({self.hardening.max_upstream_sends}) reached asking "
+                    f"{dst} for {qname.to_text()}/{qtype.name}"
+                )
             message_id = self._next_id
             self._next_id = (self._next_id + 1) & 0xFFFF or 1
             query = Message.make_query(
@@ -187,10 +266,24 @@ class IterativeEngine:
                 if attempt + 1 < attempts:
                     self._clock.advance(self.health.backoff_delay(attempt))
                 continue
+            except NetworkError as unreachable:
+                # Nothing answers at this address at all (e.g. poisoned
+                # glue pointing into the void): permanent for this
+                # destination, so retrying would only burn the budget.
+                self.timeouts += 1
+                self.health.record_failure(dst)
+                last_error = unreachable
+                break
+            if not self.hardening.response_matches(query, response):
+                self.counters.spoofs_rejected += 1
+                last_error = ResolutionError(
+                    f"spoofed response from {dst} (id/question mismatch)"
+                )
+                continue
             self.health.record_success(dst, self._clock.now - sent_at)
             return response
         raise ResolutionError(
-            f"query for {qname.to_text()}/{qtype.name} to {dst} timed out "
+            f"query for {qname.to_text()}/{qtype.name} to {dst} failed "
             f"after {attempts} attempts"
         ) from last_error
 
@@ -219,12 +312,14 @@ class IterativeEngine:
         for index, address in enumerate(usable):
             if budget <= 0:
                 break
-            attempts = min(_MAX_RETRIES, budget)
+            attempts = min(self.max_retries, budget)
             budget -= attempts
             if index > 0:
                 self.failovers += 1
             try:
                 response = self.send_query(address, qname, qtype, attempts)
+            except BudgetExceeded:
+                raise  # failover cannot restore an exhausted budget
             except ResolutionError as error:
                 last_error = error
                 continue
@@ -294,6 +389,10 @@ class IterativeEngine:
         """Resolve (qname, qtype), using caches and the network."""
         if _depth > _MAX_RECURSION:
             raise ResolutionError(f"recursion too deep resolving {qname.to_text()}")
+        if _depth == 0 and self._session_depth == 0:
+            # Standalone use (no session open): each top-level resolve
+            # is its own budgeted unit of work.
+            self._budget = self.hardening.fresh_budget()
 
         cached = self._lookup_cached(qname, qtype)
         if cached is not None:
@@ -301,7 +400,7 @@ class IterativeEngine:
 
         answer_rrsets: List[RRset] = []
         current_name = qname
-        for _ in range(_MAX_CNAME_CHAIN):
+        for _ in range(self.max_cname_chain):
             try:
                 outcome = self._resolve_one(current_name, qtype, _depth)
             except ResolutionError:
@@ -388,7 +487,7 @@ class IterativeEngine:
     def _resolve_one(self, qname: Name, qtype: RRType, depth: int) -> ResolutionOutcome:
         cut = self.deepest_cut(qname)
         probe_label_count: Optional[int] = None
-        for _ in range(_MAX_REFERRALS):
+        for _ in range(self.max_referrals):
             addresses = self.cut_addresses(cut)
             if self.qname_minimization:
                 probe = self._minimized_probe(qname, cut, probe_label_count)
@@ -416,7 +515,7 @@ class IterativeEngine:
                 probe_label_count = probe.label_count + 1
                 continue
             if classification == "referral":
-                cut = self._follow_referral(response, cut, depth)
+                cut = self._follow_referral(response, cut, qname, depth)
                 probe_label_count = None
                 continue
             raise ResolutionError(
@@ -463,7 +562,9 @@ class IterativeEngine:
     ) -> ResolutionOutcome:
         answer_rrsets: List[RRset] = []
         rrsig: Optional[RRset] = None
-        for rrset in response.answer:
+        kept, scrubbed = self.hardening.scrub_rrsets(response.answer, cut)
+        self.counters.records_scrubbed += scrubbed
+        for rrset in kept:
             if rrset.rtype is RRType.RRSIG:
                 continue
             answer_rrsets.append(rrset)
@@ -498,7 +599,9 @@ class IterativeEngine:
         soa = None
         nsec_pairs: List[Tuple[RRset, Optional[RRset]]] = []
         ttl = _FALLBACK_NEGATIVE_TTL
-        for rrset in response.authority:
+        kept, scrubbed = self.hardening.scrub_rrsets(response.authority, cut)
+        self.counters.records_scrubbed += scrubbed
+        for rrset in kept:
             if rrset.rtype is RRType.SOA:
                 soa = rrset
                 ttl = min(rrset.ttl, rrset.first().minimum)  # type: ignore[attr-defined]
@@ -527,7 +630,9 @@ class IterativeEngine:
     # Referral following
     # ------------------------------------------------------------------
 
-    def _follow_referral(self, response: Message, cut: Name, depth: int) -> Name:
+    def _follow_referral(
+        self, response: Message, cut: Name, qname: Name, depth: int
+    ) -> Name:
         ns_sets = response.find_rrsets(RRType.NS, section="authority")
         referral = None
         for ns in ns_sets:
@@ -536,19 +641,39 @@ class IterativeEngine:
         if referral is None:
             raise ResolutionError("referral without NS records")
         child = referral.name
+        # Direction check: a delegation must descend from the cut toward
+        # the query name.  Upward ("here, ask the root again") and
+        # sideways referrals are loop/amplification vectors, never
+        # legitimate iteration.
+        if not self.hardening.referral_allowed(child, cut, qname):
+            self.counters.referrals_rejected += 1
+            raise ResolutionError(
+                f"rejected referral from {cut.to_text()} to "
+                f"{child.to_text()} (not a descent toward {qname.to_text()})"
+            )
         self._cache.put(referral)
         glue_addresses: List[str] = []
-        glue_hosts: List[Name] = []
         for rrset in response.additional:
+            if rrset.rtype not in (RRType.A, RRType.AAAA):
+                continue
+            # Bailiwick: only glue for hosts inside the referred zone may
+            # enter the cache; anything else is attacker-controlled data
+            # the parent has no authority over.
+            if not self.hardening.glue_in_bailiwick(rrset, child):
+                self.counters.glue_rejected += 1
+                continue
+            self._cache.put(rrset)
             if rrset.rtype is RRType.A:
-                self._cache.put(rrset)
                 glue_addresses.append(rrset.first().address)  # type: ignore[attr-defined]
-                glue_hosts.append(rrset.name)
-            elif rrset.rtype is RRType.AAAA:
-                self._cache.put(rrset)
-        # Cache any DS / NSEC material the parent volunteered.
+        # Cache DS / NSEC material the parent volunteered — but only for
+        # the delegated child itself; a DS for any other zone is a
+        # chain-of-trust injection.
         for rrset in response.authority:
             if rrset.rtype is RRType.DS:
+                if self.hardening.enabled and self.hardening.bailiwick_scrub \
+                        and rrset.name != child:
+                    self.counters.records_scrubbed += 1
+                    continue
                 self._cache.put(rrset, rrsig=self._find_rrsig(response.authority, rrset))
         if not glue_addresses:
             glue_addresses = self._resolve_ns_addresses(referral, depth)
@@ -561,11 +686,23 @@ class IterativeEngine:
         return child
 
     def _resolve_ns_addresses(self, referral: RRset, depth: int) -> List[str]:
-        """Out-of-bailiwick delegation: resolve the NS hosts' addresses."""
+        """Out-of-bailiwick delegation: resolve the NS hosts' addresses.
+
+        Each NS host costs one sub-resolution from the per-resolution
+        fanout budget — the NXNSAttack cap: a referral naming dozens of
+        dead out-of-zone servers cannot multiply upstream traffic beyond
+        ``max_ns_address_resolutions``.
+        """
         addresses: List[str] = []
         for rdata in referral.rdatas:
             host = rdata.target  # type: ignore[attr-defined]
-            outcome = self.resolve(host, RRType.A, _depth=depth + 1)
+            if not self._budget.charge_ns_resolution():
+                self.counters.ns_budget_exhausted += 1
+                break
+            try:
+                outcome = self.resolve(host, RRType.A, _depth=depth + 1)
+            except ResolutionError:
+                continue
             for rrset in outcome.answer:
                 if rrset.rtype is RRType.A and rrset.name == host:
                     addresses.extend(r.address for r in rrset.rdatas)
@@ -619,7 +756,11 @@ class IterativeEngine:
             self._negcache.put_nxdomain(qname, ttl)
             return
         found = False
-        for rrset in response.answer:
+        # Side queries ask about one specific name; scrub anything the
+        # server volunteered for other owners before caching.
+        kept, scrubbed = self.hardening.scrub_rrsets(response.answer, qname)
+        self.counters.records_scrubbed += scrubbed
+        for rrset in kept:
             if rrset.rtype is RRType.RRSIG:
                 continue
             self._cache.put(rrset, rrsig=self._find_rrsig(response.answer, rrset))

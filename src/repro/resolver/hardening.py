@@ -1,0 +1,240 @@
+"""Byzantine-robustness policy for the iterative engine.
+
+The paper's measurement pipeline assumes the simulated resolver behaves
+like a hardened BIND/Unbound; this module supplies the checks a real
+resolver applies to wire data before believing it:
+
+* **response matching** — a response must echo the outstanding query's
+  message id and question section (the Kaminsky defence: an off-path
+  spoofer has to guess the id);
+* **bailiwick scrubbing** — records are cached only when their owner
+  names fall inside the zone the queried server is authoritative for
+  (classic cache-poisoning defence: a server must not be able to inject
+  data for names outside its delegation);
+* **referral direction** — a delegation must descend: the child zone
+  strictly below the current cut and at-or-above the query name, which
+  kills upward/sideways referral loops;
+* **work budgets** — per-resolution caps on upstream sends, NS-address
+  sub-resolutions (NXNSAttack), and signature verifications (KeyTrap),
+  so a malicious response can make one resolution *fail* but never make
+  it *expensive*.
+
+:class:`HardeningPolicy` is a frozen bundle of knobs with pure check
+methods; :class:`WorkBudget` is the mutable per-resolution spend
+tracker; :class:`HardeningCounters` accumulates what the checks did, for
+observability and the adversary matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..dnscore import Message, Name, RRType, RRset
+
+#: Record types a referral's additional section may legitimately glue.
+_GLUE_TYPES = (RRType.A, RRType.AAAA)
+
+
+@dataclasses.dataclass(frozen=True)
+class HardeningPolicy:
+    """Resolver-side defences against malicious responses.
+
+    The default-constructed policy is *hardened*: every check on, with
+    work budgets sized several times above the worst honest cold-cache
+    resolution (measured in ``tests/resolver/test_hardening.py``), so
+    benign traffic never trips them.  :meth:`off` builds the trusting
+    pre-hardening resolver for adversary-matrix baselines.
+    """
+
+    #: Master switch; ``False`` reproduces the historical wire-trusting
+    #: engine regardless of the other knobs.
+    enabled: bool = True
+    #: Require responses to echo the query's message id (Kaminsky).
+    check_response_id: bool = True
+    #: Require responses to echo the query's question section.
+    check_question_echo: bool = True
+    #: Drop cached records whose owners fall outside the server's zone.
+    bailiwick_scrub: bool = True
+    #: Reject upward/sideways referrals.
+    check_referral_direction: bool = True
+    #: Per-resolution cap on NS-host address sub-resolutions (NXNS).
+    max_ns_address_resolutions: int = 12
+    #: Per-resolution cap on cryptographic signature checks (KeyTrap).
+    max_signature_validations: int = 160
+    #: Per-resolution cap on upstream queries actually sent.
+    max_upstream_sends: int = 400
+
+    @classmethod
+    def off(cls) -> "HardeningPolicy":
+        """The unhardened baseline: trust the wire completely."""
+        return cls(enabled=False)
+
+    # ------------------------------------------------------------------
+    # Response matching (spoof detection)
+    # ------------------------------------------------------------------
+
+    def response_matches(self, query: Message, response: Message) -> bool:
+        """Does *response* plausibly answer *query*?
+
+        A mismatched message id or question section marks a forgery (or
+        a grossly broken server); either way the response must not drive
+        resolution.
+        """
+        if not self.enabled:
+            return True
+        if self.check_response_id and response.message_id != query.message_id:
+            return False
+        if self.check_question_echo and response.question != query.question:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Bailiwick scrubbing
+    # ------------------------------------------------------------------
+
+    def scrub_rrsets(
+        self, rrsets: Tuple[RRset, ...], bailiwick: Name
+    ) -> Tuple[List[RRset], int]:
+        """Split *rrsets* into (kept, dropped-count) by bailiwick.
+
+        A record survives only when its owner name sits at or below
+        *bailiwick* — the zone the answering server was queried as
+        authoritative for.
+        """
+        if not (self.enabled and self.bailiwick_scrub):
+            return list(rrsets), 0
+        kept = [r for r in rrsets if r.name.is_subdomain_of(bailiwick)]
+        return kept, len(rrsets) - len(kept)
+
+    def glue_in_bailiwick(self, glue: RRset, referred_zone: Name) -> bool:
+        """May a referral's glue record enter the cache?
+
+        Only address records whose owner names fall inside the referred
+        (child) zone: glue for anything else is the poisoner's classic
+        vehicle.
+        """
+        if not (self.enabled and self.bailiwick_scrub):
+            return True
+        return glue.rtype in _GLUE_TYPES and glue.name.is_subdomain_of(
+            referred_zone
+        )
+
+    # ------------------------------------------------------------------
+    # Referral direction
+    # ------------------------------------------------------------------
+
+    def referral_allowed(self, child: Name, cut: Name, qname: Name) -> bool:
+        """Is a delegation from *cut* to *child* a legitimate descent?
+
+        The child must lie strictly below the cut (downward) and at or
+        above the query name (on the path toward it).  Upward referrals
+        (child at/above the cut) and sideways ones (off the qname path)
+        are the NXNS/loop amplification vectors.
+        """
+        if not (self.enabled and self.check_referral_direction):
+            return True
+        if child == cut or not child.is_subdomain_of(cut):
+            return False
+        return qname.is_subdomain_of(child)
+
+    # ------------------------------------------------------------------
+    # Budgets
+    # ------------------------------------------------------------------
+
+    def fresh_budget(self) -> "WorkBudget":
+        return WorkBudget(
+            sends_left=self.max_upstream_sends if self.enabled else None,
+            ns_resolutions_left=(
+                self.max_ns_address_resolutions if self.enabled else None
+            ),
+            signatures_left=(
+                self.max_signature_validations if self.enabled else None
+            ),
+        )
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "unhardened"
+        checks = [
+            name
+            for name, on in (
+                ("id", self.check_response_id),
+                ("question", self.check_question_echo),
+                ("bailiwick", self.bailiwick_scrub),
+                ("direction", self.check_referral_direction),
+            )
+            if on
+        ]
+        return (
+            f"hardened[{'+'.join(checks)};"
+            f"sends<={self.max_upstream_sends},"
+            f"ns<={self.max_ns_address_resolutions},"
+            f"sigs<={self.max_signature_validations}]"
+        )
+
+
+@dataclasses.dataclass
+class WorkBudget:
+    """Remaining per-resolution spend.  ``None`` means unlimited."""
+
+    sends_left: Optional[int] = None
+    ns_resolutions_left: Optional[int] = None
+    signatures_left: Optional[int] = None
+
+    @staticmethod
+    def _charge(remaining: Optional[int]) -> Tuple[Optional[int], bool]:
+        if remaining is None:
+            return None, True
+        if remaining <= 0:
+            return remaining, False
+        return remaining - 1, True
+
+    def charge_send(self) -> bool:
+        self.sends_left, allowed = self._charge(self.sends_left)
+        return allowed
+
+    def charge_ns_resolution(self) -> bool:
+        self.ns_resolutions_left, allowed = self._charge(
+            self.ns_resolutions_left
+        )
+        return allowed
+
+    def charge_signature(self) -> bool:
+        self.signatures_left, allowed = self._charge(self.signatures_left)
+        return allowed
+
+
+@dataclasses.dataclass
+class HardeningCounters:
+    """What the hardening layer did, accumulated over a resolver's life."""
+
+    #: Responses rejected for a wrong message id or question section.
+    spoofs_rejected: int = 0
+    #: RRsets dropped by bailiwick scrubbing before any cache write.
+    records_scrubbed: int = 0
+    #: Glue records refused for falling outside the referred zone.
+    glue_rejected: int = 0
+    #: Referrals refused for pointing upward or sideways.
+    referrals_rejected: int = 0
+    #: Resolutions cut short by the upstream-send budget.
+    send_budget_exhausted: int = 0
+    #: NS-address sub-resolutions refused by the fanout budget.
+    ns_budget_exhausted: int = 0
+    #: Signature checks refused by the validation budget.
+    signature_budget_exhausted: int = 0
+
+    def total_rejections(self) -> int:
+        return (
+            self.spoofs_rejected
+            + self.records_scrubbed
+            + self.glue_rejected
+            + self.referrals_rejected
+        )
+
+    def budget_denials(self) -> int:
+        return (
+            self.send_budget_exhausted
+            + self.ns_budget_exhausted
+            + self.signature_budget_exhausted
+        )

@@ -94,6 +94,10 @@ class RecursiveResolver:
             qname_minimization=config.qname_minimization,
             health=self.health,
             serve_stale=config.serve_stale,
+            hardening=config.hardening,
+            max_referrals=config.max_referrals,
+            max_cname_chain=config.max_cname_chain,
+            max_retries=config.max_retries,
         )
         self.validator = Validator(
             engine=self.engine,
@@ -121,6 +125,13 @@ class RecursiveResolver:
 
     def resolve(self, qname: Name, qtype: RRType) -> ResolutionResult:
         self.resolutions += 1
+        # One work budget covers everything this stub query triggers —
+        # iterative walk, validation chains, DLV searches — so a
+        # malicious upstream cannot multiply cost through sub-resolutions.
+        with self.engine.resolution_session():
+            return self._resolve_inner(qname, qtype)
+
+    def _resolve_inner(self, qname: Name, qtype: RRType) -> ResolutionResult:
         try:
             outcome = self.engine.resolve(qname, qtype)
         except ResolutionError:
@@ -268,7 +279,10 @@ class RecursiveResolver:
     def _handle_checking_disabled(self, query: Message) -> Message:
         assert query.question is not None
         try:
-            outcome = self.engine.resolve(query.question.name, query.question.rtype)
+            with self.engine.resolution_session():
+                outcome = self.engine.resolve(
+                    query.question.name, query.question.rtype
+                )
         except ResolutionError:
             return query.make_response(rcode=RCode.SERVFAIL)
         return query.make_response(rcode=outcome.rcode, answer=outcome.answer)

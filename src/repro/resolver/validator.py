@@ -75,6 +75,9 @@ class Validator:
         self._zone_security: Dict[Name, ZoneSecurity] = {}
         self.signature_checks = 0
         self.signature_failures = 0
+        #: Individual cryptographic verify calls (the KeyTrap cost unit:
+        #: one per candidate (RRSIG, DNSKEY) pair actually tried).
+        self.crypto_verify_calls = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -317,6 +320,14 @@ class Validator:
             for dnskey in dnskeys.rdatas:
                 if dnskey.key_tag() != rrsig.key_tag:  # type: ignore[attr-defined]
                     continue
+                # KeyTrap cap: a response stuffed with colliding keys and
+                # signatures can demand keys × sigs verifications; once
+                # the per-resolution budget is spent, further candidate
+                # pairs count as failed instead of being computed.
+                if not self._engine.charge_signature():
+                    self.signature_failures += 1
+                    return False
+                self.crypto_verify_calls += 1
                 if verify_rrset_signature(rrset, rrsig, dnskey):  # type: ignore[arg-type]
                     return True
         self.signature_failures += 1

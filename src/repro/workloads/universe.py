@@ -421,6 +421,12 @@ class Universe:
         script faults against these without reaching into internals)."""
         return dict(self._tld_addresses)
 
+    def hosting_addresses(self) -> List[str]:
+        """Addresses of the shared-hosting providers serving the leaf
+        zones (a copy) — the deployment surface for adversaries that
+        tamper with terminal answers."""
+        return list(self._provider_addresses)
+
     def has_dlv_deposit(self, name: Name) -> bool:
         return self.registry_zone.has_deposit(name)
 

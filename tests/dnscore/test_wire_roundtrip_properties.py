@@ -1,0 +1,235 @@
+"""Property-based round-trip tests for the wire codec.
+
+Complements ``test_wire_fuzz.py`` (which feeds the decoder garbage) from
+the other direction: *any* structurally valid message the data model can
+express must survive ``decode(encode(m)) == m`` exactly — names, flags,
+EDNS state, section order, and rdata bytes all intact.  A resolver
+hardened against byzantine responses leans on this: question-echo
+comparison and bailiwick scrubbing only work if the codec neither loses
+nor invents information.
+
+The garbage-direction properties here are stricter than the fuzz file's:
+failures must be :class:`WireError` (or its :class:`RdataError` sibling)
+specifically — never ``IndexError``, ``struct.error``, or a hang — since
+the resolver's error handling only catches ``ValueError``.
+"""
+
+import ipaddress
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dnscore import (
+    A,
+    AAAA,
+    CNAME,
+    DNSKEY,
+    DS,
+    Edns,
+    HeaderFlags,
+    Message,
+    NS,
+    NSEC,
+    Name,
+    Opcode,
+    Question,
+    RCode,
+    RRType,
+    RRset,
+    RdataError,
+    SOA,
+    TXT,
+    WireError,
+    decode_message,
+    encode_message,
+)
+from repro.dnscore.constants import Algorithm, DigestType
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+labels = st.text(_LABEL_ALPHABET, min_size=1, max_size=12)
+names = st.lists(labels, min_size=1, max_size=4).map(Name)
+
+# str(IPv4Address/IPv6Address) is the canonical text form the decoder
+# produces, so addresses must be canonicalised for exact round-trips.
+ipv4s = st.integers(0, 2**32 - 1).map(lambda p: str(ipaddress.IPv4Address(p)))
+ipv6s = st.integers(0, 2**128 - 1).map(lambda p: str(ipaddress.IPv6Address(p)))
+
+rdatas = st.one_of(
+    ipv4s.map(A),
+    ipv6s.map(AAAA),
+    names.map(NS),
+    names.map(CNAME),
+    st.builds(
+        SOA,
+        mname=names,
+        rname=names,
+        serial=st.integers(0, 2**32 - 1),
+    ),
+    st.lists(
+        st.text(_LABEL_ALPHABET, max_size=40), min_size=1, max_size=3
+    ).map(lambda strings: TXT(tuple(strings))),
+    st.builds(
+        DS,
+        key_tag=st.integers(0, 0xFFFF),
+        algorithm=st.just(Algorithm.RSASHA256),
+        digest_type=st.just(DigestType.SHA256),
+        digest=st.binary(min_size=1, max_size=32),
+    ),
+    st.builds(
+        DNSKEY,
+        flags=st.sampled_from([DNSKEY.ZONE_KEY_FLAGS, DNSKEY.KSK_FLAGS]),
+        protocol=st.just(3),
+        algorithm=st.just(Algorithm.RSASHA256),
+        public_key=st.binary(min_size=1, max_size=64),
+    ),
+    st.builds(
+        NSEC,
+        next_name=names,
+        types=st.frozensets(
+            st.sampled_from([RRType.A, RRType.NS, RRType.SOA, RRType.TXT]),
+            min_size=1,
+            max_size=4,
+        ),
+    ),
+)
+
+
+def _rrset_at(name):
+    return st.builds(
+        lambda rtyped, ttl: RRset(name, rtyped[0], ttl, rtyped[1]),
+        rdatas.map(lambda rdata: (rdata.rtype, (rdata,))),
+        st.integers(0, 2**31 - 1),
+    )
+
+
+@st.composite
+def sections(draw, max_rrsets=2):
+    """A message section whose RRsets all have distinct owner names, so
+    the decoder cannot legitimately merge them (wire order is the only
+    grouping information a DNS message carries)."""
+    count = draw(st.integers(0, max_rrsets))
+    owners = draw(
+        st.lists(names, min_size=count, max_size=count, unique_by=lambda n: n.labels)
+    )
+    return tuple(draw(_rrset_at(owner)) for owner in owners)
+
+
+flags_strategy = st.builds(
+    HeaderFlags,
+    qr=st.booleans(),
+    opcode=st.sampled_from(list(Opcode)),
+    aa=st.booleans(),
+    tc=st.booleans(),
+    rd=st.booleans(),
+    ra=st.booleans(),
+    z=st.booleans(),
+    ad=st.booleans(),
+    cd=st.booleans(),
+    rcode=st.sampled_from([r for r in RCode if int(r) < 16]),
+)
+
+messages = st.builds(
+    Message,
+    message_id=st.integers(0, 0xFFFF),
+    flags=flags_strategy,
+    question=st.one_of(st.none(), st.builds(Question, names, st.just(RRType.A))),
+    answer=sections(),
+    authority=sections(),
+    additional=sections(),
+    edns=st.one_of(
+        st.none(),
+        st.builds(
+            Edns,
+            udp_payload_size=st.integers(512, 0xFFFF),
+            dnssec_ok=st.booleans(),
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=300)
+    @given(messages)
+    def test_encode_decode_is_identity(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @settings(max_examples=100)
+    @given(messages)
+    def test_reencode_is_stable(self, message):
+        """Encoding is deterministic: the same message always produces
+        the same bytes (compression choices included)."""
+        wire = encode_message(message)
+        assert encode_message(decode_message(wire)) == wire
+
+    @settings(max_examples=100)
+    @given(names, st.integers(0, 0xFFFF))
+    def test_query_question_survives(self, name, message_id):
+        query = Message.make_query(message_id, name, RRType.A, dnssec_ok=True)
+        decoded = decode_message(encode_message(query))
+        assert decoded.question == query.question
+        assert decoded.edns is not None and decoded.edns.dnssec_ok
+
+
+# ----------------------------------------------------------------------
+# Garbage must fail with WireError — nothing else
+# ----------------------------------------------------------------------
+
+
+class TestGarbageFailsTyped:
+    @settings(max_examples=400, deadline=1000)
+    @given(st.binary(min_size=0, max_size=160))
+    def test_garbage_raises_wire_error_only(self, data):
+        try:
+            decode_message(data)
+        except (WireError, RdataError):
+            return
+        except (IndexError, struct.error, RecursionError) as leak:
+            raise AssertionError(
+                f"decoder leaked internal exception {type(leak).__name__} "
+                f"on {data!r}"
+            )
+
+    @settings(max_examples=200, deadline=1000)
+    @given(messages, st.data())
+    def test_mutated_message_raises_wire_error_only(self, message, data):
+        wire = bytearray(encode_message(message))
+        if not wire:
+            return
+        for _ in range(data.draw(st.integers(1, 4))):
+            index = data.draw(st.integers(0, len(wire) - 1))
+            wire[index] = data.draw(st.integers(0, 255))
+        try:
+            decode_message(bytes(wire))
+        except (WireError, RdataError):
+            return
+        except (IndexError, struct.error, RecursionError) as leak:
+            raise AssertionError(
+                f"decoder leaked internal exception {type(leak).__name__}"
+            )
+
+    @settings(max_examples=150, deadline=1000)
+    @given(messages, st.integers(0, 400))
+    def test_truncation_raises_wire_error_only(self, message, cut):
+        wire = encode_message(message)
+        truncated = wire[: min(cut, len(wire))]
+        if truncated == wire:
+            return
+        try:
+            decode_message(truncated)
+        except (WireError, RdataError):
+            return
+        except (IndexError, struct.error, RecursionError) as leak:
+            raise AssertionError(
+                f"decoder leaked internal exception {type(leak).__name__}"
+            )
+        raise AssertionError("truncated message decoded successfully")

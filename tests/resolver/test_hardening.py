@@ -1,0 +1,391 @@
+"""Resolver hardening: spoof rejection, bailiwick scrubbing, referral
+direction checks, and per-resolution work budgets.
+
+Policy-level units first, then the engine integration: a small
+root → com → example.com world with tamper hooks standing in for the
+adversary personas (the personas themselves are exercised end-to-end in
+``tests/netsim/test_adversary.py``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dnscore import (
+    A,
+    HeaderFlags,
+    Message,
+    NS,
+    Name,
+    Question,
+    RCode,
+    RRType,
+    RRset,
+)
+from repro.netsim import Network, ZeroLatency
+from repro.resolver import (
+    HardeningCounters,
+    HardeningPolicy,
+    IterativeEngine,
+    NegativeCache,
+    ResolutionError,
+    ResolverConfig,
+    RRsetCache,
+    ServerHealth,
+    WorkBudget,
+)
+from repro.servers import AuthoritativeServer
+from repro.zones import ZoneBuilder, standard_ns_hosts
+
+ROOT_ADDR = "10.9.0.0"
+COM_ADDR = "10.9.0.1"
+LEAF_ADDR = "10.9.0.11"
+ATTACKER_ADDR = "203.0.113.200"
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+# ----------------------------------------------------------------------
+# Policy units
+# ----------------------------------------------------------------------
+
+
+class TestResponseMatching:
+    def query(self):
+        return Message.make_query(42, n("www.example.com"), RRType.A)
+
+    def test_matching_response_accepted(self):
+        query = self.query()
+        assert HardeningPolicy().response_matches(query, query.make_response())
+
+    def test_wrong_id_rejected(self):
+        query = self.query()
+        forged = dataclasses.replace(query.make_response(), message_id=43)
+        assert not HardeningPolicy().response_matches(query, forged)
+
+    def test_wrong_question_rejected(self):
+        query = self.query()
+        forged = dataclasses.replace(
+            query.make_response(),
+            question=Question(n("evil.example.com"), RRType.A),
+        )
+        assert not HardeningPolicy().response_matches(query, forged)
+
+    def test_disabled_policy_trusts_everything(self):
+        query = self.query()
+        forged = dataclasses.replace(query.make_response(), message_id=9999)
+        assert HardeningPolicy.off().response_matches(query, forged)
+
+
+class TestBailiwick:
+    def rrset(self, owner, address="192.0.2.1"):
+        return RRset(n(owner), RRType.A, 300, (A(address),))
+
+    def test_scrub_drops_out_of_zone_records(self):
+        inside = self.rrset("www.example.com")
+        outside = self.rrset("victim-bank.example")
+        kept, dropped = HardeningPolicy().scrub_rrsets(
+            (inside, outside), n("example.com")
+        )
+        assert kept == [inside]
+        assert dropped == 1
+
+    def test_scrub_disabled_keeps_everything(self):
+        outside = self.rrset("victim-bank.example")
+        kept, dropped = HardeningPolicy.off().scrub_rrsets(
+            (outside,), n("example.com")
+        )
+        assert kept == [outside] and dropped == 0
+
+    def test_glue_must_be_address_record_inside_referred_zone(self):
+        policy = HardeningPolicy()
+        good = self.rrset("ns1.example.com")
+        assert policy.glue_in_bailiwick(good, n("example.com"))
+        foreign = self.rrset("ns1.victim-bank.example")
+        assert not policy.glue_in_bailiwick(foreign, n("example.com"))
+        wrong_type = RRset(
+            n("example.com"), RRType.NS, 300, (NS(n("ns1.example.com")),)
+        )
+        assert not policy.glue_in_bailiwick(wrong_type, n("example.com"))
+
+
+class TestReferralDirection:
+    def test_downward_on_path_allowed(self):
+        assert HardeningPolicy().referral_allowed(
+            child=n("example.com"), cut=n("com"), qname=n("www.example.com")
+        )
+
+    def test_upward_rejected(self):
+        policy = HardeningPolicy()
+        assert not policy.referral_allowed(
+            child=Name(()), cut=n("com"), qname=n("www.example.com")
+        )
+        assert not policy.referral_allowed(  # self-referral
+            child=n("com"), cut=n("com"), qname=n("www.example.com")
+        )
+
+    def test_sideways_rejected(self):
+        assert not HardeningPolicy().referral_allowed(
+            child=n("other.com"), cut=n("com"), qname=n("www.example.com")
+        )
+
+    def test_disabled_allows_loops(self):
+        assert HardeningPolicy.off().referral_allowed(
+            child=Name(()), cut=n("com"), qname=n("www.example.com")
+        )
+
+
+class TestWorkBudget:
+    def test_unlimited_budget_never_denies(self):
+        budget = WorkBudget()
+        assert all(budget.charge_send() for _ in range(10_000))
+
+    def test_budget_denies_after_cap(self):
+        budget = WorkBudget(sends_left=2)
+        assert budget.charge_send() and budget.charge_send()
+        assert not budget.charge_send()
+        assert not budget.charge_send()  # stays denied
+
+    def test_fresh_budget_reflects_policy(self):
+        budget = HardeningPolicy(max_upstream_sends=7).fresh_budget()
+        assert budget.sends_left == 7
+        unlimited = HardeningPolicy.off().fresh_budget()
+        assert unlimited.sends_left is None
+        assert unlimited.charge_signature()
+
+    def test_describe(self):
+        assert HardeningPolicy.off().describe() == "unhardened"
+        text = HardeningPolicy().describe()
+        assert text.startswith("hardened[") and "bailiwick" in text
+
+    def test_counters_totals(self):
+        counters = HardeningCounters(spoofs_rejected=2, glue_rejected=1)
+        assert counters.total_rejections() == 3
+        assert counters.budget_denials() == 0
+
+
+class TestConfigPromotion:
+    def test_resolver_config_carries_hardening_and_limits(self):
+        config = ResolverConfig()
+        assert config.hardening.enabled
+        assert config.max_referrals > 0
+        assert config.max_cname_chain > 0
+        assert config.max_retries > 0
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+
+
+def build_world(policy=None, **engine_overrides):
+    """Root -> com -> example.com, hardening policy injectable."""
+    network = Network(latency=ZeroLatency())
+
+    example = ZoneBuilder(n("example.com"))
+    example.with_ns([(n("ns1.example.com"), LEAF_ADDR)])
+    example.with_address(n("www.example.com"), ipv4="10.9.0.80")
+
+    com = ZoneBuilder(n("com"))
+    com.with_ns(standard_ns_hosts(n("com"), [COM_ADDR]))
+    com.delegate(n("example.com"), [(n("ns1.example.com"), LEAF_ADDR)])
+
+    root = ZoneBuilder(Name(()))
+    root.with_ns([(n("ns1.rootsrv.net"), ROOT_ADDR)])
+    root.delegate(n("com"), standard_ns_hosts(n("com"), [COM_ADDR]))
+
+    network.register(ROOT_ADDR, AuthoritativeServer([root.build()]))
+    network.register(COM_ADDR, AuthoritativeServer([com.build()]))
+    network.register(LEAF_ADDR, AuthoritativeServer([example.build()]))
+
+    cache = RRsetCache(network.clock)
+    engine = IterativeEngine(
+        network=network,
+        address="10.9.0.100",
+        cache=cache,
+        negcache=NegativeCache(network.clock),
+        root_hints=[ROOT_ADDR],
+        sld_ns_requery_fraction=0.0,
+        ns_address_lookups=False,
+        tld_priming=False,
+        health=ServerHealth(network.clock),
+        hardening=policy if policy is not None else HardeningPolicy(),
+        **engine_overrides,
+    )
+    return network, engine, cache
+
+
+def cached_names(cache):
+    return {entry.rrset.name for entry in cache.entries()}
+
+
+def forge_id(response):
+    return dataclasses.replace(
+        response, message_id=(response.message_id + 1) & 0xFFFF
+    )
+
+
+class TestSpoofRejection:
+    def test_hardened_engine_rejects_wrong_id_and_keeps_retrying(self):
+        network, engine, _ = build_world()
+        network.faults.set_tamper(LEAF_ADDR, forge_id)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("www.example.com"), RRType.A)
+        assert engine.counters.spoofs_rejected >= engine.max_retries
+
+    def test_unhardened_engine_swallows_the_forgery(self):
+        network, engine, _ = build_world(policy=HardeningPolicy.off())
+        network.faults.set_tamper(LEAF_ADDR, forge_id)
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert engine.counters.spoofs_rejected == 0
+
+    def test_question_rewrite_also_rejected(self):
+        network, engine, _ = build_world()
+
+        def rewrite_question(response):
+            return dataclasses.replace(
+                response, question=Question(n("evil.com"), RRType.A)
+            )
+
+        network.faults.set_tamper(LEAF_ADDR, rewrite_question)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("www.example.com"), RRType.A)
+        assert engine.counters.spoofs_rejected > 0
+
+
+def inject_poison(response):
+    """Append an out-of-bailiwick answer RRset to every response."""
+    poison = RRset(
+        n("victim-bank.example"), RRType.A, 86400, (A(ATTACKER_ADDR),)
+    )
+    return dataclasses.replace(response, answer=response.answer + (poison,))
+
+
+class TestBailiwickScrubbing:
+    def test_hardened_cache_stays_clean(self):
+        network, engine, cache = build_world()
+        network.faults.set_tamper(LEAF_ADDR, inject_poison)
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert n("victim-bank.example") not in cached_names(cache)
+        assert engine.counters.records_scrubbed > 0
+
+    def test_unhardened_cache_is_poisoned(self):
+        network, engine, cache = build_world(policy=HardeningPolicy.off())
+        network.faults.set_tamper(LEAF_ADDR, inject_poison)
+        engine.resolve(n("www.example.com"), RRType.A)
+        assert n("victim-bank.example") in cached_names(cache)
+
+    def test_foreign_glue_rejected(self):
+        network, engine, cache = build_world()
+
+        def inject_glue(response):
+            if not response.find_rrsets(RRType.NS, "authority"):
+                return response
+            glue = RRset(
+                n("ns1.victim-bank.example"),
+                RRType.A,
+                86400,
+                (A(ATTACKER_ADDR),),
+            )
+            return dataclasses.replace(
+                response, additional=response.additional + (glue,)
+            )
+
+        network.faults.set_tamper(COM_ADDR, inject_glue)
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert engine.counters.glue_rejected > 0
+        assert n("ns1.victim-bank.example") not in cached_names(cache)
+
+
+class TestReferralDirectionEnforcement:
+    def upward_referral(self, response):
+        """Rewrite com's referral into one pointing back at the root."""
+        if not response.find_rrsets(RRType.NS, "authority"):
+            return response
+        loop = RRset(Name(()), RRType.NS, 86400, (NS(n("ns1.rootsrv.net")),))
+        glue = RRset(n("ns1.rootsrv.net"), RRType.A, 86400, (A(ROOT_ADDR),))
+        return dataclasses.replace(
+            response,
+            flags=HeaderFlags(qr=True, aa=False, rcode=RCode.NOERROR),
+            answer=(),
+            authority=(loop,),
+            additional=(glue,),
+        )
+
+    def test_hardened_engine_refuses_the_loop(self):
+        network, engine, _ = build_world()
+        network.faults.set_tamper(COM_ADDR, self.upward_referral)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("www.example.com"), RRType.A)
+        assert engine.counters.referrals_rejected > 0
+        # The loop died immediately: no runaway traffic.
+        assert engine.queries_sent < 10
+
+    def test_unhardened_engine_chases_it_until_the_referral_cap(self):
+        network, engine, _ = build_world(policy=HardeningPolicy.off())
+        network.faults.set_tamper(COM_ADDR, self.upward_referral)
+        with pytest.raises(ResolutionError):
+            engine.resolve(n("www.example.com"), RRType.A)
+        assert engine.queries_sent >= engine.max_referrals
+
+
+class TestWorkBudgets:
+    def test_send_budget_fails_resolution_gracefully(self):
+        _, engine, _ = build_world(
+            policy=HardeningPolicy(max_upstream_sends=2)
+        )
+        with pytest.raises(ResolutionError, match="work budget"):
+            engine.resolve(n("www.example.com"), RRType.A)
+        assert engine.counters.send_budget_exhausted == 1
+
+    def test_budget_resets_between_sessions(self):
+        _, engine, _ = build_world(
+            policy=HardeningPolicy(max_upstream_sends=4)
+        )
+        # A cold-cache resolution fits in 4 sends (root, com, leaf);
+        # each new session gets a fresh budget, so repeats also pass.
+        for _ in range(3):
+            with engine.resolution_session():
+                outcome = engine.resolve(n("www.example.com"), RRType.A)
+            assert outcome.rcode is RCode.NOERROR
+
+    def test_nested_sessions_share_one_budget(self):
+        # A cold-cache resolution costs exactly 3 sends (root, com,
+        # leaf), so the budget is spent when the outer resolve returns.
+        _, engine, _ = build_world(
+            policy=HardeningPolicy(max_upstream_sends=3)
+        )
+        with engine.resolution_session():
+            engine.resolve(n("www.example.com"), RRType.A)
+            with engine.resolution_session():  # joins the outer budget
+                with pytest.raises(ResolutionError, match="work budget"):
+                    # Cache bypass forces a fresh send: new qtype.
+                    engine.resolve(n("www.example.com"), RRType.AAAA)
+
+    def test_signature_budget_via_charge_signature(self):
+        _, engine, _ = build_world(
+            policy=HardeningPolicy(max_signature_validations=2)
+        )
+        with engine.resolution_session():
+            assert engine.charge_signature()
+            assert engine.charge_signature()
+            assert not engine.charge_signature()
+        assert engine.counters.signature_budget_exhausted == 1
+
+
+class TestHonestTrafficHeadroom:
+    def test_default_policy_is_invisible_to_honest_traffic(self):
+        """The default budgets sit far above honest cold-cache work, so
+        a benign resolution trips no counter at all."""
+        _, engine, _ = build_world()
+        outcome = engine.resolve(n("www.example.com"), RRType.A)
+        assert outcome.rcode is RCode.NOERROR
+        assert engine.counters.total_rejections() == 0
+        assert engine.counters.budget_denials() == 0
+        # And the whole resolution used a small fraction of the budget.
+        assert engine.queries_sent * 10 < HardeningPolicy().max_upstream_sends
