@@ -8,6 +8,8 @@ Commands:
 * ``tables``   — regenerate Tables 1-5.
 * ``report``   — the full reproduction report (every table and figure).
 * ``attack``   — the remedy-tampering and enumeration demonstrations.
+* ``trace``    — resolve one name fully instrumented and render the
+  span tree, per-observer leak summary, and metric counters.
 """
 
 from __future__ import annotations
@@ -109,7 +111,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     universe = standard_universe(
         workload, filler_count=args.filler, deploy_zbit_signal=True
     )
-    for address in universe._provider_addresses:
+    for address in universe.hosting_addresses():
         interpose_tampering(universe.network, address, force_z_bit=True)
     experiment = LeakageExperiment(
         universe, correct_bind_config(zbit_signaling=True), ptr_fraction=0.0
@@ -143,6 +145,76 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             title="Attack demonstrations (paper Sections 6.2.3 and 7.3)",
         )
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import (
+        LeakageExperiment,
+        MetricsRegistry,
+        Tracer,
+        export_traces_jsonl,
+        observer_trace_summary,
+        render_span_tree,
+        standard_universe,
+        standard_workload,
+    )
+    from .dnscore import Name
+    from .resolver import correct_bind_config
+
+    workload = standard_workload(args.domains)
+    universe = standard_universe(
+        workload, filler_count=args.filler, registry_hashed=args.hashed
+    )
+    if args.qname:
+        qname = Name.from_text(args.qname)
+    else:
+        # Default to the first signed domain without a DLV deposit: its
+        # look-aside search is guaranteed to come up empty, producing
+        # the Case-2 leak the trace is meant to show.
+        qname = next(
+            (
+                spec.name
+                for spec in workload.domains
+                if not spec.dlv_deposited
+            ),
+            workload.domains[0].name,
+        )
+    experiment = LeakageExperiment(
+        universe,
+        correct_bind_config(),
+        ptr_fraction=0.0,
+        tracer=Tracer(universe.clock),
+        metrics=MetricsRegistry(),
+    )
+    result = experiment.run([qname])
+    for root in result.traces:
+        print(render_span_tree(root))
+        print()
+    summaries = observer_trace_summary(result.traces)
+    if summaries:
+        print("Observer exposure (who saw what):")
+        for summary in summaries:
+            print("  " + summary.describe())
+            for leaked in summary.leaked_qnames:
+                print(f"    leaked: {leaked}")
+        print()
+    if result.metrics:
+        print("Counters:")
+        for name, value in result.metrics["counters"].items():
+            print(f"  {name} = {value}")
+        histograms = result.metrics["histograms"]
+        if histograms:
+            print("Histograms:")
+            for name, stats in histograms.items():
+                print(
+                    f"  {name}: count={stats['count']} mean={stats['mean']:.4f} "
+                    f"min={stats['min']:.4f} max={stats['max']:.4f}"
+                )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(export_traces_jsonl(result.traces))
+        print(f"\ntraces written to {args.output}")
     return 0
 
 
@@ -184,6 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--domains", type=int, default=100)
     attack.add_argument("--filler", type=int, default=5000)
     attack.set_defaults(func=_cmd_attack)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace one resolution and render its span tree"
+    )
+    trace.add_argument(
+        "--qname", help="name to resolve (default: a Case-2 leaking domain)"
+    )
+    trace.add_argument("--domains", type=int, default=50)
+    trace.add_argument("--filler", type=int, default=2000)
+    trace.add_argument(
+        "--hashed", action="store_true", help="hashed (privacy-preserving) registry"
+    )
+    trace.add_argument("--output", help="also write the trace as JSONL")
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

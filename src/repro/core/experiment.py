@@ -19,12 +19,14 @@ from ..resolver import RecursiveResolver, ResolverConfig, ValidationStatus
 from ..workloads import Universe
 from .attacks import schedule_outage
 from .leakage import LeakageClassifier, LeakageReport
+from .metrics import MetricsRegistry
 from .observability import (
     HardeningSnapshot,
     hardening_snapshot,
     poisoned_cache_entries,
 )
 from .overhead import OverheadMetrics
+from .tracing import Span, Tracer
 
 
 @dataclasses.dataclass
@@ -42,6 +44,14 @@ class ExperimentResult:
     authenticated_answers: int
     #: Read-only view over this run's captured packets.
     capture: "_CaptureSlice" = dataclasses.field(default=None, repr=False)  # type: ignore[assignment]
+    #: Root spans drained from the experiment's tracer, one per stub
+    #: query (empty when the run was untraced).
+    traces: Sequence[Span] = dataclasses.field(default=(), repr=False)
+    #: :meth:`~repro.core.metrics.MetricsRegistry.snapshot` of the
+    #: run's metrics registry (``None`` when no registry was attached).
+    metrics: Optional[Dict[str, Dict]] = dataclasses.field(
+        default=None, repr=False
+    )
 
     def summary(self) -> str:
         leak = self.leakage
@@ -65,9 +75,18 @@ class LeakageExperiment:
         config: ResolverConfig,
         ptr_fraction: float = 0.01,
         dnssec_ok_stub: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.universe = universe
         self.config = config
+        if tracer is not None or metrics is not None:
+            universe.attach_telemetry(tracer=tracer, metrics=metrics)
+        #: Telemetry sinks this run drains/snapshots — whatever is
+        #: attached to the universe, whether passed here or installed
+        #: earlier via :meth:`Universe.attach_telemetry`.
+        self.tracer = universe.tracer
+        self.metrics = universe.metrics
         self.resolver = universe.make_resolver(config)
         self.stub = universe.make_stub(self.resolver)
         self.classifier = LeakageClassifier(
@@ -108,6 +127,10 @@ class LeakageExperiment:
             response_time=self.universe.clock.now - start_time,
         )
         status_counts = self._status_histogram(names)
+        traces = tuple(self.tracer.drain()) if self.tracer is not None else ()
+        metrics_snapshot = (
+            self.metrics.snapshot() if self.metrics is not None else None
+        )
         return ExperimentResult(
             names=list(names),
             leakage=leakage,
@@ -116,6 +139,8 @@ class LeakageExperiment:
             rcode_counts=rcode_counts,
             authenticated_answers=authenticated,
             capture=run_capture,
+            traces=traces,
+            metrics=metrics_snapshot,
         )
 
     # ------------------------------------------------------------------
@@ -224,6 +249,14 @@ class ChaosReport:
         )
 
 
+def _make_telemetry(universe: Universe, trace: bool):
+    """Telemetry sinks for one matrix cell: a tracer on the universe's
+    simulated clock plus a fresh registry, or ``(None, None)``."""
+    if not trace:
+        return None, None
+    return Tracer(universe.clock), MetricsRegistry()
+
+
 def run_chaos_cell(
     universe: Universe,
     config: ResolverConfig,
@@ -231,12 +264,19 @@ def run_chaos_cell(
     scenario: Optional[ChaosScenario] = None,
     scenario_label: str = "none",
     policy_label: str = "",
+    trace: bool = False,
 ) -> ChaosReport:
     """One cell of the chaos matrix: script the faults, run the
-    workload, distil availability / latency / exposure."""
+    workload, distil availability / latency / exposure.
+
+    With ``trace=True`` the cell runs fully instrumented: the returned
+    report's ``result.traces`` holds one span tree per stub query and
+    ``result.metrics`` the cell's counter/histogram snapshot.
+    """
     if scenario is not None:
         scenario(universe)
-    experiment = LeakageExperiment(universe, config)
+    tracer, metrics = _make_telemetry(universe, trace)
+    experiment = LeakageExperiment(universe, config, tracer=tracer, metrics=metrics)
     result = experiment.run(names)
     servfail = result.rcode_counts.get(RCode.SERVFAIL.name, 0)
     noerror = result.rcode_counts.get(RCode.NOERROR.name, 0)
@@ -269,6 +309,7 @@ def run_chaos_matrix(
     names: Sequence[Name],
     scenarios: Mapping[str, Optional[ChaosScenario]],
     configs: Mapping[str, ResolverConfig],
+    trace: bool = False,
 ) -> List[ChaosReport]:
     """Sweep fault scenarios × resolver policies.
 
@@ -288,6 +329,7 @@ def run_chaos_matrix(
                     scenario=scenario,
                     scenario_label=scenario_label,
                     policy_label=policy_label,
+                    trace=trace,
                 )
             )
     return reports
@@ -358,14 +400,18 @@ def run_adversary_cell(
     adversary_label: str = "none",
     policy_label: str = "",
     baseline_sends: Optional[int] = None,
+    trace: bool = False,
 ) -> AdversaryReport:
     """One cell: deploy the persona, run the workload, read the damage.
 
     ``baseline_sends`` is the same policy's no-adversary send count; when
-    given, ``amplification`` is relative to it (else 1.0).
+    given, ``amplification`` is relative to it (else 1.0).  With
+    ``trace=True`` the returned report's ``result.traces`` and
+    ``result.metrics`` carry the cell's full telemetry.
     """
     persona = adversary(universe) if adversary is not None else None
-    experiment = LeakageExperiment(universe, config)
+    tracer, metrics = _make_telemetry(universe, trace)
+    experiment = LeakageExperiment(universe, config, tracer=tracer, metrics=metrics)
     result = experiment.run(names)
     resolver = experiment.resolver
     sends = _upstream_sends(result, resolver)
@@ -401,6 +447,7 @@ def run_adversary_matrix(
     names: Sequence[Name],
     adversaries: Mapping[str, Optional[AdversaryScenario]],
     configs: Mapping[str, ResolverConfig],
+    trace: bool = False,
 ) -> List[AdversaryReport]:
     """Sweep adversary personas × hardening policies.
 
@@ -420,6 +467,7 @@ def run_adversary_matrix(
             adversary=None,
             adversary_label="none",
             policy_label=policy_label,
+            trace=trace,
         )
         reports.append(baseline)
         for adversary_label, scenario in adversaries.items():
@@ -434,6 +482,7 @@ def run_adversary_matrix(
                     adversary_label=adversary_label,
                     policy_label=policy_label,
                     baseline_sends=baseline.upstream_sends,
+                    trace=trace,
                 )
             )
     return reports

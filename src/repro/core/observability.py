@@ -145,6 +145,19 @@ class HardeningSnapshot:
         )
 
     def describe(self) -> str:
+        """One-line summary of the defence activity.
+
+        The format is ``spoofs=<n> scrubbed=<n> glue=<n> referrals=<n>
+        budget-denials=<n> crypto=<n>`` — the first four are the
+        rejection counters (summed by :attr:`total_rejections`),
+        ``budget-denials`` sums the three work-budget exhaustions, and
+        ``crypto`` counts attempted signature verifications.  This is
+        the string embedded in
+        :meth:`~repro.core.experiment.AdversaryReport.describe`::
+
+            >>> snapshot.describe()      # doctest: +SKIP
+            'spoofs=108 scrubbed=28 glue=28 referrals=0 budget-denials=0 crypto=21'
+        """
         return (
             f"spoofs={self.spoofs_rejected} scrubbed={self.records_scrubbed} "
             f"glue={self.glue_rejected} referrals={self.referrals_rejected} "
@@ -187,8 +200,23 @@ def poisoned_cache_entries(
 
 
 def universe_observers(universe: Universe) -> Dict[str, str]:
-    """The standard observation points of a Universe: root, every TLD,
-    and the DLV registry."""
+    """The standard observation points of a Universe, as the address →
+    role mapping :func:`observer_exposures` expects.
+
+    Roles are ``"root"`` for the root server, ``"tld:<label>"`` for
+    every TLD server, and ``"dlv-registry"`` for the look-aside
+    registry — the parties the paper's Section 3 threat model ranks by
+    involvement.  Leaf/hosting servers are deliberately absent: they
+    are involved parties for their own domains by definition.
+
+    Example — measure what the registry learned from a run::
+
+        exposures = observer_exposures(
+            result.capture, names, universe_observers(universe)
+        )
+        registry = next(e for e in exposures if e.role == "dlv-registry")
+        print(len(registry.exposed_domains))
+    """
     observers = {universe.root_address: "root"}
     for label, address in universe.tld_addresses().items():
         observers[address] = f"tld:{label}"

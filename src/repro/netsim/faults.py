@@ -115,6 +115,11 @@ class FaultPlan:
         #: Observability counters for reports and tests.
         self.drops_injected = 0
         self.outage_hits = 0
+        #: Optional metrics registry (duck-typed, ``None``-guarded; see
+        #: :mod:`repro.core.metrics`).  Mirrors the int counters above
+        #: into the shared registry so fault activity shows up in
+        #: experiment snapshots next to resolver counters.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -178,6 +183,8 @@ class FaultPlan:
         for window in entry.outages:
             if window.active(now):
                 self.outage_hits += 1
+                if self.metrics is not None:
+                    self.metrics.inc("faults.outage_hits")
                 return window
         return None
 
@@ -200,6 +207,8 @@ class FaultPlan:
         if rng.random() >= rate:
             return False, False
         self.drops_injected += 1
+        if self.metrics is not None:
+            self.metrics.inc("faults.drops_injected")
         if rng.random() < 0.5:
             return True, False
         return False, True

@@ -46,10 +46,19 @@ class Network:
         loss_seed: int = 0x105E,
         loss_timeout: float = 1.0,
         faults: Optional[FaultPlan] = None,
+        tracer=None,
+        metrics=None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
         self.clock = clock or SimClock()
+        #: Optional telemetry sinks (duck-typed, ``None``-guarded; see
+        #: :mod:`repro.core.tracing`).  Mutable so a tracer can be
+        #: attached after construction (``Universe.attach_telemetry``);
+        #: sharing one tracer with the resolver makes fault events nest
+        #: under the exchange span that suffered them.
+        self.tracer = tracer
+        self.metrics = metrics
         self.latency = latency or LatencyModel()
         self.capture = capture or Capture()
         self._servers: Dict[str, DnsServer] = {}
@@ -128,6 +137,10 @@ class Network:
             # the equivalence is enforced by a property test on the codec.
             query_size = message.wire_size()
         send_time = self.clock.now
+        tracer = self.tracer
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("net.exchanges")
         outage = self.faults.active_outage(dst, send_time)
         if outage is not None and outage.rcode is None:
             # Black hole: the query leaves the sender but never arrives.
@@ -141,6 +154,8 @@ class Network:
                     dropped=True,
                 )
             )
+            if tracer is not None:
+                tracer.event("fault", kind="outage_blackhole", server=dst)
             self.clock.advance(self.loss_timeout)
             raise QueryTimeout(f"query to {dst} lost (outage)")
         lose_query, lose_response = self.faults.roll_loss(dst)
@@ -155,24 +170,43 @@ class Network:
             )
         )
         if lose_query:
+            if tracer is not None:
+                tracer.event("fault", kind="loss", direction="query",
+                             server=dst)
             self.clock.advance(self.loss_timeout)
             raise QueryTimeout(f"query to {dst} lost")
         if outage is not None:
             # The host is reachable but the service is broken: every
             # query earns the scripted error (the DLV registry outage
             # mode of paper Section 8.4).
+            if tracer is not None:
+                tracer.event("fault", kind="outage_rcode", server=dst,
+                             rcode=outage.rcode.name)
             response = message.make_response(rcode=outage.rcode)
         else:
             response = server.handle(message)
-        response = self.faults.tamper_response(dst, response)
+        delivered = self.faults.tamper_response(dst, response)
+        if delivered is not response:
+            if tracer is not None:
+                tracer.event("fault", kind="tamper", server=dst)
+            if metrics is not None:
+                metrics.inc("faults.responses_tampered")
+        response = delivered
         if self._verify_wire_roundtrip:
             response_wire = encode_message(response)
             response = decode_message(response_wire)
             response_size = len(response_wire)
         else:
             response_size = response.wire_size()
-        rtt = self.latency.sample(dst) + self.faults.extra_latency(dst, send_time)
+        brownout_extra = self.faults.extra_latency(dst, send_time)
+        if brownout_extra > 0 and tracer is not None:
+            tracer.event("fault", kind="brownout", server=dst,
+                         extra=brownout_extra)
+        rtt = self.latency.sample(dst) + brownout_extra
         arrival = self.clock.advance(rtt)
+        if metrics is not None:
+            metrics.observe("net.rtt", rtt)
+            metrics.inc("net.bytes", query_size + response_size)
         self.capture.record(
             PacketRecord(
                 time=arrival,
@@ -184,6 +218,9 @@ class Network:
             )
         )
         if lose_response:
+            if tracer is not None:
+                tracer.event("fault", kind="loss", direction="response",
+                             server=dst)
             # The sender's timer started at send time; the RTT already
             # elapsed counts toward its timeout (fixing the historical
             # rtt + full-timeout double penalty).

@@ -49,6 +49,7 @@ class RRsetCache:
         max_ttl: float = 86400.0,
         serve_stale: bool = False,
         stale_window: float = 86400.0,
+        metrics=None,
     ):
         self._clock = clock
         self._max_ttl = max_ttl
@@ -56,6 +57,10 @@ class RRsetCache:
         #: so they can be served during upstream outages.
         self.serve_stale = serve_stale
         self.stale_window = stale_window
+        #: Optional :class:`~repro.core.metrics.MetricsRegistry`
+        #: mirroring the hit/miss counters under ``cache.*`` (duck-
+        #: typed; ``None`` keeps the cache dependency-free and fast).
+        self.metrics = metrics
         self._entries: Dict[Tuple[Name, RRType], CachedRRset] = {}
         self.hits = 0
         self.misses = 0
@@ -66,6 +71,8 @@ class RRsetCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.inc("cache.misses")
             return None
         if not entry.fresh(self._clock.now):
             if not (
@@ -74,8 +81,12 @@ class RRsetCache:
             ):
                 del self._entries[key]
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.inc("cache.misses")
             return None
         self.hits += 1
+        if self.metrics is not None:
+            self.metrics.inc("cache.hits")
         return entry
 
     def get_stale(self, name: Name, rtype: RRType) -> Optional[CachedRRset]:
@@ -90,6 +101,8 @@ class RRsetCache:
             del self._entries[(name, rtype)]
             return None
         self.stale_hits += 1
+        if self.metrics is not None:
+            self.metrics.inc("cache.stale_hits")
         return entry
 
     def put(

@@ -135,6 +135,8 @@ class IterativeEngine:
         max_referrals: int = _MAX_REFERRALS,
         max_cname_chain: int = _MAX_CNAME_CHAIN,
         max_retries: int = _MAX_RETRIES,
+        tracer=None,
+        metrics=None,
     ):
         self._network = network
         self._clock = network.clock
@@ -173,6 +175,14 @@ class IterativeEngine:
         self.max_referrals = max_referrals
         self.max_cname_chain = max_cname_chain
         self.max_retries = max_retries
+        #: Optional telemetry sinks (duck-typed against
+        #: :class:`~repro.core.tracing.Tracer` and
+        #: :class:`~repro.core.metrics.MetricsRegistry`; held by
+        #: parameter, never imported, to keep this layer leaf-free).
+        #: Every emission below is guarded with ``is not None`` so the
+        #: untraced path costs one attribute check.
+        self._tracer = tracer
+        self._metrics = metrics
         self.queries_sent = 0
         self.timeouts = 0
         self.failovers = 0
@@ -211,6 +221,10 @@ class IterativeEngine:
         if self._budget.charge_signature():
             return True
         self.counters.signature_budget_exhausted += 1
+        if self._tracer is not None:
+            self._tracer.event("hardening", kind="signature_budget_exhausted")
+        if self._metrics is not None:
+            self._metrics.inc("hardening.signature_budget_exhausted")
         return False
 
     # ------------------------------------------------------------------
@@ -240,10 +254,19 @@ class IterativeEngine:
         """
         if attempts is None:
             attempts = self.max_retries
+        tracer = self._tracer
+        metrics = self._metrics
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             if not self._budget.charge_send():
                 self.counters.send_budget_exhausted += 1
+                if tracer is not None:
+                    tracer.event(
+                        "hardening", kind="send_budget_exhausted",
+                        server=dst, qname=qname.to_text(),
+                    )
+                if metrics is not None:
+                    metrics.inc("hardening.send_budget_exhausted")
                 raise BudgetExceeded(
                     f"work budget exhausted: upstream-send cap "
                     f"({self.hardening.max_upstream_sends}) reached asking "
@@ -256,11 +279,22 @@ class IterativeEngine:
                 dnssec_ok=self._dnssec_ok,
             )
             self.queries_sent += 1
+            if metrics is not None:
+                metrics.inc("engine.queries_sent")
+            if tracer is not None:
+                tracer.begin(
+                    "exchange", server=dst, qname=qname.to_text(),
+                    qtype=qtype.name, attempt=attempt + 1,
+                )
             sent_at = self._clock.now
             try:
                 response = self._network.query(self.address, dst, query)
             except QueryTimeout as timeout:
                 self.timeouts += 1
+                if metrics is not None:
+                    metrics.inc("engine.timeouts")
+                if tracer is not None:
+                    tracer.finish(outcome="timeout", failed=True)
                 self.health.record_failure(dst)
                 last_error = timeout
                 if attempt + 1 < attempts:
@@ -271,16 +305,27 @@ class IterativeEngine:
                 # glue pointing into the void): permanent for this
                 # destination, so retrying would only burn the budget.
                 self.timeouts += 1
+                if metrics is not None:
+                    metrics.inc("engine.timeouts")
+                if tracer is not None:
+                    tracer.finish(outcome="unreachable", failed=True)
                 self.health.record_failure(dst)
                 last_error = unreachable
                 break
             if not self.hardening.response_matches(query, response):
                 self.counters.spoofs_rejected += 1
+                if tracer is not None:
+                    tracer.event("hardening", kind="spoof_rejected", server=dst)
+                    tracer.finish(outcome="spoof_rejected", failed=True)
+                if metrics is not None:
+                    metrics.inc("hardening.spoofs_rejected")
                 last_error = ResolutionError(
                     f"spoofed response from {dst} (id/question mismatch)"
                 )
                 continue
             self.health.record_success(dst, self._clock.now - sent_at)
+            if tracer is not None:
+                tracer.finish(rcode=response.rcode.name)
             return response
         raise ResolutionError(
             f"query for {qname.to_text()}/{qtype.name} to {dst} failed "
@@ -316,6 +361,8 @@ class IterativeEngine:
             budget -= attempts
             if index > 0:
                 self.failovers += 1
+                if self._metrics is not None:
+                    self._metrics.inc("engine.failovers")
             try:
                 response = self.send_query(address, qname, qtype, attempts)
             except BudgetExceeded:
@@ -386,7 +433,34 @@ class IterativeEngine:
     # ------------------------------------------------------------------
 
     def resolve(self, qname: Name, qtype: RRType, _depth: int = 0) -> ResolutionOutcome:
-        """Resolve (qname, qtype), using caches and the network."""
+        """Resolve (qname, qtype), using caches and the network.
+
+        When a tracer is attached, every call opens a ``resolve`` span
+        (nesting for NS-address sub-resolutions) finished with the
+        outcome's rcode, zone, and cache provenance.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return self._resolve_impl(qname, qtype, _depth)
+        tracer.begin(
+            "resolve", qname=qname.to_text(), qtype=qtype.name, depth=_depth
+        )
+        try:
+            outcome = self._resolve_impl(qname, qtype, _depth)
+        except ResolutionError as error:
+            tracer.finish(error=type(error).__name__, failed=True)
+            raise
+        attrs = {"rcode": outcome.rcode.name, "zone": outcome.zone.to_text()}
+        if outcome.from_cache:
+            attrs["cached"] = True
+        if outcome.stale:
+            attrs["stale"] = True
+        tracer.finish(**attrs)
+        return outcome
+
+    def _resolve_impl(
+        self, qname: Name, qtype: RRType, _depth: int
+    ) -> ResolutionOutcome:
         if _depth > _MAX_RECURSION:
             raise ResolutionError(f"recursion too deep resolving {qname.to_text()}")
         if _depth == 0 and self._session_depth == 0:
@@ -430,12 +504,14 @@ class IterativeEngine:
 
     def _lookup_cached(self, qname: Name, qtype: RRType) -> Optional[ResolutionOutcome]:
         if self._negcache.is_nxdomain(qname):
+            self._note_cache_hit(qname, "negcache", "NXDOMAIN")
             return ResolutionOutcome(
                 qname=qname, qtype=qtype, rcode=RCode.NXDOMAIN, answer=(),
                 rrsig=None, zone=self._zone_guess(qname),
                 chain=self.known_cuts(qname), from_cache=True,
             )
         if self._negcache.is_nodata(qname, qtype):
+            self._note_cache_hit(qname, "negcache", "NODATA")
             return ResolutionOutcome(
                 qname=qname, qtype=qtype, rcode=RCode.NOERROR, answer=(),
                 rrsig=None, zone=self._zone_guess(qname),
@@ -443,6 +519,7 @@ class IterativeEngine:
             )
         entry = self._cache.get(qname, qtype)
         if entry is not None:
+            self._note_cache_hit(qname, "rrset", "NOERROR")
             return ResolutionOutcome(
                 qname=qname, qtype=qtype, rcode=RCode.NOERROR,
                 answer=(entry.rrset,), rrsig=entry.rrsig,
@@ -450,6 +527,28 @@ class IterativeEngine:
                 from_cache=True,
             )
         return None
+
+    def _note_cache_hit(self, qname: Name, source: str, result: str) -> None:
+        """Telemetry for an answer served without touching the wire."""
+        if self._tracer is not None:
+            self._tracer.event(
+                "cache_hit", qname=qname.to_text(), source=source,
+                result=result,
+            )
+        if self._metrics is not None:
+            self._metrics.inc(f"engine.cache_hits.{source}")
+
+    def _note_scrubbed(self, count: int, bailiwick: Name) -> None:
+        """Telemetry for bailiwick-scrubbed records (no-op at zero)."""
+        if count <= 0:
+            return
+        if self._tracer is not None:
+            self._tracer.event(
+                "hardening", kind="records_scrubbed", count=count,
+                bailiwick=bailiwick.to_text(),
+            )
+        if self._metrics is not None:
+            self._metrics.inc("hardening.records_scrubbed", count)
 
     def _stale_outcome(
         self, qname: Name, qtype: RRType
@@ -464,6 +563,9 @@ class IterativeEngine:
         if entry is None:
             return None
         self.stale_served += 1
+        self._note_cache_hit(qname, "stale", "NOERROR")
+        if self._metrics is not None:
+            self._metrics.inc("engine.stale_served")
         return ResolutionOutcome(
             qname=qname,
             qtype=qtype,
@@ -564,6 +666,7 @@ class IterativeEngine:
         rrsig: Optional[RRset] = None
         kept, scrubbed = self.hardening.scrub_rrsets(response.answer, cut)
         self.counters.records_scrubbed += scrubbed
+        self._note_scrubbed(scrubbed, cut)
         for rrset in kept:
             if rrset.rtype is RRType.RRSIG:
                 continue
@@ -601,6 +704,7 @@ class IterativeEngine:
         ttl = _FALLBACK_NEGATIVE_TTL
         kept, scrubbed = self.hardening.scrub_rrsets(response.authority, cut)
         self.counters.records_scrubbed += scrubbed
+        self._note_scrubbed(scrubbed, cut)
         for rrset in kept:
             if rrset.rtype is RRType.SOA:
                 soa = rrset
@@ -647,6 +751,13 @@ class IterativeEngine:
         # legitimate iteration.
         if not self.hardening.referral_allowed(child, cut, qname):
             self.counters.referrals_rejected += 1
+            if self._tracer is not None:
+                self._tracer.event(
+                    "hardening", kind="referral_rejected",
+                    cut=cut.to_text(), child=child.to_text(),
+                )
+            if self._metrics is not None:
+                self._metrics.inc("hardening.referrals_rejected")
             raise ResolutionError(
                 f"rejected referral from {cut.to_text()} to "
                 f"{child.to_text()} (not a descent toward {qname.to_text()})"
@@ -661,6 +772,13 @@ class IterativeEngine:
             # the parent has no authority over.
             if not self.hardening.glue_in_bailiwick(rrset, child):
                 self.counters.glue_rejected += 1
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "hardening", kind="glue_rejected",
+                        owner=rrset.name.to_text(), child=child.to_text(),
+                    )
+                if self._metrics is not None:
+                    self._metrics.inc("hardening.glue_rejected")
                 continue
             self._cache.put(rrset)
             if rrset.rtype is RRType.A:
@@ -673,6 +791,7 @@ class IterativeEngine:
                 if self.hardening.enabled and self.hardening.bailiwick_scrub \
                         and rrset.name != child:
                     self.counters.records_scrubbed += 1
+                    self._note_scrubbed(1, child)
                     continue
                 self._cache.put(rrset, rrsig=self._find_rrsig(response.authority, rrset))
         if not glue_addresses:
@@ -698,6 +817,13 @@ class IterativeEngine:
             host = rdata.target  # type: ignore[attr-defined]
             if not self._budget.charge_ns_resolution():
                 self.counters.ns_budget_exhausted += 1
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "hardening", kind="ns_budget_exhausted",
+                        host=host.to_text(),
+                    )
+                if self._metrics is not None:
+                    self._metrics.inc("hardening.ns_budget_exhausted")
                 break
             try:
                 outcome = self.resolve(host, RRType.A, _depth=depth + 1)
@@ -760,6 +886,7 @@ class IterativeEngine:
         # server volunteered for other owners before caching.
         kept, scrubbed = self.hardening.scrub_rrsets(response.answer, qname)
         self.counters.records_scrubbed += scrubbed
+        self._note_scrubbed(scrubbed, qname)
         for rrset in kept:
             if rrset.rtype is RRType.RRSIG:
                 continue

@@ -67,11 +67,18 @@ class DlvLookaside:
         outage_policy: DlvOutagePolicy = DlvOutagePolicy.INSECURE_FALLBACK,
         fail_holddown: float = 0.0,
         disable_threshold: int = 5,
+        tracer=None,
+        metrics=None,
     ):
         self._engine = engine
         self._validator = validator
         self._negcache = negcache
         self._clock = engine.clock
+        #: Optional telemetry sinks (duck-typed, ``None``-guarded).
+        #: The tracer is where the Case-1/Case-2 classification lands:
+        #: every probe span carries a ``leak`` tag.
+        self._tracer = tracer
+        self._metrics = metrics
         self.registry_origin = registry_origin
         self.hashed = hashed
         self.aggressive_caching = aggressive_caching
@@ -123,10 +130,47 @@ class DlvLookaside:
         a *registry failure* — it arms the fail hold-down, counts toward
         the auto-disable threshold, and flags the result so the resolver
         can apply its :class:`DlvOutagePolicy`.
+
+        When a tracer is attached, the search is a ``lookaside`` span
+        with one ``dlv_probe`` child per candidate, each tagged with
+        the paper's classification — ``leak="case-1"`` (the name is
+        deposited: an involved party asking about itself) or
+        ``leak="case-2"`` (not deposited: a query the registry had no
+        business seeing).  The first Case-2 probe also tags the parent
+        span (``leak`` / ``leak_point``): *this* is where the privacy
+        leak happened.
         """
+        tracer = self._tracer
+        if tracer is None:
+            return self._search(zone)
+        tracer.begin("lookaside", zone=zone.to_text())
+        try:
+            result = self._search(zone)
+        except BaseException:
+            tracer.finish(failed=True)
+            raise
+        attrs = {
+            "status": result.status.value,
+            "sent": result.queries_sent,
+            "suppressed": result.queries_suppressed,
+        }
+        if result.skipped is not None:
+            attrs["skipped"] = result.skipped
+        if result.registry_unreachable:
+            attrs["registry_unreachable"] = True
+        if result.anchored_at is not None:
+            attrs["anchored_at"] = result.anchored_at.to_text()
+        tracer.finish(**attrs)
+        return result
+
+    def _search(self, zone: Name) -> LookasideResult:
+        tracer = self._tracer
+        metrics = self._metrics
         skipped = self._skip_reason()
         if skipped is not None:
             self.searches_skipped += 1
+            if metrics is not None:
+                metrics.inc("lookaside.searches_skipped")
             return LookasideResult(
                 status=ValidationStatus.INSECURE,
                 queries_sent=0,
@@ -134,9 +178,12 @@ class DlvLookaside:
                 registry_unreachable=skipped == "holddown",
                 skipped=skipped,
             )
+        if metrics is not None:
+            metrics.inc("lookaside.searches")
         sent = 0
         suppressed = 0
         unreachable = False
+        leak_tagged = False
         registry_security = self._validator.zone_security(self.registry_origin)
         registry_trusted = registry_security.status is ValidationStatus.SECURE
         result_status = ValidationStatus.INSECURE
@@ -145,37 +192,92 @@ class DlvLookaside:
             dlv_name = self.dlv_query_name(candidate)
             if self._suppressed(dlv_name):
                 suppressed += 1
+                if tracer is not None:
+                    tracer.event(
+                        "dlv_probe", candidate=candidate.to_text(),
+                        dlv_name=dlv_name.to_text(), outcome="suppressed",
+                        leak="none",
+                    )
+                if metrics is not None:
+                    metrics.inc("lookaside.probes_suppressed")
                 continue
+            if tracer is not None:
+                tracer.begin(
+                    "dlv_probe", candidate=candidate.to_text(),
+                    dlv_name=dlv_name.to_text(),
+                )
             try:
                 outcome = self._engine.resolve(dlv_name, RRType.DLV)
             except ResolutionError:
                 unreachable = True
                 self._note_registry_failure()
+                if tracer is not None:
+                    tracer.finish(outcome="unreachable", leak="none",
+                                  failed=True)
+                if metrics is not None:
+                    metrics.inc("lookaside.registry_unreachable")
                 break
             self._note_registry_contact()
             if not outcome.from_cache:
                 sent += 1
+                if metrics is not None:
+                    metrics.inc("lookaside.probes_sent")
             if outcome.is_positive():
+                # A positive answer means the candidate *is* deposited:
+                # Case-1 traffic from an involved party (hashed probes
+                # expose only a digest and classify separately).
+                leak = "hashed" if self.hashed else "case-1"
+                if metrics is not None and not self.hashed:
+                    metrics.inc("lookaside.case1_probes")
                 dlv_rrset = self._extract_dlv(outcome.answer, dlv_name)
                 if dlv_rrset is None:
+                    if tracer is not None:
+                        tracer.finish(outcome="malformed", leak=leak)
                     continue
                 if not registry_trusted:
                     # The registry's own chain does not validate (no or
                     # stale DLV anchor): its records must not anchor
                     # anything.  The query already leaked, though.
+                    if tracer is not None:
+                        tracer.finish(outcome="registry_untrusted", leak=leak)
                     break
                 if not self._validator.verify_with_zone_keys(
                     dlv_rrset, outcome.rrsig, self.registry_origin
                 ):
                     result_status = ValidationStatus.BOGUS
+                    if tracer is not None:
+                        tracer.finish(outcome="bogus_dlv", leak=leak)
                     break
                 security = self._anchor_chain(candidate, dlv_rrset, zone)
                 result_status = security.status
                 anchored_at = candidate
+                if tracer is not None:
+                    tracer.finish(
+                        outcome="anchored", leak=leak,
+                        anchored_status=security.status.value,
+                    )
                 break
-            # Negative: remember the proof, then keep stripping labels.
+            # Negative: the candidate is NOT deposited — the probe told
+            # the registry about a domain it has no relationship with.
+            # This is the paper's Case-2, the privacy leak itself.
+            leak = "hashed" if self.hashed else "case-2"
+            if metrics is not None and not self.hashed:
+                metrics.inc("lookaside.case2_probes")
             if registry_trusted:
                 self._cache_denial(outcome)
+            if tracer is not None:
+                probe_attrs = {"outcome": outcome.rcode.name, "leak": leak}
+                if outcome.from_cache:
+                    probe_attrs["cached"] = True
+                tracer.finish(**probe_attrs)
+                if leak == "case-2" and not leak_tagged:
+                    # Tag the enclosing lookaside span as the leak
+                    # point, naming the deepest (most sensitive) probe.
+                    leak_tagged = True
+                    tracer.annotate(
+                        leak="case-2", leak_point=dlv_name.to_text()
+                    )
+            # Keep stripping labels toward the TLD.
         self.total_queries_sent += sent
         self.total_queries_suppressed += suppressed
         return LookasideResult(

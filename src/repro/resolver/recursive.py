@@ -70,16 +70,27 @@ class RecursiveResolver:
         root_hints: List[str],
         anchors: Optional[TrustAnchorStore] = None,
         registry_origin: Name = DEFAULT_REGISTRY_ORIGIN,
+        tracer=None,
+        metrics=None,
     ):
         self.network = network
         self.address = address
         self.config = config
         self.registry_origin = registry_origin
+        #: Optional telemetry sinks, duck-typed against
+        #: :class:`~repro.core.tracing.Tracer` and
+        #: :class:`~repro.core.metrics.MetricsRegistry` and threaded
+        #: down into the engine, validator, look-aside searcher, and
+        #: cache.  ``None`` (the default) keeps every layer on the
+        #: untraced fast path.
+        self.tracer = tracer
+        self.metrics = metrics
         clock = network.clock
         self.cache = RRsetCache(
             clock,
             serve_stale=config.serve_stale,
             stale_window=config.serve_stale_window,
+            metrics=metrics,
         )
         self.negcache = NegativeCache(clock)
         self.anchors = anchors or TrustAnchorStore()
@@ -98,6 +109,8 @@ class RecursiveResolver:
             max_referrals=config.max_referrals,
             max_cname_chain=config.max_cname_chain,
             max_retries=config.max_retries,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.validator = Validator(
             engine=self.engine,
@@ -105,6 +118,8 @@ class RecursiveResolver:
             cache=self.cache,
             negcache=self.negcache,
             clock=clock,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.lookaside = DlvLookaside(
             engine=self.engine,
@@ -116,6 +131,8 @@ class RecursiveResolver:
             outage_policy=config.dlv_outage_policy,
             fail_holddown=config.dlv_fail_holddown,
             disable_threshold=config.dlv_disable_threshold,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.resolutions = 0
 
@@ -125,11 +142,48 @@ class RecursiveResolver:
 
     def resolve(self, qname: Name, qtype: RRType) -> ResolutionResult:
         self.resolutions += 1
+        if self.metrics is not None:
+            self.metrics.inc("resolver.resolutions")
+        tracer = self.tracer
         # One work budget covers everything this stub query triggers —
         # iterative walk, validation chains, DLV searches — so a
         # malicious upstream cannot multiply cost through sub-resolutions.
-        with self.engine.resolution_session():
-            return self._resolve_inner(qname, qtype)
+        if tracer is None:
+            with self.engine.resolution_session():
+                result = self._resolve_inner(qname, qtype)
+            self._note_result(result)
+            return result
+        # Traced: the stub query becomes one root span, under which the
+        # engine, validator, look-aside, and network nest their spans.
+        tracer.begin("resolution", qname=qname.to_text(), qtype=qtype.name)
+        try:
+            with self.engine.resolution_session():
+                result = self._resolve_inner(qname, qtype)
+        except BaseException:
+            tracer.finish(failed=True)
+            raise
+        attrs = {"rcode": result.rcode.name}
+        if result.status is not None:
+            attrs["status"] = result.status.value
+        if result.authenticated:
+            attrs["authenticated"] = True
+        if result.lookaside_vetoed:
+            attrs["lookaside_vetoed"] = True
+        tracer.finish(**attrs)
+        self._note_result(result)
+        return result
+
+    def _note_result(self, result: ResolutionResult) -> None:
+        """Aggregate metrics for one concluded stub resolution."""
+        if self.metrics is None:
+            return
+        self.metrics.inc(f"resolver.rcode.{result.rcode.name}")
+        if result.status is not None:
+            self.metrics.inc(f"resolver.status.{result.status.value}")
+        if result.authenticated:
+            self.metrics.inc("resolver.authenticated")
+        if result.lookaside_vetoed:
+            self.metrics.inc("resolver.lookaside_vetoed")
 
     def _resolve_inner(self, qname: Name, qtype: RRType) -> ResolutionResult:
         try:

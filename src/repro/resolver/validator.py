@@ -66,12 +66,18 @@ class Validator:
         cache: RRsetCache,
         negcache: NegativeCache,
         clock: SimClock,
+        tracer=None,
+        metrics=None,
     ):
         self._engine = engine
         self._anchors = anchors
         self._cache = cache
         self._negcache = negcache
         self._clock = clock
+        #: Optional telemetry sinks, duck-typed and ``None``-guarded —
+        #: see :mod:`repro.core.tracing` / :mod:`repro.core.metrics`.
+        self._tracer = tracer
+        self._metrics = metrics
         self._zone_security: Dict[Name, ZoneSecurity] = {}
         self.signature_checks = 0
         self.signature_failures = 0
@@ -84,7 +90,29 @@ class Validator:
     # ------------------------------------------------------------------
 
     def validate_outcome(self, outcome: ResolutionOutcome) -> ValidationStatus:
-        """Classify a resolution outcome."""
+        """Classify a resolution outcome.
+
+        Traced as a ``validate`` span whose children are the DS/DNSKEY
+        fetches and ``signature_verify`` events the chain walk needed.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return self._validate_outcome_impl(outcome)
+        tracer.begin(
+            "validate", qname=outcome.qname.to_text(),
+            zone=outcome.zone.to_text(),
+        )
+        try:
+            status = self._validate_outcome_impl(outcome)
+        except BaseException:
+            tracer.finish(failed=True)
+            raise
+        tracer.finish(status=status.value)
+        return status
+
+    def _validate_outcome_impl(
+        self, outcome: ResolutionOutcome
+    ) -> ValidationStatus:
         security = self.zone_security(outcome.zone)
         if security.status is not ValidationStatus.SECURE:
             return security.status
@@ -111,7 +139,21 @@ class Validator:
         cached = self._zone_security.get(zone)
         if cached is not None and cached.fresh(self._clock.now):
             return cached
-        security = self._compute_zone_security(zone)
+        tracer = self._tracer
+        if tracer is not None:
+            # Span only on computation: memoised reads cost nothing and
+            # would drown real chain walks in noise.
+            tracer.begin("zone_security", zone=zone.to_text())
+            try:
+                security = self._compute_zone_security(zone)
+            except BaseException:
+                tracer.finish(failed=True)
+                raise
+            tracer.finish(status=security.status.value)
+        else:
+            security = self._compute_zone_security(zone)
+        if self._metrics is not None:
+            self._metrics.inc("validator.chain_walks")
         self._zone_security[zone] = security
         return security
 
@@ -311,6 +353,8 @@ class Validator:
         clock (RFC 4035 section 5.3.1) before the cryptographic check.
         """
         self.signature_checks += 1
+        if self._metrics is not None:
+            self._metrics.inc("validator.signature_checks")
         now = self._clock.now
         for rrsig in rrsig_rrset.rdatas:
             if required_tag is not None and rrsig.key_tag != required_tag:  # type: ignore[attr-defined]
@@ -326,12 +370,33 @@ class Validator:
                 # pairs count as failed instead of being computed.
                 if not self._engine.charge_signature():
                     self.signature_failures += 1
+                    self._note_signature(rrset, ok=False, reason="budget")
                     return False
                 self.crypto_verify_calls += 1
+                if self._metrics is not None:
+                    self._metrics.inc("validator.crypto_verify_calls")
                 if verify_rrset_signature(rrset, rrsig, dnskey):  # type: ignore[arg-type]
+                    self._note_signature(rrset, ok=True)
                     return True
         self.signature_failures += 1
+        if self._metrics is not None:
+            self._metrics.inc("validator.signature_failures")
+        self._note_signature(rrset, ok=False, reason="no_valid_signature")
         return False
+
+    def _note_signature(
+        self, rrset: RRset, ok: bool, reason: Optional[str] = None
+    ) -> None:
+        """One ``signature_verify`` trace event per signature check."""
+        if self._tracer is None:
+            return
+        attrs = {
+            "rrset": f"{rrset.name.to_text()}/{rrset.rtype.name}",
+            "ok": ok,
+        }
+        if reason is not None:
+            attrs["reason"] = reason
+        self._tracer.event("signature_verify", **attrs)
 
     def verify_with_zone_keys(
         self, rrset: RRset, rrsig_rrset: Optional[RRset], zone: Name

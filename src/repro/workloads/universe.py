@@ -155,6 +155,11 @@ class Universe:
         self._apex_address: Dict[Name, str] = {}
         self._resolver_count = 0
         self._stub_count = 0
+        #: Telemetry sinks handed to every resolver built by
+        #: :meth:`make_resolver`; ``None`` until
+        #: :meth:`attach_telemetry` installs real ones.
+        self.tracer = None
+        self.metrics = None
 
         self._build_registry()
         self._build_hosting()
@@ -449,6 +454,21 @@ class Universe:
             store.add(self.registry_trust_anchor())
         return store
 
+    def attach_telemetry(self, tracer=None, metrics=None) -> None:
+        """Install telemetry sinks on the world and future resolvers.
+
+        The same tracer is shared between the network and every
+        resolver built afterwards, so fault events recorded by the
+        transport nest under the resolver's exchange spans; the same
+        metrics registry likewise aggregates transport, fault, and
+        resolver counters in one snapshot.  Pass ``None`` to detach.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
+        self.network.tracer = tracer
+        self.network.metrics = metrics
+        self.network.faults.metrics = metrics
+
     def make_resolver(
         self, config: ResolverConfig, address: Optional[str] = None
     ) -> RecursiveResolver:
@@ -461,6 +481,8 @@ class Universe:
             root_hints=[self.root_address],
             anchors=self.anchors_for(config),
             registry_origin=self.registry_origin,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.network.register(address, resolver)
         # Stub-to-resolver hops are on-host in the paper's setup.

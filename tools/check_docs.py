@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Docs CI: execute fenced ``python`` blocks and check markdown links.
+
+Two checks keep the documentation honest:
+
+1. **Snippet execution** — every fenced ``python`` block in the
+   documented files runs for real.  Blocks within one file share a
+   namespace (tutorials build state across sections), and each file
+   starts fresh.  A failing block reports its file, fence line, and
+   the exception.
+
+2. **Link check** — every relative markdown link target in the
+   repository's ``*.md`` files must exist on disk (anchors stripped;
+   ``http(s)``/``mailto`` targets are not fetched).
+
+Run:  python tools/check_docs.py            # both checks
+      python tools/check_docs.py --links-only
+      python tools/check_docs.py --snippets-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Files whose ``python`` blocks must execute.
+SNIPPET_FILES = [
+    "README.md",
+    "docs/TUTORIAL.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+    "EXPERIMENTS.md",
+]
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+#: Inline markdown links; images share the syntax via the leading ``!``.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_python_blocks(path: Path):
+    """Yield ``(start_line, source)`` for each fenced python block."""
+    blocks = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    language = ""
+    start = 0
+    buffer = []
+    for number, line in enumerate(lines, start=1):
+        fence = FENCE_RE.match(line)
+        if fence and not in_block:
+            in_block = True
+            language = fence.group(1).lower()
+            start = number + 1
+            buffer = []
+        elif line.strip() == "```" and in_block:
+            in_block = False
+            if language == "python" and buffer:
+                blocks.append((start, "\n".join(buffer)))
+        elif in_block:
+            buffer.append(line)
+    return blocks
+
+
+def run_snippets(files) -> int:
+    failures = 0
+    for relative in files:
+        path = REPO_ROOT / relative
+        if not path.exists():
+            print(f"FAIL {relative}: file missing")
+            failures += 1
+            continue
+        blocks = extract_python_blocks(path)
+        if not blocks:
+            print(f"  ok {relative}: no python blocks")
+            continue
+        namespace = {"__name__": "__docs__", "__file__": str(path)}
+        for start, source in blocks:
+            began = time.perf_counter()
+            try:
+                code = compile(source, f"{relative}:{start}", "exec")
+                exec(code, namespace)
+            except Exception:
+                failures += 1
+                print(f"FAIL {relative}:{start}")
+                traceback.print_exc()
+                break
+            else:
+                elapsed = time.perf_counter() - began
+                print(f"  ok {relative}:{start} ({elapsed:.1f}s)")
+    return failures
+
+
+def check_links() -> int:
+    failures = 0
+    markdown_files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+    for path in markdown_files:
+        text = path.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            resolved = (path.parent / bare).resolve()
+            if not resolved.exists():
+                failures += 1
+                relative = path.relative_to(REPO_ROOT)
+                print(f"FAIL {relative}: broken link -> {target}")
+    if failures == 0:
+        print(f"  ok links: {len(markdown_files)} markdown files checked")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links-only", action="store_true")
+    parser.add_argument("--snippets-only", action="store_true")
+    parser.add_argument(
+        "--files", nargs="*", default=SNIPPET_FILES,
+        help="markdown files whose python blocks to execute",
+    )
+    args = parser.parse_args(argv)
+    failures = 0
+    if not args.links_only:
+        failures += run_snippets(args.files)
+    if not args.snippets_only:
+        failures += check_links()
+    if failures:
+        print(f"{failures} documentation check(s) failed")
+        return 1
+    print("all documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
