@@ -9,6 +9,7 @@ from .figures import (
     fig11_remedy_comparison,
     fig12_ditl,
     leakage_sweep,
+    sharded_leakage_sweep,
 )
 from .render import format_series, format_table, percent
 from .report import ReportScale, build_report
@@ -45,6 +46,7 @@ __all__ = [
     "format_series",
     "format_table",
     "leakage_sweep",
+    "sharded_leakage_sweep",
     "model_population",
     "per_tld_leakage",
     "percent",

@@ -48,10 +48,35 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis import fig8_dlv_queries, fig9_leak_proportion, leakage_sweep
+    from .analysis import (
+        fig8_dlv_queries,
+        fig9_leak_proportion,
+        leakage_sweep,
+        sharded_leakage_sweep,
+    )
 
     sizes = [int(part) for part in args.sizes.split(",")]
-    points = leakage_sweep(sizes=sizes, filler_count=args.filler)
+    if args.parallelism > 1 or args.shards is not None:
+        shards = args.shards if args.shards is not None else args.parallelism
+        executor = None
+        if args.executor == "serial":
+            from .core import SerialExecutor
+
+            executor = SerialExecutor()
+        points = sharded_leakage_sweep(
+            sizes=sizes,
+            filler_count=args.filler,
+            shards=shards,
+            parallelism=args.parallelism,
+            executor=executor,
+        )
+        print(
+            f"sharded sweep: {shards} shard(s), "
+            f"{args.parallelism} worker(s), executor={args.executor}"
+        )
+        print()
+    else:
+        points = leakage_sweep(sizes=sizes, filler_count=args.filler)
     print(fig8_dlv_queries(points)[1])
     print()
     print(fig9_leak_proportion(points)[1])
@@ -238,6 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser("sweep", help="Fig 8/9 leakage sweep")
     sweep.add_argument("--sizes", default="100,1000")
     sweep.add_argument("--filler", type=int, default=20000)
+    sweep.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker processes for the sharded runner (default 1: the "
+        "incremental serial sweep)",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        help="shard count (default: --parallelism); pin it while varying "
+        "--parallelism for byte-identical output across worker counts",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("process", "serial"),
+        default="process",
+        help="sharded execution backend: fork worker pool, or the "
+        "in-process fallback for debugging",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     tables = subparsers.add_parser("tables", help="regenerate Tables 1-5")

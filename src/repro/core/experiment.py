@@ -42,8 +42,12 @@ class ExperimentResult:
     rcode_counts: Dict[str, int]
     #: Number of answers carrying AD (validated secure).
     authenticated_answers: int
-    #: Read-only view over this run's captured packets.
-    capture: "_CaptureSlice" = dataclasses.field(default=None, repr=False)  # type: ignore[assignment]
+    #: Read-only view over this run's captured packets (``None`` only
+    #: for synthetic results, e.g. the merge identity in
+    #: :func:`~repro.core.parallel.empty_result`).
+    capture: Optional["_CaptureSlice"] = dataclasses.field(
+        default=None, repr=False
+    )
     #: Root spans drained from the experiment's tracer, one per stub
     #: query (empty when the run was untraced).
     traces: Sequence[Span] = dataclasses.field(default=(), repr=False)
@@ -77,9 +81,17 @@ class LeakageExperiment:
         dnssec_ok_stub: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        universe_factory: Optional[Callable[[int], Universe]] = None,
+        seed: Optional[int] = None,
     ):
         self.universe = universe
         self.config = config
+        #: Rebuilds a fresh universe from a sub-seed — required only for
+        #: sharded runs (``run(..., parallelism=N)``), where every shard
+        #: gets its own world (see :mod:`repro.core.parallel`).
+        self.universe_factory = universe_factory
+        #: Base seed for shard sub-seed derivation.
+        self.seed = seed if seed is not None else universe.params.seed
         if tracer is not None or metrics is not None:
             universe.attach_telemetry(tracer=tracer, metrics=metrics)
         #: Telemetry sinks this run drains/snapshots — whatever is
@@ -96,9 +108,46 @@ class LeakageExperiment:
         self._ptr_fraction = ptr_fraction
         self._dnssec_ok_stub = dnssec_ok_stub
 
-    def run(self, names: Sequence[Name]) -> ExperimentResult:
+    def run(
+        self,
+        names: Sequence[Name],
+        parallelism: int = 1,
+        shards: Optional[int] = None,
+        executor=None,
+    ) -> ExperimentResult:
         """Query every name (type A, plus a deterministic PTR fraction),
-        then classify the capture."""
+        then classify the capture.
+
+        With ``parallelism > 1`` (or an explicit ``shards``/
+        ``executor``) the workload is split into deterministic shards
+        and fanned out by :func:`~repro.core.parallel.run_sharded_experiment`;
+        this requires a ``universe_factory`` (each shard runs in a
+        fresh universe built from a derived sub-seed).  Pin ``shards``
+        while varying ``parallelism`` to get byte-identical merged
+        output across worker counts — the shard plan, not the pool,
+        defines the result.
+        """
+        if parallelism > 1 or shards is not None or executor is not None:
+            if self.universe_factory is None:
+                raise ValueError(
+                    "sharded run requires a universe_factory: construct "
+                    "LeakageExperiment(..., universe_factory=...) or use "
+                    "repro.core.standard_experiment()"
+                )
+            from .parallel import run_sharded_experiment
+
+            return run_sharded_experiment(
+                self.universe_factory,
+                self.config,
+                names,
+                seed=self.seed,
+                shards=shards,
+                parallelism=parallelism,
+                executor=executor,
+                ptr_fraction=self._ptr_fraction,
+                dnssec_ok_stub=self._dnssec_ok_stub,
+                trace=self.tracer is not None,
+            )
         capture = self.universe.capture
         start_index = len(capture)
         start_time = self.universe.clock.now
@@ -281,11 +330,12 @@ def run_chaos_cell(
     servfail = result.rcode_counts.get(RCode.SERVFAIL.name, 0)
     noerror = result.rcode_counts.get(RCode.NOERROR.name, 0)
     total = max(1, len(names))
-    delivered = sum(
-        1
-        for record in result.capture.queries_to(universe.registry_address)
-        if not record.dropped
+    registry_queries = (
+        result.capture.queries_to(universe.registry_address)
+        if result.capture is not None
+        else ()
     )
+    delivered = sum(1 for record in registry_queries if not record.dropped)
     resolver = experiment.resolver
     return ChaosReport(
         scenario=scenario_label,
@@ -310,29 +360,42 @@ def run_chaos_matrix(
     scenarios: Mapping[str, Optional[ChaosScenario]],
     configs: Mapping[str, ResolverConfig],
     trace: bool = False,
+    parallelism: int = 1,
+    executor=None,
 ) -> List[ChaosReport]:
     """Sweep fault scenarios × resolver policies.
 
     Every cell gets a *fresh* universe from ``universe_factory`` so the
     cells are independent and each one's capture is reproducible: same
     factory, same names, same scenario ⇒ byte-identical packet trace.
+    That independence is also what makes the matrix embarrassingly
+    parallel: with ``parallelism > 1`` the cells fan out over a worker
+    pool (see :mod:`repro.core.parallel`) and the returned list — in
+    the same scenario-major order as the serial sweep — is
+    byte-identical to the ``parallelism=1`` run.
     """
-    reports: List[ChaosReport] = []
-    for scenario_label, scenario in scenarios.items():
-        for policy_label, config in configs.items():
-            universe = universe_factory()
-            reports.append(
-                run_chaos_cell(
-                    universe,
-                    config,
-                    names,
-                    scenario=scenario,
-                    scenario_label=scenario_label,
-                    policy_label=policy_label,
-                    trace=trace,
-                )
+    from .parallel import run_tasks
+
+    def make_cell(scenario_label, scenario, policy_label, config):
+        def cell() -> ChaosReport:
+            return run_chaos_cell(
+                universe_factory(),
+                config,
+                names,
+                scenario=scenario,
+                scenario_label=scenario_label,
+                policy_label=policy_label,
+                trace=trace,
             )
-    return reports
+
+        return cell
+
+    tasks = [
+        make_cell(scenario_label, scenario, policy_label, config)
+        for scenario_label, scenario in scenarios.items()
+        for policy_label, config in configs.items()
+    ]
+    return run_tasks(tasks, parallelism=parallelism, executor=executor)
 
 
 # ----------------------------------------------------------------------
@@ -387,6 +450,8 @@ class AdversaryReport:
 
 
 def _upstream_sends(result: ExperimentResult, resolver: RecursiveResolver) -> int:
+    if result.capture is None:
+        return 0
     return sum(
         1 for record in result.capture.queries() if record.src == resolver.address
     )
@@ -448,6 +513,8 @@ def run_adversary_matrix(
     adversaries: Mapping[str, Optional[AdversaryScenario]],
     configs: Mapping[str, ResolverConfig],
     trace: bool = False,
+    parallelism: int = 1,
+    executor=None,
 ) -> List[AdversaryReport]:
     """Sweep adversary personas × hardening policies.
 
@@ -457,34 +524,63 @@ def run_adversary_matrix(
     policy's adversary cells.  Fresh universe per cell, as in
     :func:`run_chaos_matrix`, so cells are independent and
     reproducible.
+
+    With ``parallelism > 1`` the sweep runs in two waves — all policy
+    baselines, then all adversary cells (which need the baseline send
+    counts) — and the reports are reassembled into the serial order
+    (baseline, then adversaries, per policy).  Cell independence makes
+    the parallel report list byte-identical to the serial one.
     """
-    reports: List[AdversaryReport] = []
-    for policy_label, config in configs.items():
-        baseline = run_adversary_cell(
-            universe_factory(),
-            config,
-            names,
-            adversary=None,
-            adversary_label="none",
-            policy_label=policy_label,
-            trace=trace,
-        )
-        reports.append(baseline)
-        for adversary_label, scenario in adversaries.items():
-            if scenario is None:
-                continue
-            reports.append(
-                run_adversary_cell(
-                    universe_factory(),
-                    config,
-                    names,
-                    adversary=scenario,
-                    adversary_label=adversary_label,
-                    policy_label=policy_label,
-                    baseline_sends=baseline.upstream_sends,
-                    trace=trace,
-                )
+    from .parallel import run_tasks
+
+    policies = list(configs.items())
+    active_adversaries = [
+        (label, scenario)
+        for label, scenario in adversaries.items()
+        if scenario is not None
+    ]
+
+    def make_cell(config, policy_label, adversary_label="none",
+                  scenario=None, baseline_sends=None):
+        def cell() -> AdversaryReport:
+            return run_adversary_cell(
+                universe_factory(),
+                config,
+                names,
+                adversary=scenario,
+                adversary_label=adversary_label,
+                policy_label=policy_label,
+                baseline_sends=baseline_sends,
+                trace=trace,
             )
+
+        return cell
+
+    baselines = run_tasks(
+        [make_cell(config, policy_label) for policy_label, config in policies],
+        parallelism=parallelism,
+        executor=executor,
+    )
+    adversary_tasks = [
+        make_cell(
+            config,
+            policy_label,
+            adversary_label=adversary_label,
+            scenario=scenario,
+            baseline_sends=baselines[policy_index].upstream_sends,
+        )
+        for policy_index, (policy_label, config) in enumerate(policies)
+        for adversary_label, scenario in active_adversaries
+    ]
+    adversary_reports = run_tasks(
+        adversary_tasks, parallelism=parallelism, executor=executor
+    )
+    reports: List[AdversaryReport] = []
+    per_policy = len(active_adversaries)
+    for policy_index, baseline in enumerate(baselines):
+        reports.append(baseline)
+        start = policy_index * per_policy
+        reports.extend(adversary_reports[start:start + per_policy])
     return reports
 
 

@@ -1,0 +1,540 @@
+"""Sharded parallel experiment runner with a deterministic merge.
+
+The paper's headline numbers come from sweeping whole resolver
+environments over large domain samples (Section 4, Tables 1-5).  Every
+run in this repository is a deterministic simulation, which makes the
+sweeps embarrassingly parallel — *if* the parallel result can be trusted
+to equal the serial one bit for bit.  This module provides exactly that
+contract:
+
+* :func:`plan_shards` splits a name workload into contiguous,
+  deterministically seeded shards (sub-seeds derive from the base seed
+  via SHA-256, never from Python's hash or process state);
+* each shard runs in a **fresh universe** built from its sub-seed, so
+  shards share no caches, no clock, and no capture — a shard's result
+  is a pure function of ``(factory, config, shard names, sub-seed)``;
+* :class:`SerialExecutor` and :class:`MultiprocessingExecutor` run the
+  same shard tasks in-process or on a ``fork`` worker pool; the
+  executor choice is *provably invisible* in the output (enforced by
+  ``tests/core/test_parallel_equivalence.py``);
+* :func:`merge_shard_results` re-sorts shard results by their stable
+  shard index and folds them with the monoid merges below, renumbering
+  trace ids so the exported trace JSONL is byte-identical no matter
+  which worker finished first.
+
+Determinism / sub-seed contract
+-------------------------------
+
+``subseed(i) = SHA256(f"{seed}:{i}") mod 2**63`` — stable across
+platforms and Python versions.  Shard *i* of *k* always receives the
+same contiguous name slice and the same sub-seed, so the merged result
+is a function of ``(names, seed, k)`` alone: worker count, executor
+kind, and shard completion order cannot change a single byte of the
+merged summary, histograms, capture rows, metric snapshot, or exported
+trace JSONL.  The serial reference for a sharded run is the *same shard
+plan* executed by :class:`SerialExecutor`; with ``shards=1`` that
+reference is byte-identical to a plain
+:meth:`~repro.core.experiment.LeakageExperiment.run` on the shard's
+own universe (``factory(derive_subseed(seed, 0))``).
+
+The merge operations (:func:`merge_leakage_reports`,
+:func:`merge_overhead`, :func:`merge_metrics_snapshots`,
+:func:`merge_results`) are associative and have the empty value as
+identity; :func:`merge_shard_results` is additionally invariant to the
+order its inputs arrive in (it sorts by shard index first).  Those
+algebraic laws are what make the fan-out safe, and they are enforced by
+Hypothesis in ``tests/core/test_parallel_merge_properties.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from ..dnscore import Name
+from ..resolver import ResolverConfig
+from ..workloads import Universe
+from .experiment import ExperimentResult, LeakageExperiment, _CaptureSlice
+from .leakage import LeakageReport
+from .metrics import MetricsRegistry
+from .overhead import OverheadMetrics
+from .tracing import Span, Tracer, export_traces_jsonl
+
+T = TypeVar("T")
+
+#: A picklable callable building a fresh universe from a sub-seed.
+UniverseFactory = Callable[[int], Universe]
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+
+def derive_subseed(seed: int, shard_index: int) -> int:
+    """The shard's derived sub-seed: ``SHA256(f"{seed}:{index}")``
+    folded to 63 bits.  Pure arithmetic on stable inputs — no process
+    state, no ``PYTHONHASHSEED`` sensitivity."""
+    digest = hashlib.sha256(f"{seed}:{shard_index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a sharded run: a stable index, its contiguous name
+    slice, and its derived sub-seed."""
+
+    index: int
+    names: Tuple[Name, ...]
+    seed: int
+
+
+def plan_shards(
+    names: Sequence[Name], shard_count: int, seed: int
+) -> List[ShardSpec]:
+    """Split *names* into *shard_count* contiguous shards.
+
+    The first ``len(names) % shard_count`` shards carry one extra name,
+    so the partition depends only on ``(len(names), shard_count)`` —
+    never on timing or worker count.  Empty shards are legal (more
+    shards than names) and merge as identities.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    total = len(names)
+    base, extra = divmod(total, shard_count)
+    shards: List[ShardSpec] = []
+    cursor = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        shard_names = tuple(names[cursor:cursor + size])
+        cursor += size
+        shards.append(
+            ShardSpec(
+                index=index,
+                names=shard_names,
+                seed=derive_subseed(seed, index),
+            )
+        )
+    return shards
+
+
+# ----------------------------------------------------------------------
+# Monoid merges
+# ----------------------------------------------------------------------
+
+def empty_leakage_report() -> LeakageReport:
+    """The identity of :func:`merge_leakage_reports`."""
+    return LeakageReport(
+        domains_queried=0,
+        dlv_queries=0,
+        case1_queries=0,
+        case2_queries=0,
+        leaked_domains=set(),
+        served_domains=set(),
+        tld_level_queries=0,
+        noerror_responses=0,
+        nxdomain_responses=0,
+    )
+
+
+def merge_leakage_reports(a: LeakageReport, b: LeakageReport) -> LeakageReport:
+    """Combine two shard reports: counts add, domain sets union.
+
+    Shards query disjoint name slices, so ``domains_queried`` adds and
+    the unions stay disjoint; associative and commutative with
+    :func:`empty_leakage_report` as identity.
+    """
+    return LeakageReport(
+        domains_queried=a.domains_queried + b.domains_queried,
+        dlv_queries=a.dlv_queries + b.dlv_queries,
+        case1_queries=a.case1_queries + b.case1_queries,
+        case2_queries=a.case2_queries + b.case2_queries,
+        leaked_domains=set(a.leaked_domains) | set(b.leaked_domains),
+        served_domains=set(a.served_domains) | set(b.served_domains),
+        tld_level_queries=a.tld_level_queries + b.tld_level_queries,
+        noerror_responses=a.noerror_responses + b.noerror_responses,
+        nxdomain_responses=a.nxdomain_responses + b.nxdomain_responses,
+    )
+
+
+def empty_overhead() -> OverheadMetrics:
+    """The identity of :func:`merge_overhead`."""
+    return OverheadMetrics(
+        response_time=0.0,
+        traffic_bytes=0,
+        queries_issued=0,
+        query_type_counts={},
+    )
+
+
+def merge_overhead(a: OverheadMetrics, b: OverheadMetrics) -> OverheadMetrics:
+    """Combine shard overheads.  Response times add because the serial
+    reference runs the shards back to back on independent clocks."""
+    counts: Dict = dict(a.query_type_counts)
+    for rtype, count in b.query_type_counts.items():
+        counts[rtype] = counts.get(rtype, 0) + count
+    return OverheadMetrics(
+        response_time=a.response_time + b.response_time,
+        traffic_bytes=a.traffic_bytes + b.traffic_bytes,
+        queries_issued=a.queries_issued + b.queries_issued,
+        query_type_counts={key: counts[key] for key in sorted(counts, key=lambda r: r.value)},
+    )
+
+
+def _merge_count_dicts(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    merged = dict(a)
+    for key, value in b.items():
+        merged[key] = merged.get(key, 0) + value
+    return {key: merged[key] for key in sorted(merged)}
+
+
+def empty_metrics_snapshot() -> Dict[str, Dict]:
+    """The identity of :func:`merge_metrics_snapshots`."""
+    return {"counters": {}, "histograms": {}}
+
+
+def merge_metrics_snapshots(
+    a: Optional[Dict[str, Dict]], b: Optional[Dict[str, Dict]]
+) -> Optional[Dict[str, Dict]]:
+    """Combine two :meth:`~repro.core.metrics.MetricsRegistry.snapshot`
+    dicts: counters add; histogram count/sum add, min/max extend, mean
+    recomputes.  ``None`` (an untelemetered shard) acts as identity;
+    two ``None`` inputs stay ``None``."""
+    if a is None and b is None:
+        return None
+    left = a if a is not None else empty_metrics_snapshot()
+    right = b if b is not None else empty_metrics_snapshot()
+    histograms: Dict[str, Dict] = {}
+    for name in sorted(set(left["histograms"]) | set(right["histograms"])):
+        parts = [
+            source["histograms"][name]
+            for source in (left, right)
+            if name in source["histograms"]
+        ]
+        count = sum(part["count"] for part in parts)
+        total = sum(part["sum"] for part in parts)
+        mins = [part["min"] for part in parts if part["min"] is not None]
+        maxes = [part["max"] for part in parts if part["max"] is not None]
+        histograms[name] = {
+            "count": count,
+            "sum": total,
+            "min": min(mins) if mins else None,
+            "max": max(maxes) if maxes else None,
+            "mean": total / count if count else 0.0,
+        }
+    return {
+        "counters": _merge_count_dicts(left["counters"], right["counters"]),
+        "histograms": histograms,
+    }
+
+
+def _retag_trace(root: Span, trace_id: int) -> Span:
+    """A copy of *root*'s subtree carrying *trace_id* (span ids and
+    structure unchanged)."""
+    return dataclasses.replace(
+        root,
+        trace_id=trace_id,
+        attrs=dict(root.attrs),
+        children=[_retag_trace(child, trace_id) for child in root.children],
+    )
+
+
+def renumber_traces(roots: Sequence[Span], start: int = 1) -> Tuple[Span, ...]:
+    """Assign sequential trace ids from *start* in the given order.
+
+    Shard tracers each number their traces from 1; after concatenating
+    shards in index order, renumbering restores the global sequence a
+    serial tracer would have produced, making the merged JSONL export
+    deterministic."""
+    return tuple(
+        _retag_trace(root, start + offset) for offset, root in enumerate(roots)
+    )
+
+
+def empty_result() -> ExperimentResult:
+    """The identity of :func:`merge_results`."""
+    return ExperimentResult(
+        names=[],
+        leakage=empty_leakage_report(),
+        overhead=empty_overhead(),
+        status_counts={},
+        rcode_counts={},
+        authenticated_answers=0,
+        capture=None,
+        traces=(),
+        metrics=None,
+    )
+
+
+def merge_results(a: ExperimentResult, b: ExperimentResult) -> ExperimentResult:
+    """Merge two shard results in order (``a`` before ``b``).
+
+    Associative with :func:`empty_result` as identity.  Ordered fields
+    (names, capture, traces) concatenate; trace ids renumber so the
+    merged export is stable; everything else folds through the monoid
+    merges above.
+    """
+    if a.capture is None and b.capture is None:
+        capture = None
+    else:
+        records: List = []
+        if a.capture is not None:
+            records.extend(a.capture)
+        if b.capture is not None:
+            records.extend(b.capture)
+        capture = _CaptureSlice(records)
+    return ExperimentResult(
+        names=list(a.names) + list(b.names),
+        leakage=merge_leakage_reports(a.leakage, b.leakage),
+        overhead=merge_overhead(a.overhead, b.overhead),
+        status_counts=_merge_count_dicts(a.status_counts, b.status_counts),
+        rcode_counts=_merge_count_dicts(a.rcode_counts, b.rcode_counts),
+        authenticated_answers=a.authenticated_answers + b.authenticated_answers,
+        capture=capture,
+        traces=renumber_traces(tuple(a.traces) + tuple(b.traces)),
+        metrics=merge_metrics_snapshots(a.metrics, b.metrics),
+    )
+
+
+def merge_shard_results(
+    pairs: Iterable[Tuple[int, ExperimentResult]]
+) -> ExperimentResult:
+    """Fold shard results into one, re-sorting by shard index first.
+
+    The sort is what makes the merge invariant to completion order:
+    whichever worker finishes first, the fold always runs in shard
+    order, so float sums, name order, capture order, and trace
+    numbering all match the serial reference exactly.
+    """
+    merged = empty_result()
+    for _, result in sorted(pairs, key=lambda pair: pair[0]):
+        merged = merge_results(merged, result)
+    return merged
+
+
+def result_fingerprint(result: ExperimentResult) -> Dict[str, Any]:
+    """A canonical, comparison-friendly digest of a result.
+
+    Everything the equivalence contract covers, reduced to plain
+    comparable values: the summary line, the histograms, the capture
+    rows, the metric snapshot, and the byte-exact trace JSONL.  Two
+    results with equal fingerprints are indistinguishable to every
+    analysis in this repository.
+    """
+    capture_rows = (
+        [
+            (
+                record.time,
+                record.src,
+                record.dst,
+                record.wire_size,
+                record.dropped,
+                record.qname.to_text() if record.qname is not None else None,
+                record.qtype.name if record.qtype is not None else None,
+            )
+            for record in result.capture
+        ]
+        if result.capture is not None
+        else []
+    )
+    return {
+        "summary": result.summary(),
+        "names": [name.to_text() for name in result.names],
+        "status_counts": dict(sorted(result.status_counts.items())),
+        "rcode_counts": dict(sorted(result.rcode_counts.items())),
+        "authenticated": result.authenticated_answers,
+        "leaked_domains": sorted(
+            name.to_text() for name in result.leakage.leaked_domains
+        ),
+        "served_domains": sorted(
+            name.to_text() for name in result.leakage.served_domains
+        ),
+        "capture": capture_rows,
+        "metrics": result.metrics,
+        "traces_jsonl": export_traces_jsonl(list(result.traces)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+#: Parent-side handoff for the fork pool: workers inherit the task list
+#: through fork instead of pickling it, so arbitrary closures (chaos
+#: scenarios, universe factories) fan out without being picklable.
+_ACTIVE_TASKS: Optional[Sequence[Callable[[], Any]]] = None
+
+
+def _invoke_task(index: int) -> Any:
+    assert _ACTIVE_TASKS is not None, "worker started outside run_tasks"
+    return _ACTIVE_TASKS[index]()
+
+
+class SerialExecutor:
+    """The in-process fallback: runs every task in the calling process,
+    in order.  Used for debugging, platforms without ``fork``, and as
+    the reference arm of the equivalence tests."""
+
+    workers = 1
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        return [task() for task in tasks]
+
+
+class MultiprocessingExecutor:
+    """A ``fork``-based worker pool.
+
+    Tasks are handed to workers by index: the child inherits the task
+    list through fork, so only the index travels out and only the
+    (picklable) result travels back.  On platforms without ``fork`` —
+    or with ``workers <= 1`` — it degrades to :class:`SerialExecutor`
+    semantics, which is safe because executors are output-invisible.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @staticmethod
+    def fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        global _ACTIVE_TASKS
+        if self.workers == 1 or len(tasks) <= 1 or not self.fork_available():
+            return SerialExecutor().run(tasks)
+        context = multiprocessing.get_context("fork")
+        previous = _ACTIVE_TASKS
+        _ACTIVE_TASKS = tasks
+        try:
+            with context.Pool(min(self.workers, len(tasks))) as pool:
+                return pool.map(_invoke_task, range(len(tasks)), chunksize=1)
+        finally:
+            _ACTIVE_TASKS = previous
+
+
+def resolve_executor(parallelism: int, executor=None):
+    """The executor for a requested worker count: an explicit executor
+    wins; otherwise ``parallelism > 1`` gets a fork pool and anything
+    else the in-process fallback."""
+    if executor is not None:
+        return executor
+    if parallelism > 1:
+        return MultiprocessingExecutor(parallelism)
+    return SerialExecutor()
+
+
+def run_tasks(
+    tasks: Sequence[Callable[[], T]],
+    parallelism: int = 1,
+    executor=None,
+) -> List[T]:
+    """Fan *tasks* out on the chosen executor, preserving input order
+    in the returned list (the pool maps by index)."""
+    return resolve_executor(parallelism, executor).run(tasks)
+
+
+# ----------------------------------------------------------------------
+# The sharded experiment runner
+# ----------------------------------------------------------------------
+
+def run_shard(
+    factory: UniverseFactory,
+    config: ResolverConfig,
+    spec: ShardSpec,
+    ptr_fraction: float = 0.01,
+    dnssec_ok_stub: bool = True,
+    trace: bool = False,
+) -> ExperimentResult:
+    """Run one shard in a fresh universe built from its sub-seed.
+
+    A pure function of its arguments: the shard shares no state with
+    its siblings, which is the whole determinism argument.
+    """
+    universe = factory(spec.seed)
+    tracer = Tracer(universe.clock) if trace else None
+    metrics = MetricsRegistry() if trace else None
+    experiment = LeakageExperiment(
+        universe,
+        config,
+        ptr_fraction=ptr_fraction,
+        dnssec_ok_stub=dnssec_ok_stub,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return experiment.run(list(spec.names))
+
+
+def run_sharded_experiment(
+    factory: UniverseFactory,
+    config: ResolverConfig,
+    names: Sequence[Name],
+    seed: int = 0,
+    shards: Optional[int] = None,
+    parallelism: int = 1,
+    executor=None,
+    ptr_fraction: float = 0.01,
+    dnssec_ok_stub: bool = True,
+    trace: bool = False,
+) -> ExperimentResult:
+    """Shard *names*, fan the shards out, merge deterministically.
+
+    ``shards`` defaults to ``max(parallelism, 1)``; fixing it while
+    varying ``parallelism``/``executor`` keeps the merged output
+    byte-identical across worker counts (the shard plan, not the pool,
+    defines the result).
+    """
+    shard_count = shards if shards is not None else max(parallelism, 1)
+    plan = plan_shards(names, shard_count, seed)
+    tasks = [
+        _ShardTask(
+            factory=factory,
+            config=config,
+            spec=spec,
+            ptr_fraction=ptr_fraction,
+            dnssec_ok_stub=dnssec_ok_stub,
+            trace=trace,
+        )
+        for spec in plan
+    ]
+    results = run_tasks(tasks, parallelism=parallelism, executor=executor)
+    return merge_shard_results(
+        (spec.index, result) for spec, result in zip(plan, results)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class _ShardTask:
+    """One shard as a picklable zero-argument callable (usable both by
+    the fork pool's inheritance handoff and by spawn-style pickling
+    when the factory and config pickle)."""
+
+    factory: UniverseFactory
+    config: ResolverConfig
+    spec: ShardSpec
+    ptr_fraction: float
+    dnssec_ok_stub: bool
+    trace: bool
+
+    def __call__(self) -> ExperimentResult:
+        return run_shard(
+            self.factory,
+            self.config,
+            self.spec,
+            ptr_fraction=self.ptr_fraction,
+            dnssec_ok_stub=self.dnssec_ok_stub,
+            trace=self.trace,
+        )

@@ -10,7 +10,8 @@ calibration targets and EXPERIMENTS.md for measured results.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+import functools
+from typing import Callable, Optional, Sequence
 
 from ..resolver import ResolverConfig, correct_bind_config
 from ..workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
@@ -52,6 +53,44 @@ def standard_universe(
     return Universe(workload.domains, merged)
 
 
+def _standard_universe_for_seed(
+    seed: int,
+    domain_count: int,
+    filler_count: int,
+    workload_seed: int,
+    overrides: dict,
+) -> Universe:
+    """Module-level builder behind :func:`standard_universe_factory`
+    (kept top-level so the factory pickles for spawn-style pools)."""
+    workload = standard_workload(domain_count, seed=workload_seed)
+    return standard_universe(
+        workload, filler_count=filler_count, seed=seed, **overrides
+    )
+
+
+def standard_universe_factory(
+    domain_count: int,
+    filler_count: int = DEFAULT_REGISTRY_FILLER_COUNT,
+    workload_seed: int = 2016,
+    **overrides,
+) -> Callable[[int], Universe]:
+    """A picklable ``seed -> Universe`` factory over the calibrated
+    world — the shape :mod:`repro.core.parallel` shards need.
+
+    The *workload* (domain population) is fixed by ``workload_seed``;
+    the universe seed argument varies per shard (latency jitter, key
+    material), which is how shards become statistically independent
+    trials while staying bit-reproducible.
+    """
+    return functools.partial(
+        _standard_universe_for_seed,
+        domain_count=domain_count,
+        filler_count=filler_count,
+        workload_seed=workload_seed,
+        overrides=dict(overrides),
+    )
+
+
 def standard_experiment(
     domain_count: int,
     config: Optional[ResolverConfig] = None,
@@ -59,9 +98,23 @@ def standard_experiment(
     seed: int = 2016,
     **universe_overrides,
 ) -> LeakageExperiment:
-    """Workload + universe + experiment in one call."""
+    """Workload + universe + experiment in one call.
+
+    The returned experiment carries a universe factory, so
+    ``.run(names, parallelism=N)`` shards out of the box.
+    """
     workload = standard_workload(domain_count, seed=seed)
     universe = standard_universe(
         workload, filler_count=filler_count, **universe_overrides
     )
-    return LeakageExperiment(universe, config or correct_bind_config())
+    return LeakageExperiment(
+        universe,
+        config or correct_bind_config(),
+        universe_factory=standard_universe_factory(
+            domain_count,
+            filler_count=filler_count,
+            workload_seed=seed,
+            **universe_overrides,
+        ),
+        seed=seed,
+    )

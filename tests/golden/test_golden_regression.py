@@ -1,0 +1,136 @@
+"""Golden-file regression suite for the headline numbers.
+
+Each golden file pins, for one seed, the quantities the paper's
+evaluation leads with: the Case-2 leak proportion, the
+validation-utility fraction, the DLV query counts, the status/rcode
+histograms, and the (static) Table 1 environment rows.  The runs are
+small sharded sweeps, so a golden mismatch localises a behaviour change
+to a seed and a headline metric instead of a distant assertion.
+
+On intentional behaviour changes, regenerate with::
+
+    pytest tests/golden --update-golden
+
+and commit the resulting JSON diff.  On failure the assertion message
+carries a unified diff of the golden vs observed JSON.
+"""
+
+import difflib
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import table1_environments
+from repro.core import (
+    SerialExecutor,
+    run_sharded_experiment,
+    standard_universe_factory,
+    standard_workload,
+)
+from repro.resolver import correct_bind_config
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+SEEDS = (2016, 2017, 2018)
+DOMAINS = 40
+FILLER = 1500
+SHARDS = 2
+
+
+def compute_headline(seed):
+    """The pinned quantities for one seed, as a JSON-stable dict."""
+    workload = standard_workload(DOMAINS, seed=seed)
+    factory = standard_universe_factory(
+        DOMAINS, filler_count=FILLER, workload_seed=seed
+    )
+    result = run_sharded_experiment(
+        factory,
+        correct_bind_config(),
+        workload.names(DOMAINS),
+        seed=seed,
+        shards=SHARDS,
+        executor=SerialExecutor(),
+    )
+    leak = result.leakage
+    rows, _ = table1_environments()
+    return {
+        "seed": seed,
+        "domains": DOMAINS,
+        "filler": FILLER,
+        "shards": SHARDS,
+        "summary": result.summary(),
+        "dlv_queries": leak.dlv_queries,
+        "case1_queries": leak.case1_queries,
+        "case2_queries": leak.case2_queries,
+        "case2_fraction": round(leak.case2_fraction, 6),
+        "leaked_count": leak.leaked_count,
+        "leaked_proportion": round(leak.leaked_proportion, 6),
+        "utility_fraction": round(leak.utility_fraction, 6),
+        "tld_level_queries": leak.tld_level_queries,
+        "noerror_responses": leak.noerror_responses,
+        "nxdomain_responses": leak.nxdomain_responses,
+        "status_counts": dict(sorted(result.status_counts.items())),
+        "rcode_counts": dict(sorted(result.rcode_counts.items())),
+        "authenticated_answers": result.authenticated_answers,
+        "queries_issued": result.overhead.queries_issued,
+        "traffic_bytes": result.overhead.traffic_bytes,
+        "response_time": round(result.overhead.response_time, 6),
+        "table1_environments": table1_rows_as_json(rows),
+    }
+
+
+def table1_rows_as_json(rows):
+    return [
+        {str(key): _jsonable(value) for key, value in row.items()}
+        for row in rows
+    ]
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _render(payload):
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(seed):
+    return GOLDEN_DIR / f"golden_seed_{seed}.json"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_headline_numbers_match_golden(seed, update_golden):
+    observed = _render(compute_headline(seed))
+    path = golden_path(seed)
+    if update_golden:
+        path.write_text(observed, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden file {path.name}; generate it with "
+        f"`pytest tests/golden --update-golden` and commit it"
+    )
+    expected = path.read_text(encoding="utf-8")
+    if observed != expected:
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                observed.splitlines(keepends=True),
+                fromfile=f"golden/{path.name}",
+                tofile="observed",
+            )
+        )
+        pytest.fail(
+            "golden mismatch for seed "
+            f"{seed} — if the change is intentional, rerun with "
+            "--update-golden and commit the diff:\n" + diff
+        )
+
+
+def test_golden_files_are_committed_for_every_seed():
+    """The suite must never silently skip a seed because its file is
+    missing from the repository."""
+    missing = [seed for seed in SEEDS if not golden_path(seed).exists()]
+    assert not missing, f"golden files missing for seeds: {missing}"
