@@ -100,6 +100,11 @@ def test_parallel_scaling():
         arms[width] = {
             "seconds": round(seconds, 4),
             "speedup": round(serial_seconds / seconds, 4),
+            # Record the host honestly next to every speedup claim: a
+            # width wider than the machine cannot demonstrate scaling,
+            # whatever number it happened to produce.
+            "cpus": cpus,
+            "speedup_meaningful": width <= cpus,
         }
 
     merge_seconds = _merge_seconds(factory, names)
@@ -124,7 +129,11 @@ def test_parallel_scaling():
     print(f"serial        {serial_seconds:.3f}s")
     for width in WIDTHS:
         arm = arms[width]
-        print(f"{width} workers     {arm['seconds']:.3f}s ({arm['speedup']:.2f}x)")
+        note = "" if arm["speedup_meaningful"] else "  [width > cpus: not meaningful]"
+        print(
+            f"{width} workers     {arm['seconds']:.3f}s "
+            f"({arm['speedup']:.2f}x){note}"
+        )
     print(f"merge         {merge_seconds * 1000:.1f}ms "
           f"({merge_seconds / serial_seconds:.2%} of serial)")
     print(f"written to {RESULT_PATH.name}")

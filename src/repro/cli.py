@@ -10,6 +10,9 @@ Commands:
 * ``attack``   — the remedy-tampering and enumeration demonstrations.
 * ``trace``    — resolve one name fully instrumented and render the
   span tree, per-observer leak summary, and metric counters.
+* ``profile``  — cProfile one fig8-style cell (optionally cache-warm or
+  with hot-path caches disabled) and report the hot functions plus
+  cache statistics.
 """
 
 from __future__ import annotations
@@ -243,6 +246,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from . import perf
+    from .core import LeakageExperiment, standard_universe, standard_workload
+    from .resolver import correct_bind_config
+
+    if args.uncached:
+        perf.set_caches_enabled(False)
+    if args.warm:
+        # One untimed cell first, so the profile shows steady-state
+        # (memo-hit) behaviour rather than cache fill.
+        workload = standard_workload(args.domains)
+        universe = standard_universe(workload, filler_count=args.filler)
+        LeakageExperiment(universe, correct_bind_config()).run(
+            workload.names(args.domains)
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload = standard_workload(args.domains)
+    universe = standard_universe(workload, filler_count=args.filler)
+    experiment = LeakageExperiment(universe, correct_bind_config())
+    experiment.run(workload.names(args.domains))
+    profiler.disable()
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"profile written to {args.output} (inspect with pstats/snakeviz)")
+    else:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort).print_stats(args.limit)
+    cache_lines = perf.hotpath_cache_stats()
+    if cache_lines:
+        print("Hot-path caches:")
+        for name, stats_dict in cache_lines.items():
+            rendered = " ".join(f"{k}={v}" for k, v in stats_dict.items())
+            print(f"  {name}: {rendered}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -315,6 +358,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--output", help="also write the trace as JSONL")
     trace.set_defaults(func=_cmd_trace)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile one fig8-style cell and report hot functions",
+    )
+    profile.add_argument("--domains", type=int, default=150)
+    profile.add_argument("--filler", type=int, default=1000)
+    profile.add_argument(
+        "--sort", choices=("cumulative", "tottime"), default="cumulative"
+    )
+    profile.add_argument("--limit", type=int, default=25)
+    profile.add_argument(
+        "--warm",
+        action="store_true",
+        help="run one untimed cell first so memos are hot (steady state)",
+    )
+    profile.add_argument(
+        "--uncached",
+        action="store_true",
+        help="disable the hot-path caches for this profile",
+    )
+    profile.add_argument(
+        "--output", help="dump raw cProfile stats to a file instead"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     return parser
 

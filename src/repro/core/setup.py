@@ -13,9 +13,21 @@ import dataclasses
 import functools
 from typing import Callable, Optional, Sequence
 
+from .. import perf
+from ..crypto.memo import BoundedMemo
 from ..resolver import ResolverConfig, correct_bind_config
 from ..workloads import AlexaWorkload, Universe, UniverseParams, WorkloadParams
 from .experiment import LeakageExperiment
+
+#: Workload populations are pure functions of (count, params) and are
+#: rebuilt identically for every cell of a sweep or matrix; sharing the
+#: instance is safe because nothing mutates a workload after
+#: construction (its RNG is consumed at build time only).
+_WORKLOAD_MEMO = BoundedMemo(8)
+
+perf.register_cache(
+    "core.workload_memo", _WORKLOAD_MEMO.clear, _WORKLOAD_MEMO.stats
+)
 
 #: Background DLV registry population (entries beyond the workload's own
 #: deposits).  Calibrated so the leaked-domain curve saturates near the
@@ -32,7 +44,14 @@ def standard_workload(
 ) -> AlexaWorkload:
     """The calibrated Alexa-like workload."""
     params = WorkloadParams(seed=seed, **overrides)
-    return AlexaWorkload(count, params)
+    if not perf.ENABLED:
+        return AlexaWorkload(count, params)
+    memo_key = (count, params)
+    workload = _WORKLOAD_MEMO.get(memo_key)
+    if workload is None:
+        workload = AlexaWorkload(count, params)
+        _WORKLOAD_MEMO.put(memo_key, workload)
+    return workload
 
 
 def standard_universe(

@@ -1,0 +1,149 @@
+"""Bounded memoization primitives for the crypto hot path.
+
+Two users:
+
+* :mod:`repro.crypto.rsa` keeps module-level memos for signing (keyed by
+  key material + SHA-256 of the signing input) and deterministic keypair
+  generation (keyed by the RNG state consumed, which it also replays).
+* :class:`VerifyMemo` is held per resolver by the validator so each
+  distinct (public key, signing input, signature) triple is
+  modexp-verified at most once, while the validator's *logical* counters
+  (``signature_checks`` / ``crypto_verify_calls``, the KeyTrap cost
+  units) still advance on every call.
+
+Every memo key includes the full inputs of the computation it skips, so
+a hit can never alias distinct inputs: a tampered signature or a
+substituted key is a different key tuple and is always recomputed — a
+poisoned entry cannot be served out of the verify memo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Hashable, Optional
+
+from .. import perf
+
+
+class BoundedMemo:
+    """A small LRU memo with deterministic eviction (least recently
+    used first, ties impossible: Python dicts preserve order)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("memo capacity must be positive")
+        self.capacity = capacity
+        self._data: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        # Reinsert to mark as most recently used.
+        self._data[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.pop(key)
+        elif len(self._data) >= self.capacity:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+        self._data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: Default backing store for every :class:`VerifyMemo`.  Sharing it
+#: process-wide is safe because the key is the complete verification
+#: input; it is what lets repeated experiment cells (sweeps, matrices,
+#: shards over the same seed) amortize each modexp across resolvers.
+_VERIFY_STORE = BoundedMemo(16384)
+
+perf.register_cache(
+    "crypto.verify_memo", _VERIFY_STORE.clear, _VERIFY_STORE.stats
+)
+
+
+class VerifyMemo:
+    """A resolver's handle on the memoized RSA verification store.
+
+    The memo key is the *complete* input of the skipped modexp —
+    ``(modulus, exponent, SHA-256(data), signature)`` — so only a
+    byte-identical re-verification can hit; both True and False verdicts
+    are memoized.
+
+    Two layers of accounting, kept deliberately separate:
+
+    * **Logical (deterministic, metrics-visible).**  Per resolver, a key
+      seen before counts as ``validator.verify_memo_hits``, a first
+      sight as ``_misses`` — derived from this resolver's own history
+      only, so merged metric snapshots are identical however the work is
+      scheduled (serial vs forked shards).
+    * **Physical (wall-clock only).**  The backing store is process-wide
+      by default, so repeated cells/shards in one process also skip the
+      modexp across resolvers.  Those extra skips surface only in
+      :data:`store_hits` and ``perf.hotpath_cache_stats()``, never in
+      the metrics registry — sharing changes timing, not fingerprints.
+    """
+
+    def __init__(self, capacity: int = 8192, metrics=None, store=None):
+        self._store = store if store is not None else _VERIFY_STORE
+        self._metrics = metrics
+        self._seen = set()
+        self.hits = 0
+        self.misses = 0
+        self.store_hits = 0
+
+    def verify(self, public_key, data: bytes, signature: bytes) -> bool:
+        key = (
+            public_key.modulus,
+            public_key.exponent,
+            hashlib.sha256(data).digest(),
+            signature,
+        )
+        if key in self._seen:
+            self.hits += 1
+            if self._metrics is not None:
+                self._metrics.inc("validator.verify_memo_hits")
+        else:
+            self._seen.add(key)
+            self.misses += 1
+            if self._metrics is not None:
+                self._metrics.inc("validator.verify_memo_misses")
+        cached = self._store.get(key)
+        if cached is not None:
+            self.store_hits += 1
+            return cached
+        result = public_key.verify(data, signature)
+        # Store the bool directly; get() treats None as a miss, and
+        # verify results are never None.
+        self._store.put(key, result)
+        return result
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+        }

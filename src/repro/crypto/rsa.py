@@ -14,10 +14,30 @@ import hashlib
 import random
 from typing import Tuple
 
+from .. import perf
+from .memo import BoundedMemo
 from .numbertheory import generate_prime, modinv
 
 DEFAULT_MODULUS_BITS = 512
 _PUBLIC_EXPONENT = 65537
+
+#: Signing memo: (modulus, private exponent, SHA-256(data)) -> signature.
+#: The signature is a pure function of exactly that triple, so a hit is
+#: byte-identical to the modexp it skips.
+_SIGN_MEMO = BoundedMemo(8192)
+
+#: Keypair memo: (modulus_bits, rng state before generation) ->
+#: (keypair, rng state after).  Keying on the consumed RNG state — and
+#: replaying the post-state on a hit — makes the memo transparent to
+#: every later draw from the same stream (e.g. ``fresh_keyset``), so
+#: repeated universe builds skip prime generation without perturbing
+#: downstream randomness.
+_KEYGEN_MEMO = BoundedMemo(512)
+
+perf.register_cache("crypto.sign_memo", _SIGN_MEMO.clear, _SIGN_MEMO.stats)
+perf.register_cache(
+    "crypto.keygen_memo", _KEYGEN_MEMO.clear, _KEYGEN_MEMO.stats
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,15 +89,56 @@ class RSAPrivateKey:
         return RSAPublicKey(modulus=self.modulus, exponent=self.public_exponent)
 
     def sign(self, data: bytes) -> bytes:
+        if perf.ENABLED:
+            memo_key = (
+                self.modulus,
+                self.private_exponent,
+                hashlib.sha256(data).digest(),
+            )
+            cached = _SIGN_MEMO.get(memo_key)
+            if cached is not None:
+                return cached
         digest = _digest_int(data, self.modulus)
-        signature = pow(digest, self.private_exponent, self.modulus)
-        return signature.to_bytes((self.modulus.bit_length() + 7) // 8, "big")
+        signature_int = pow(digest, self.private_exponent, self.modulus)
+        signature = signature_int.to_bytes(
+            (self.modulus.bit_length() + 7) // 8, "big"
+        )
+        if perf.ENABLED:
+            _SIGN_MEMO.put(memo_key, signature)
+        return signature
 
 
 def generate_keypair(
     rng: random.Random, modulus_bits: int = DEFAULT_MODULUS_BITS
 ) -> RSAPrivateKey:
-    """Generate an RSA keypair deterministically from *rng*."""
+    """Generate an RSA keypair deterministically from *rng*.
+
+    Memoized on (modulus_bits, rng state): when the same seeded stream
+    reaches the same state again — every fresh universe built from the
+    same seed — the stored keypair is returned and the stored post-state
+    replayed, skipping prime generation with identical results.
+    """
+    memo_key = None
+    if perf.ENABLED:
+        try:
+            memo_key = (modulus_bits, rng.getstate())
+        except AttributeError:
+            memo_key = None
+        if memo_key is not None:
+            cached = _KEYGEN_MEMO.get(memo_key)
+            if cached is not None:
+                key, state_after = cached
+                rng.setstate(state_after)
+                return key
+    key = _generate_keypair_uncached(rng, modulus_bits)
+    if memo_key is not None and perf.ENABLED:
+        _KEYGEN_MEMO.put(memo_key, (key, rng.getstate()))
+    return key
+
+
+def _generate_keypair_uncached(
+    rng: random.Random, modulus_bits: int
+) -> RSAPrivateKey:
     half = modulus_bits // 2
     while True:
         p = generate_prime(half, rng)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterator, Optional, Tuple
 
+from .. import perf
 from .constants import RCode, RRClass, RRType
 from .flags import Edns, HeaderFlags
 from .names import Name
@@ -138,7 +139,14 @@ class Message:
 
     def wire_size(self) -> int:
         """Size of this message in uncompressed wire form, without
-        round-tripping through the codec."""
+        round-tripping through the codec.  Capture accounting asks for
+        each message's size several times (per-observer traffic, the
+        overhead report), so the sum is memoized on the instance —
+        messages are frozen, the cache lives in the instance dict."""
+        if perf.ENABLED:
+            size = self.__dict__.get("_wire_size_cache")
+            if size is not None:
+                return size
         size = self.HEADER_SIZE
         if self.question is not None:
             size += self.question.wire_size()
@@ -146,6 +154,8 @@ class Message:
             size += rrset.wire_size()
         if self.edns is not None:
             size += Edns.WIRE_SIZE
+        if perf.ENABLED:
+            object.__setattr__(self, "_wire_size_cache", size)
         return size
 
     def __repr__(self) -> str:

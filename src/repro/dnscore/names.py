@@ -10,7 +10,10 @@ section 6.2).
 from __future__ import annotations
 
 import functools
+import weakref
 from typing import Iterable, Iterator, Optional, Tuple
+
+from .. import perf
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255
@@ -27,12 +30,31 @@ class Name:
     Instances are immutable, hashable, and ordered by DNSSEC canonical
     ordering (RFC 4034 section 6.1): names sort by their labels compared
     right to left, with shorter names (ancestors) sorting first.
+
+    While the hot-path caches are enabled (:mod:`repro.perf`), names are
+    *interned*: constructing a name whose normalized labels match a live
+    instance returns that instance, so equality in cache and validator
+    dicts short-circuits on identity.  Interning only dedupes objects —
+    values, hashes, and ordering are identical either way.
     """
 
-    __slots__ = ("_labels", "_hash")
+    __slots__ = (
+        "_labels",
+        "_hash",
+        "_wire_length",
+        "_canonical_key",
+        "_ancestors",
+        "__weakref__",
+    )
 
-    def __init__(self, labels: Iterable[str]):
+    _interned: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, labels: Iterable[str] = ()):
         normalized = tuple(label.lower() for label in labels)
+        if perf.ENABLED:
+            cached = cls._interned.get(normalized)
+            if cached is not None:
+                return cached
         for label in normalized:
             if not label:
                 raise NameError_("empty label in name")
@@ -41,8 +63,25 @@ class Name:
         wire_length = sum(len(label) + 1 for label in normalized) + 1
         if wire_length > MAX_NAME_LENGTH:
             raise NameError_("name exceeds 255 wire octets")
+        self = object.__new__(cls)
         self._labels = normalized
         self._hash = hash(normalized)
+        self._wire_length = wire_length
+        self._canonical_key: Optional[Tuple[bytes, ...]] = None
+        self._ancestors: Optional[Tuple["Name", ...]] = None
+        if perf.ENABLED:
+            cls._interned[normalized] = self
+        return self
+
+    def __init__(self, labels: Iterable[str] = ()):
+        # All construction happens in __new__ so interned hits skip
+        # re-validation entirely.
+        pass
+
+    def __reduce__(self):
+        # Re-enter __new__ on unpickle so names from fork workers
+        # re-intern instead of carrying duplicate instances.
+        return (Name, (self._labels,))
 
     @classmethod
     def from_text(cls, text: str) -> "Name":
@@ -78,7 +117,7 @@ class Name:
 
     def wire_length(self) -> int:
         """Length of this name in uncompressed wire form."""
-        return sum(len(label) + 1 for label in self._labels) + 1
+        return self._wire_length
 
     # ------------------------------------------------------------------
     # Relations
@@ -123,8 +162,15 @@ class Name:
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield self, then each ancestor up to and including the root."""
-        for start in range(len(self._labels) + 1):
-            yield Name(self._labels[start:])
+        chain = self._ancestors
+        if chain is None:
+            chain = tuple(
+                Name(self._labels[start:])
+                for start in range(len(self._labels) + 1)
+            )
+            if perf.ENABLED:
+                self._ancestors = chain
+        return iter(chain)
 
     def common_ancestor(self, other: "Name") -> "Name":
         """Deepest name that is an ancestor of both self and other."""
@@ -145,7 +191,14 @@ class Name:
 
     def canonical_key(self) -> Tuple[bytes, ...]:
         """Sort key implementing DNSSEC canonical name order."""
-        return tuple(label.encode("ascii") for label in reversed(self._labels))
+        key = self._canonical_key
+        if key is None:
+            key = tuple(
+                label.encode("ascii") for label in reversed(self._labels)
+            )
+            if perf.ENABLED:
+                self._canonical_key = key
+        return key
 
     def __lt__(self, other: object) -> bool:
         if not isinstance(other, Name):
@@ -153,9 +206,11 @@ class Name:
         return self.canonical_key() < other.canonical_key()
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
-        return self._labels == other._labels
+        return self._hash == other._hash and self._labels == other._labels
 
     def __hash__(self) -> int:
         return self._hash
@@ -172,6 +227,12 @@ class Name:
 
 #: The root of the DNS namespace.
 ROOT = Name(())
+
+perf.register_cache(
+    "dnscore.name_intern",
+    Name._interned.clear,
+    lambda: {"size": len(Name._interned)},
+)
 
 
 def name_between(name: Name, lower: Name, upper: Name) -> bool:

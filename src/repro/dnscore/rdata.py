@@ -15,6 +15,7 @@ import ipaddress
 import struct
 from typing import ClassVar, Dict, FrozenSet, Iterable, List, Tuple, Type
 
+from .. import perf
 from .constants import Algorithm, DigestType, RRType
 from .names import Name
 
@@ -105,9 +106,46 @@ class Rdata:
     def from_wire(cls, data: bytes) -> "Rdata":
         raise NotImplementedError
 
+    def cached_wire(self) -> bytes:
+        """``to_wire()``, memoized per instance while the hot-path
+        caches are on.  All rdata classes are frozen dataclasses, so the
+        encoding never changes after construction; the cache lives in
+        the instance dict, invisible to dataclass eq/hash/repr."""
+        if not perf.ENABLED:
+            return self.to_wire()
+        wire = self.__dict__.get("_wire_cache")
+        if wire is None:
+            wire = self.to_wire()
+            object.__setattr__(self, "_wire_cache", wire)
+        return wire
+
     def canonical_form(self) -> bytes:
         """Byte string used as signing input; wire form by default."""
-        return self.to_wire()
+        return self.cached_wire()
+
+
+#: Address strings already validated by A/AAAA ``__post_init__`` —
+#: universes rebuild records for the same few hundred server addresses
+#: over and over, and :mod:`ipaddress` parsing is the dominant cost of
+#: constructing them.  Keyed by family so an IPv6 literal can never
+#: satisfy IPv4 validation.  Only *valid* addresses are remembered, so a
+#: hit can never let a malformed address through.
+_VALIDATED_ADDRESSES: set = set()
+_VALIDATED_ADDRESSES_CAP = 8192
+
+perf.register_cache(
+    "dnscore.address_validation",
+    _VALIDATED_ADDRESSES.clear,
+    lambda: {"size": len(_VALIDATED_ADDRESSES)},
+)
+
+
+def _check_address(family: str, address: str, parser) -> None:
+    if perf.ENABLED and (family, address) in _VALIDATED_ADDRESSES:
+        return
+    parser(address)
+    if perf.ENABLED and len(_VALIDATED_ADDRESSES) < _VALIDATED_ADDRESSES_CAP:
+        _VALIDATED_ADDRESSES.add((family, address))
 
 
 _REGISTRY: Dict[RRType, Type[Rdata]] = {}
@@ -134,7 +172,7 @@ class A(Rdata):
     address: str
 
     def __post_init__(self) -> None:
-        ipaddress.IPv4Address(self.address)
+        _check_address("v4", self.address, ipaddress.IPv4Address)
 
     def to_wire(self) -> bytes:
         return ipaddress.IPv4Address(self.address).packed
@@ -155,7 +193,7 @@ class AAAA(Rdata):
     address: str
 
     def __post_init__(self) -> None:
-        ipaddress.IPv6Address(self.address)
+        _check_address("v6", self.address, ipaddress.IPv6Address)
 
     def to_wire(self) -> bytes:
         return ipaddress.IPv6Address(self.address).packed
@@ -422,6 +460,10 @@ class DNSKEY(Rdata):
 
     def key_tag(self) -> int:
         """RFC 4034 appendix B key-tag computation."""
+        if perf.ENABLED:
+            cached = self.__dict__.get("_key_tag_cache")
+            if cached is not None:
+                return cached
         wire = self.to_wire()
         accumulator = 0
         for index, octet in enumerate(wire):
@@ -430,7 +472,10 @@ class DNSKEY(Rdata):
             else:
                 accumulator += octet
         accumulator += (accumulator >> 16) & 0xFFFF
-        return accumulator & 0xFFFF
+        tag = accumulator & 0xFFFF
+        if perf.ENABLED:
+            object.__setattr__(self, "_key_tag_cache", tag)
+        return tag
 
 
 @_register

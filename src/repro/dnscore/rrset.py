@@ -10,6 +10,7 @@ import dataclasses
 import struct
 from typing import Iterator, Tuple
 
+from .. import perf
 from .constants import RRClass, RRType
 from .names import Name
 from .rdata import Rdata, _encode_name
@@ -49,13 +50,48 @@ class RRset:
 
     def wire_size(self) -> int:
         """Total uncompressed wire size of all records in the set."""
+        if perf.ENABLED:
+            cached = self.__dict__.get("_wire_size_cache")
+            if cached is not None:
+                return cached
         per_record_overhead = self.name.wire_length() + 10  # type+class+ttl+rdlength
-        return sum(per_record_overhead + len(r.to_wire()) for r in self.rdatas)
+        size = sum(
+            per_record_overhead + len(r.cached_wire()) for r in self.rdatas
+        )
+        if perf.ENABLED:
+            object.__setattr__(self, "_wire_size_cache", size)
+        return size
+
+    def records_wire(self) -> bytes:
+        """Uncompressed wire form of every record in the set, owner and
+        header included — the bytes :func:`~repro.dnscore.wire.encode_message`
+        emits for this set when compression is off, memoized so servers
+        stop re-serializing immutable signed RRsets."""
+        if perf.ENABLED:
+            cached = self.__dict__.get("_records_wire_cache")
+            if cached is not None:
+                return cached
+        owner = _encode_name(self.name)
+        header = struct.pack("!HHI", int(self.rtype), int(self.rclass), self.ttl)
+        pieces = []
+        for rdata in self.rdatas:
+            wire = rdata.cached_wire()
+            pieces.append(
+                owner + header + struct.pack("!H", len(wire)) + wire
+            )
+        encoded = b"".join(pieces)
+        if perf.ENABLED:
+            object.__setattr__(self, "_records_wire_cache", encoded)
+        return encoded
 
     def canonical_signing_input(self, original_ttl: int) -> bytes:
         """RR(i) section of the RFC 4034 signing input: each record in
         canonical form (owner lowercased, original TTL), sorted by rdata
         wire form."""
+        if perf.ENABLED:
+            cached = self.__dict__.get("_signing_input_cache")
+            if cached is not None and cached[0] == original_ttl:
+                return cached[1]
         owner = _encode_name(self.name)
         header = struct.pack("!HHI", int(self.rtype), int(self.rclass), original_ttl)
         pieces = []
@@ -63,7 +99,12 @@ class RRset:
             pieces.append(
                 owner + header + struct.pack("!H", len(rdata_wire)) + rdata_wire
             )
-        return b"".join(pieces)
+        encoded = b"".join(pieces)
+        if perf.ENABLED:
+            object.__setattr__(
+                self, "_signing_input_cache", (original_ttl, encoded)
+            )
+        return encoded
 
     def __repr__(self) -> str:
         return (

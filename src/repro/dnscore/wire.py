@@ -21,6 +21,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional, Tuple
 
+from .. import perf
 from .constants import RCode, RRClass, RRType
 from .flags import Edns, HeaderFlags
 from .message import Message, Question
@@ -111,6 +112,8 @@ def _encode_rdata(out: bytearray, rdata: Rdata, compressor: _Compressor) -> None
 
 def encode_message(message: Message, compress: bool = False) -> bytes:
     """Serialise *message* to RFC 1035 wire format."""
+    if not compress and perf.ENABLED:
+        return _encode_uncompressed(message)
     compressor = _Compressor(enabled=compress)
     out = bytearray()
     question_count = 1 if message.question is not None else 0
@@ -144,6 +147,46 @@ def encode_message(message: Message, compress: bool = False) -> bytes:
         _encode_rdata(out, rdata, compressor)
         rdlength = len(out) - length_at - 2
         struct.pack_into("!H", out, length_at, rdlength)
+    if message.edns is not None:
+        out.extend(_encode_opt(message.edns))
+    return bytes(out)
+
+
+def _encode_uncompressed(message: Message) -> bytes:
+    """Pointer-free encoding assembled from the per-RRset wire caches.
+
+    Byte-for-byte identical to the generic path with ``compress=False``
+    (uncompressed, every rdata encodes as its own ``to_wire``); kept as
+    a separate path so immutable signed RRsets serialize once.
+    """
+    out = bytearray()
+    question_count = 1 if message.question is not None else 0
+    answer_count = sum(len(rrset) for rrset in message.answer)
+    authority_count = sum(len(rrset) for rrset in message.authority)
+    additional_count = sum(len(rrset) for rrset in message.additional) + (
+        1 if message.edns else 0
+    )
+    out.extend(
+        struct.pack(
+            "!HHHHHH",
+            message.message_id,
+            message.flags.to_wire(),
+            question_count,
+            answer_count,
+            authority_count,
+            additional_count,
+        )
+    )
+    if message.question is not None:
+        out.extend(_encode_name(message.question.name))
+        out.extend(
+            struct.pack(
+                "!HH", int(message.question.rtype), int(message.question.rclass)
+            )
+        )
+    for section in (message.answer, message.authority, message.additional):
+        for rrset in section:
+            out.extend(rrset.records_wire())
     if message.edns is not None:
         out.extend(_encode_opt(message.edns))
     return bytes(out)

@@ -147,6 +147,15 @@ class ResolverConfig:
     #: UDP retransmissions per server before failing over.
     max_retries: int = 3
 
+    # ---- performance (hot-path optimization pass; results are
+    # ---- byte-identical either way, only wall-clock changes) ----
+    #: Per-resolver verify memo: each distinct (key, RRset, RRSIG)
+    #: triple is modexp-verified once, while the logical KeyTrap
+    #: counters (``signature_checks`` / ``crypto_verify_calls``) still
+    #: advance on every check.  Also gated by the process-wide switch in
+    #: :mod:`repro.perf` (``REPRO_DISABLE_HOTPATH_CACHES``).
+    hot_path_caches: bool = True
+
     # ------------------------------------------------------------------
     # Effective behaviour
     # ------------------------------------------------------------------

@@ -26,6 +26,8 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+from .. import perf
+from ..crypto.memo import VerifyMemo
 from ..dnscore import Message, Name, RCode, ROOT, RRType, RRset
 from ..netsim import Network
 from .anchors import TrustAnchorStore
@@ -112,6 +114,13 @@ class RecursiveResolver:
             tracer=tracer,
             metrics=metrics,
         )
+        #: Per-resolver verify memo (hot-path optimization pass): None
+        #: when disabled by config or the process-wide perf switch.
+        self.verify_memo = (
+            VerifyMemo(metrics=metrics)
+            if config.hot_path_caches and perf.caches_enabled()
+            else None
+        )
         self.validator = Validator(
             engine=self.engine,
             anchors=self.anchors,
@@ -120,6 +129,7 @@ class RecursiveResolver:
             clock=clock,
             tracer=tracer,
             metrics=metrics,
+            verify_memo=self.verify_memo,
         )
         self.lookaside = DlvLookaside(
             engine=self.engine,
@@ -306,7 +316,7 @@ class RecursiveResolver:
             for sig in rrsig.rdatas:
                 for dnskey in dnskeys.rdatas:
                     if dnskey.key_tag() == sig.key_tag:  # type: ignore[attr-defined]
-                        if verify_rrset_signature(rrset, sig, dnskey):  # type: ignore[arg-type]
+                        if verify_rrset_signature(rrset, sig, dnskey, memo=self.verify_memo):  # type: ignore[arg-type]
                             return True
         return False
 

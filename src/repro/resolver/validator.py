@@ -68,6 +68,7 @@ class Validator:
         clock: SimClock,
         tracer=None,
         metrics=None,
+        verify_memo=None,
     ):
         self._engine = engine
         self._anchors = anchors
@@ -78,6 +79,10 @@ class Validator:
         #: see :mod:`repro.core.tracing` / :mod:`repro.core.metrics`.
         self._tracer = tracer
         self._metrics = metrics
+        #: Optional :class:`repro.crypto.memo.VerifyMemo`.  Consulted
+        #: *after* the logical counters and the KeyTrap budget charge,
+        #: so cache hits change wall-clock only, never cost accounting.
+        self._verify_memo = verify_memo
         self._zone_security: Dict[Name, ZoneSecurity] = {}
         self.signature_checks = 0
         self.signature_failures = 0
@@ -375,7 +380,7 @@ class Validator:
                 self.crypto_verify_calls += 1
                 if self._metrics is not None:
                     self._metrics.inc("validator.crypto_verify_calls")
-                if verify_rrset_signature(rrset, rrsig, dnskey):  # type: ignore[arg-type]
+                if verify_rrset_signature(rrset, rrsig, dnskey, memo=self._verify_memo):  # type: ignore[arg-type]
                     self._note_signature(rrset, ok=True)
                     return True
         self.signature_failures += 1

@@ -23,7 +23,17 @@ import dataclasses
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import perf
+from ..crypto.memo import BoundedMemo
 from ..dnscore import Name
+
+#: Registry-filler populations are expensive to draw and identical
+#: across repeated universe builds; see :meth:`AlexaWorkload.registry_filler`.
+_FILLER_MEMO = BoundedMemo(16)
+
+perf.register_cache(
+    "workloads.filler_memo", _FILLER_MEMO.clear, _FILLER_MEMO.stats
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -227,6 +237,20 @@ class AlexaWorkload:
         DNSSEC-friendly TLDs, mirroring the real registry."""
         if tld_weights is None:
             tld_weights = self.calibrated_filler_weights()
+        # The population is a pure function of (params, workload size,
+        # count, weights) — params seed the generator, workload size
+        # fixes the collision set — so repeated universe builds over the
+        # same workload reuse it from the memo.
+        memo_key = (
+            self.params,
+            len(self._by_name),
+            count,
+            tuple(sorted(tld_weights.items())),
+        )
+        if perf.ENABLED:
+            cached = _FILLER_MEMO.get(memo_key)
+            if cached is not None:
+                return list(cached)
         filler_tlds = list(tld_weights)
         filler_weights = [tld_weights[label] for label in filler_tlds]
         # Independent RNG: the filler population must not depend on how
@@ -246,6 +270,8 @@ class AlexaWorkload:
                 continue
             seen.add(name)
             names.append(name)
+        if perf.ENABLED:
+            _FILLER_MEMO.put(memo_key, tuple(names))
         return names
 
     def calibrated_filler_weights(self) -> Dict[str, float]:

@@ -350,8 +350,16 @@ def sign_rrset(rrset: RRset, signer_origin: Name, key: ZoneKey) -> RRSIG:
     )
 
 
-def verify_rrset_signature(rrset: RRset, rrsig: RRSIG, dnskey: DNSKEY) -> bool:
-    """Verify *rrsig* over *rrset* with *dnskey* (the validator's half)."""
+def verify_rrset_signature(
+    rrset: RRset, rrsig: RRSIG, dnskey: DNSKEY, memo=None
+) -> bool:
+    """Verify *rrsig* over *rrset* with *dnskey* (the validator's half).
+
+    *memo*, when given, is a :class:`repro.crypto.memo.VerifyMemo`; the
+    cheap structural checks (key tag, type covered) always run, only the
+    modular exponentiation is memoized — keyed by the full (key, input,
+    signature) triple, so tampered data can never alias a cached verdict.
+    """
     if rrsig.key_tag != dnskey.key_tag():
         return False
     if rrsig.type_covered is not rrset.rtype:
@@ -365,4 +373,6 @@ def verify_rrset_signature(rrset: RRset, rrsig: RRSIG, dnskey: DNSKEY) -> bool:
         public_key = RSAPublicKey.from_bytes(dnskey.public_key)
     except ValueError:
         return False
+    if memo is not None:
+        return memo.verify(public_key, signing_input, rrsig.signature)
     return public_key.verify(signing_input, rrsig.signature)

@@ -1,0 +1,360 @@
+"""The hot-path caches' one promise: byte-identical results.
+
+Every memo in :mod:`repro.perf`'s registry (crypto verify/sign/keygen,
+name interning, wire caches, workload memo) skips only redundant pure
+computation — the simulation's visible outputs must be bit-for-bit the
+same with the caches on, forcibly disabled, or toggled per resolver.
+These tests pin that invariant the same way the parallel-equivalence
+suite pins the sharding contract: full fingerprints across seeds, trace
+JSONL byte for byte, the logical KeyTrap counters, and the adversary
+acceptance criteria.  The unit half pins the mechanisms that make the
+invariant hold: complete-input memo keys (a tampered signature can never
+alias a cached verdict), RNG-state keygen replay, deterministic LRU
+eviction, and interning semantics.
+"""
+
+import dataclasses
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import perf
+from repro.core import (
+    LeakageExperiment,
+    MetricsRegistry,
+    SerialExecutor,
+    deploy_poisoner,
+    result_fingerprint,
+    run_adversary_matrix,
+    run_sharded_experiment,
+    standard_universe,
+    standard_universe_factory,
+    standard_workload,
+)
+from repro.crypto import KeyPool
+from repro.crypto.memo import BoundedMemo, VerifyMemo
+from repro.crypto.rsa import generate_keypair
+from repro.dnscore import Name, RRType, RRset, TXT
+from repro.resolver import ResolverConfig, correct_bind_config
+from repro.zones import (
+    ZoneBuilder,
+    standard_ns_hosts,
+    verify_rrset_signature,
+)
+
+DOMAINS = 12
+FILLER = 200
+SHARDS = 2
+SEEDS = (2016, 2017, 2018)
+
+
+@pytest.fixture(autouse=True)
+def _caches_restored():
+    """Every test leaves the process in the default cached state."""
+    yield
+    perf.set_caches_enabled(True)
+
+
+def n(text):
+    return Name.from_text(text)
+
+
+def _sharded_run(seed, trace=False):
+    workload = standard_workload(DOMAINS, seed=seed)
+    factory = standard_universe_factory(
+        DOMAINS, filler_count=FILLER, workload_seed=seed
+    )
+    return run_sharded_experiment(
+        factory,
+        correct_bind_config(),
+        workload.names(DOMAINS),
+        seed=seed,
+        shards=SHARDS,
+        executor=SerialExecutor(),
+        trace=trace,
+    )
+
+
+def _strip_memo_counters(snapshot):
+    """The verify-memo's own hit/miss counters exist only when the memo
+    does; everything else in the snapshot must be cache-invariant."""
+    return {
+        key: value
+        for key, value in snapshot.items()
+        if not key.startswith("validator.verify_memo_")
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end invariance
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fingerprints_identical_with_caches_on_and_off(seed):
+    perf.set_caches_enabled(True)
+    cached = _sharded_run(seed)
+    with perf.caches_disabled():
+        uncached = _sharded_run(seed)
+    assert result_fingerprint(cached) == result_fingerprint(uncached)
+
+
+def test_traces_and_keytrap_counters_identical_on_and_off():
+    perf.set_caches_enabled(True)
+    cached = _sharded_run(SEEDS[0], trace=True)
+    with perf.caches_disabled():
+        uncached = _sharded_run(SEEDS[0], trace=True)
+
+    cached_print = result_fingerprint(cached)
+    uncached_print = result_fingerprint(uncached)
+    assert cached_print["traces_jsonl"] == uncached_print["traces_jsonl"]
+
+    cached_counters = cached.metrics["counters"]
+    uncached_counters = uncached.metrics["counters"]
+    # The KeyTrap cost units advance on every logical check, memo or not.
+    for counter in (
+        "validator.signature_checks",
+        "validator.crypto_verify_calls",
+    ):
+        assert cached_counters[counter] == uncached_counters[counter]
+    assert _strip_memo_counters(cached_counters) == _strip_memo_counters(
+        uncached_counters
+    )
+
+
+def test_config_toggle_is_equivalent_to_global_toggle():
+    workload = standard_workload(DOMAINS)
+    universe_on = standard_universe(workload, filler_count=FILLER)
+    enabled = LeakageExperiment(universe_on, correct_bind_config()).run(
+        workload.names(DOMAINS)
+    )
+    universe_off = standard_universe(workload, filler_count=FILLER)
+    disabled = LeakageExperiment(
+        universe_off, correct_bind_config(hot_path_caches=False)
+    ).run(workload.names(DOMAINS))
+    assert result_fingerprint(enabled) == result_fingerprint(disabled)
+
+
+def test_adversary_outcomes_invariant_under_caches():
+    """Hardened-vs-poisoner acceptance is identical with caches on/off:
+    zero poisoned entries either way, same describe() lines."""
+
+    def cell():
+        factory = standard_universe_factory(8, filler_count=100)
+
+        def universe_factory():
+            return factory(7)
+
+        names = standard_workload(8).names(8)
+        adversaries = {
+            "poisoner": lambda u: deploy_poisoner(u, victims=names[:3], seed=7)
+        }
+        hardened = ResolverConfig()
+        configs = {
+            "hardened": hardened,
+            "unhardened": dataclasses.replace(
+                hardened, hardening=hardened.hardening.off()
+            ),
+        }
+        return run_adversary_matrix(
+            universe_factory, names, adversaries, configs
+        )
+
+    perf.set_caches_enabled(True)
+    cached = cell()
+    with perf.caches_disabled():
+        uncached = cell()
+    assert [r.describe() for r in cached] == [r.describe() for r in uncached]
+    # The logical KeyTrap counter is part of the report — identical
+    # cell by cell, memo or no memo.
+    assert [r.crypto_verify_calls for r in cached] == [
+        r.crypto_verify_calls for r in uncached
+    ]
+    by_key = {(r.policy, r.adversary): r for r in cached}
+    assert by_key[("hardened", "poisoner")].poisoned_cache_entries == 0
+
+
+# ----------------------------------------------------------------------
+# Toggles
+# ----------------------------------------------------------------------
+
+
+def test_disabling_caches_clears_every_registered_store():
+    perf.set_caches_enabled(True)
+    standard_workload(DOMAINS)  # populate at least the workload memo
+    assert any(
+        stats.get("size", 0) > 0
+        for stats in perf.hotpath_cache_stats().values()
+    )
+    perf.set_caches_enabled(False)
+    assert not perf.caches_enabled()
+    assert all(
+        stats.get("size", 0) == 0
+        for stats in perf.hotpath_cache_stats().values()
+    )
+
+
+def test_environment_variable_disables_caches_at_import():
+    code = "import repro.perf as p; print(p.ENABLED)"
+    for value, expected in (("1", "False"), ("", "True"), ("0", "True")):
+        env = dict(os.environ, REPRO_DISABLE_HOTPATH_CACHES=value)
+        env["PYTHONPATH"] = "src"
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+            check=True,
+        ).stdout.strip()
+        assert output == expected, f"env value {value!r}"
+
+
+# ----------------------------------------------------------------------
+# Verify memo: aliasing is impossible, accounting is deterministic
+# ----------------------------------------------------------------------
+
+
+POOL = KeyPool(seed=11, pool_size=4, modulus_bits=256)
+
+
+def _signed_zone():
+    builder = ZoneBuilder(n("com"))
+    builder.with_ns(standard_ns_hosts(n("com"), ["192.0.2.1"]))
+    builder.with_rrset(n("txt.com"), RRType.TXT, [TXT(("dlv=1",))])
+    return builder.signed(POOL.keys_for_zone(n("com")))
+
+
+def test_tampered_signature_is_bogus_with_and_without_memo():
+    zone = _signed_zone()
+    txt = zone.get(n("txt.com"), RRType.TXT)
+    rrsig = zone.rrsig_for(n("txt.com"), RRType.TXT).first()
+    zsk = zone.keyset.zsk.dnskey
+    memo = VerifyMemo(store=BoundedMemo(64))
+
+    assert verify_rrset_signature(txt, rrsig, zsk, memo=memo)
+    # Same verification again: served from the memo, same verdict.
+    assert verify_rrset_signature(txt, rrsig, zsk, memo=memo)
+    assert memo.store_hits == 1
+
+    # Tampered rrset data — different signing input, never aliases.
+    forged = RRset(n("txt.com"), RRType.TXT, 3600, (TXT(("dlv=0",)),))
+    for _ in range(2):
+        assert not verify_rrset_signature(forged, rrsig, zsk, memo=memo)
+        assert not verify_rrset_signature(forged, rrsig, zsk)
+
+    # Tampered signature bytes — different memo key, never aliases.
+    bad_sig = dataclasses.replace(
+        rrsig, signature=bytes(rrsig.signature[:-1]) + b"\x00"
+    )
+    for _ in range(2):
+        assert not verify_rrset_signature(txt, bad_sig, zsk, memo=memo)
+
+    # The honest verification still answers True from the same memo.
+    assert verify_rrset_signature(txt, rrsig, zsk, memo=memo)
+
+
+def test_verify_memo_counters_ignore_cross_resolver_store_warmth():
+    """Two resolvers sharing a store must report identical logical
+    counters regardless of who warmed it — the property that keeps
+    serial and forked shard runs byte-identical."""
+    zone = _signed_zone()
+    txt = zone.get(n("txt.com"), RRType.TXT)
+    rrsig = zone.rrsig_for(n("txt.com"), RRType.TXT).first()
+    zsk = zone.keyset.zsk.dnskey
+
+    store = BoundedMemo(64)
+    metrics_a, metrics_b = MetricsRegistry(), MetricsRegistry()
+    memo_a = VerifyMemo(store=store, metrics=metrics_a)
+    memo_b = VerifyMemo(store=store, metrics=metrics_b)
+
+    assert verify_rrset_signature(txt, rrsig, zsk, memo=memo_a)
+    assert verify_rrset_signature(txt, rrsig, zsk, memo=memo_b)
+
+    # b's modexp was skipped via a's store entry...
+    assert memo_b.store_hits == 1
+    # ...but both resolvers report the same first-sight accounting.
+    for registry in (metrics_a, metrics_b):
+        counters = registry.snapshot()["counters"]
+        assert counters["validator.verify_memo_misses"] == 1
+        assert "validator.verify_memo_hits" not in counters
+
+
+# ----------------------------------------------------------------------
+# Keygen replay, LRU mechanics, interning
+# ----------------------------------------------------------------------
+
+
+def test_keygen_memo_replays_rng_state_transparently():
+    perf.set_caches_enabled(True)
+    perf.clear_hotpath_caches()
+
+    rng_miss = random.Random(42)
+    key_miss = generate_keypair(rng_miss, 256)
+    tail_miss = [rng_miss.random() for _ in range(4)]
+
+    # Same seed again: the memo hit must return the same key AND leave
+    # the RNG exactly where the real generation would have.
+    rng_hit = random.Random(42)
+    key_hit = generate_keypair(rng_hit, 256)
+    tail_hit = [rng_hit.random() for _ in range(4)]
+    assert key_hit.modulus == key_miss.modulus
+    assert key_hit.private_exponent == key_miss.private_exponent
+    assert tail_hit == tail_miss
+
+    # And the memoized result matches an uncached generation bit for bit.
+    with perf.caches_disabled():
+        rng_plain = random.Random(42)
+        key_plain = generate_keypair(rng_plain, 256)
+        tail_plain = [rng_plain.random() for _ in range(4)]
+    assert key_plain.modulus == key_miss.modulus
+    assert tail_plain == tail_miss
+
+
+def test_bounded_memo_evicts_least_recently_used():
+    memo = BoundedMemo(2)
+    memo.put("a", 1)
+    memo.put("b", 2)
+    assert memo.get("a") == 1  # refresh a; b is now oldest
+    memo.put("c", 3)
+    assert memo.get("b") is None
+    assert memo.get("a") == 1
+    assert memo.get("c") == 3
+    stats = memo.stats()
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+    with pytest.raises(ValueError):
+        BoundedMemo(0)
+
+
+class TestNameInterning:
+    def test_equal_names_are_the_same_object_when_enabled(self):
+        perf.set_caches_enabled(True)
+        assert Name(("www", "example", "com")) is Name(("www", "example", "com"))
+
+    def test_pickle_round_trip_reinterns(self):
+        perf.set_caches_enabled(True)
+        name = Name(("a", "example", "com"))
+        clone = pickle.loads(pickle.dumps(name))
+        assert clone is name
+
+    def test_equality_and_hash_survive_disabling(self):
+        with perf.caches_disabled():
+            first = Name(("x", "example", "org"))
+            second = Name(("x", "example", "org"))
+            # No interning: distinct objects, still equal, same hash.
+            assert first is not second
+            assert first == second
+            assert hash(first) == hash(second)
+
+    def test_validation_runs_in_both_modes(self):
+        too_long = "a" * 64
+        with pytest.raises(ValueError):
+            Name((too_long, "com"))
+        with perf.caches_disabled():
+            with pytest.raises(ValueError):
+                Name((too_long, "com"))

@@ -36,6 +36,7 @@ SNIPPET_FILES = [
     "docs/TUTORIAL.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/PERFORMANCE.md",
     "EXPERIMENTS.md",
 ]
 
