@@ -1,0 +1,139 @@
+"""Store bench: what crash-safety costs, and what resume saves.
+
+Three arms over the same sharded workload, results in
+``BENCH_store.json``:
+
+* **plain** — ``run_sharded_experiment`` with no store (the baseline);
+* **cold**  — ``run_stored_sweep`` against an empty store: the
+  baseline plus commit overhead (pickle + digest + fsync + rename);
+* **warm**  — the same stored sweep again: every cell is a verified
+  reuse, no resolution happens at all.
+
+Two things are asserted unconditionally: all three arms fingerprint
+identically (the store never changes a byte of output), and the warm
+arm actually reused every cell.  The warm-vs-plain speedup is recorded
+but only asserted loosely (≥1x) — the win is already decisive at this
+size and grows with the workload, and a tight bound would make the
+bench flaky on the smallest CI containers.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import (
+    ResultStore,
+    SerialExecutor,
+    result_fingerprint,
+    run_sharded_experiment,
+    run_stored_sweep,
+    standard_universe_factory,
+    standard_workload,
+)
+from repro.resolver import correct_bind_config
+
+DOMAINS = 40
+FILLER = 400
+SHARDS = 4
+SEED = 2016
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def _workload():
+    factory = standard_universe_factory(
+        DOMAINS, filler_count=FILLER, workload_seed=SEED
+    )
+    names = standard_workload(DOMAINS, seed=SEED).names(DOMAINS)
+    return factory, names
+
+
+def test_store_cold_vs_warm():
+    factory, names = _workload()
+
+    # Untimed warm-up: fill the process-global hot-path caches so the
+    # arms measure store mechanics, not who ran first (see
+    # docs/PERFORMANCE.md for what those caches memoise).
+    run_sharded_experiment(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=SEED,
+        shards=SHARDS,
+        executor=SerialExecutor(),
+    )
+
+    start = time.perf_counter()
+    plain = run_sharded_experiment(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=SEED,
+        shards=SHARDS,
+        executor=SerialExecutor(),
+    )
+    plain_seconds = time.perf_counter() - start
+    reference = result_fingerprint(plain)
+
+    root = tempfile.mkdtemp(prefix="bench-store-")
+
+    start = time.perf_counter()
+    cold = run_stored_sweep(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=SEED,
+        shards=SHARDS,
+        store=ResultStore(root),
+    )
+    cold_seconds = time.perf_counter() - start
+    assert result_fingerprint(cold.result) == reference
+    assert cold.cells_rerun == SHARDS and cold.cells_reused == 0
+
+    start = time.perf_counter()
+    warm = run_stored_sweep(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=SEED,
+        shards=SHARDS,
+        store=ResultStore(root),
+    )
+    warm_seconds = time.perf_counter() - start
+    assert result_fingerprint(warm.result) == reference
+    assert warm.cells_reused == SHARDS and warm.cells_rerun == 0
+    assert plain_seconds / warm_seconds >= 1.0, (
+        "an all-reuse sweep should never be slower than resolving"
+    )
+
+    store_bytes = sum(
+        path.stat().st_size for path in Path(root).glob("*/*.cell")
+    )
+    payload = {
+        "workload": {
+            "domains": DOMAINS,
+            "filler": FILLER,
+            "shards": SHARDS,
+            "seed": SEED,
+        },
+        "plain_seconds": round(plain_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "commit_overhead": round(cold_seconds / plain_seconds, 4),
+        "warm_speedup": round(plain_seconds / warm_seconds, 2),
+        "store_bytes": store_bytes,
+        "bytes_per_cell": store_bytes // SHARDS,
+        "byte_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(f"plain (no store)  {plain_seconds:.3f}s")
+    print(f"cold  (commit)    {cold_seconds:.3f}s "
+          f"({cold_seconds / plain_seconds:.2f}x of plain)")
+    print(f"warm  (all reuse) {warm_seconds:.3f}s "
+          f"({plain_seconds / warm_seconds:.1f}x speedup)")
+    print(f"store size        {store_bytes} bytes "
+          f"({store_bytes // SHARDS} per cell)")
+    print(f"written to {RESULT_PATH.name}")

@@ -87,6 +87,11 @@ def sharded_leakage_sweep(
     shards: Optional[int] = None,
     parallelism: int = 1,
     executor=None,
+    store=None,
+    fail_fast: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    outcomes: Optional[list] = None,
 ) -> List[LeakageSweepPoint]:
     """The Figs 8/9 sweep on the sharded parallel runner.
 
@@ -97,8 +102,21 @@ def sharded_leakage_sweep(
     reading of the paper's sweep rather than the single-resolver one.
     For a fixed ``(seed, shards)`` the points are byte-identical
     regardless of ``parallelism`` or executor choice.
+
+    With ``store`` (a :class:`~repro.core.store.ResultStore`) the sweep
+    runs crash-safe through :func:`~repro.core.store.run_stored_sweep`:
+    completed shard cells commit as they finish, an interrupted sweep
+    resumes from the committed cells, and only missing/corrupt cells
+    re-run.  Per-size :class:`~repro.core.store.SweepOutcome` records
+    are appended to ``outcomes`` when given; quarantined cells make the
+    affected point *partial* (keep-going default) or raise
+    (``fail_fast=True``).
     """
-    from ..core import run_sharded_experiment, standard_universe_factory
+    from ..core import (
+        run_sharded_experiment,
+        run_stored_sweep,
+        standard_universe_factory,
+    )
 
     resolver_config = config or correct_bind_config()
     points: List[LeakageSweepPoint] = []
@@ -107,15 +125,33 @@ def sharded_leakage_sweep(
         factory = standard_universe_factory(
             size, filler_count=filler_count, workload_seed=seed
         )
-        result = run_sharded_experiment(
-            factory,
-            resolver_config,
-            workload.names(size),
-            seed=seed,
-            shards=shards,
-            parallelism=parallelism,
-            executor=executor,
-        )
+        if store is not None:
+            outcome = run_stored_sweep(
+                factory,
+                resolver_config,
+                workload.names(size),
+                seed=seed,
+                shards=shards,
+                parallelism=parallelism,
+                executor=executor,
+                store=store,
+                timeout=timeout,
+                retries=retries,
+                fail_fast=fail_fast,
+            )
+            if outcomes is not None:
+                outcomes.append(outcome)
+            result = outcome.result
+        else:
+            result = run_sharded_experiment(
+                factory,
+                resolver_config,
+                workload.names(size),
+                seed=seed,
+                shards=shards,
+                parallelism=parallelism,
+                executor=executor,
+            )
         leak = result.leakage
         points.append(
             LeakageSweepPoint(

@@ -13,6 +13,9 @@ Commands:
 * ``profile``  — cProfile one fig8-style cell (optionally cache-warm or
   with hot-path caches disabled) and report the hot functions plus
   cache statistics.
+* ``store``    — inspect the crash-safe sweep result store:
+  ``ls`` committed cells, ``verify`` payload + fingerprint integrity,
+  ``gc`` temp/corrupt/stale-version files.
 """
 
 from __future__ import annotations
@@ -51,6 +54,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from .analysis import (
         fig8_dlv_queries,
         fig9_leak_proportion,
@@ -59,7 +64,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     sizes = [int(part) for part in args.sizes.split(",")]
-    if args.parallelism > 1 or args.shards is not None:
+    store = None
+    outcomes: list = []
+    if args.resume and not args.store:
+        print("--resume requires --store DIR", file=sys.stderr)
+        return 2
+    if args.store:
+        from .core import ResultStore
+
+        if args.resume and not os.path.isdir(args.store):
+            print(
+                f"--resume: store '{args.store}' does not exist "
+                "(nothing to resume)",
+                file=sys.stderr,
+            )
+            return 2
+        store = ResultStore(args.store)
+    if args.parallelism > 1 or args.shards is not None or store is not None:
         shards = args.shards if args.shards is not None else args.parallelism
         executor = None
         if args.executor == "serial":
@@ -72,10 +93,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             shards=shards,
             parallelism=args.parallelism,
             executor=executor,
+            store=store,
+            fail_fast=args.fail_fast,
+            timeout=args.timeout,
+            retries=args.retries,
+            outcomes=outcomes,
         )
         print(
             f"sharded sweep: {shards} shard(s), "
             f"{args.parallelism} worker(s), executor={args.executor}"
+            + (f", store={args.store}" if store is not None else "")
         )
         print()
     else:
@@ -83,7 +110,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(fig8_dlv_queries(points)[1])
     print()
     print(fig9_leak_proportion(points)[1])
+    quarantined = [cell for outcome in outcomes for cell in outcome.quarantined]
+    if outcomes:
+        reused = sum(outcome.cells_reused for outcome in outcomes)
+        rerun = sum(outcome.cells_rerun for outcome in outcomes)
+        print()
+        print(
+            f"store: {reused} cell(s) reused, {rerun} re-run, "
+            f"{len(quarantined)} quarantined"
+            + (
+                f", {store.stats.corrupt_detected} corrupt detected"
+                if store is not None and store.stats.corrupt_detected
+                else ""
+            )
+        )
+    if quarantined:
+        print("quarantined cells (affected points are partial):")
+        for cell in quarantined:
+            print(f"  - {cell.describe()}")
+        return 3
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .core import ResultStore
+
+    store = ResultStore(args.root)
+    if args.action == "ls":
+        rows = []
+        for entry in store.entries():
+            key = entry.header.get("key", {}).get("fields", {})
+            extra = dict(key.get("extra", ()) or [])
+            rows.append(
+                (
+                    entry.digest[:12],
+                    key.get("kind", "?"),
+                    key.get("code_version", "?"),
+                    str(key.get("seed", "?")),
+                    f"{key.get('shard_index', '?')}/{key.get('shard_count', '?')}",
+                    str(extra.get("trace", "?")),
+                    f"{entry.path.stat().st_size}",
+                )
+            )
+        print(
+            format_table(
+                ["cell", "kind", "version", "seed", "shard", "trace", "bytes"],
+                rows,
+                title=f"store {args.root}: {len(rows)} committed cell(s)",
+            )
+        )
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(
+            f"verified {report.checked} cell(s): {report.ok} ok, "
+            f"{len(report.corrupt)} corrupt"
+        )
+        for path in report.corrupt:
+            print(f"  corrupt (quarantined to *.corrupt): {path}")
+        return 0 if report.clean else 1
+    if args.action == "gc":
+        removed = store.gc(all_versions=args.all_versions)
+        print(
+            f"gc: removed {removed['tmp']} temp, {removed['corrupt']} "
+            f"corrupt, {removed['stale']} stale-version file(s) "
+            f"({removed['bytes']} bytes)"
+        )
+        return 0
+    raise AssertionError(f"unknown store action {args.action!r}")
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -326,7 +421,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded execution backend: fork worker pool, or the "
         "in-process fallback for debugging",
     )
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        help="crash-safe result store: completed shard cells commit here "
+        "as they finish and are reused on later runs (implies the "
+        "sharded runner)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted stored sweep: requires --store, and "
+        "the store must already exist; committed cells are skipped and "
+        "only missing/corrupt/failed ones re-run",
+    )
+    failure = sweep.add_mutually_exclusive_group()
+    failure.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="abort the sweep on the first failing cell",
+    )
+    failure.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="quarantine failing cells and complete the rest "
+        "(default; exits 3 with a quarantine summary if any cell "
+        "was quarantined)",
+    )
+    sweep.set_defaults(fail_fast=False)
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        help="per-cell wall-clock budget in seconds (a cell exceeding it "
+        "is terminated and retried)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry budget per failing cell, on a deterministic "
+        "exponential backoff (default 2)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    store = subparsers.add_parser(
+        "store", help="inspect the crash-safe sweep result store"
+    )
+    store.add_argument("action", choices=("ls", "verify", "gc"))
+    store.add_argument("--root", required=True, help="store directory")
+    store.add_argument(
+        "--all-versions",
+        action="store_true",
+        help="gc: keep cells from other code versions instead of "
+        "reclaiming them",
+    )
+    store.set_defaults(func=_cmd_store)
 
     tables = subparsers.add_parser("tables", help="regenerate Tables 1-5")
     tables.add_argument("--sizes", default="100")

@@ -354,6 +354,26 @@ def run_chaos_cell(
     )
 
 
+def _drain_quarantine(quarantined, sink, where: str) -> None:
+    """Hand quarantined cells to the caller's sink, or warn so a
+    keep-going matrix can never swallow failures silently."""
+    if not quarantined:
+        return
+    if sink is not None:
+        sink.extend(quarantined)
+        return
+    import warnings
+
+    summary = "; ".join(cell.describe() for cell in quarantined)
+    warnings.warn(
+        f"{where}: {len(quarantined)} cell(s) quarantined and omitted "
+        f"from the report list ({summary}); pass quarantine=[] to "
+        "collect them, or fail_fast=True to raise instead",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def run_chaos_matrix(
     universe_factory: Callable[[], Universe],
     names: Sequence[Name],
@@ -362,6 +382,10 @@ def run_chaos_matrix(
     trace: bool = False,
     parallelism: int = 1,
     executor=None,
+    fail_fast: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    quarantine: Optional[List] = None,
 ) -> List[ChaosReport]:
     """Sweep fault scenarios × resolver policies.
 
@@ -373,8 +397,16 @@ def run_chaos_matrix(
     pool (see :mod:`repro.core.parallel`) and the returned list — in
     the same scenario-major order as the serial sweep — is
     byte-identical to the ``parallelism=1`` run.
+
+    Failure containment (:class:`~repro.core.parallel.FaultTolerantExecutor`):
+    by default the matrix **keeps going** — a cell that fails (raises,
+    times out against ``timeout``, or loses its worker) is retried
+    ``retries`` times and then quarantined, the healthy cells complete,
+    and the quarantined ones are appended to the caller's ``quarantine``
+    list (or warned about).  ``fail_fast=True`` raises the first cell's
+    typed failure instead.
     """
-    from .parallel import run_tasks
+    from .parallel import run_tasks_fault_tolerant
 
     def make_cell(scenario_label, scenario, policy_label, config):
         def cell() -> ChaosReport:
@@ -388,6 +420,7 @@ def run_chaos_matrix(
                 trace=trace,
             )
 
+        cell.cell_context = f"chaos '{scenario_label}' × '{policy_label}'"
         return cell
 
     tasks = [
@@ -395,7 +428,16 @@ def run_chaos_matrix(
         for scenario_label, scenario in scenarios.items()
         for policy_label, config in configs.items()
     ]
-    return run_tasks(tasks, parallelism=parallelism, executor=executor)
+    results, quarantined, _ = run_tasks_fault_tolerant(
+        tasks,
+        parallelism=parallelism,
+        executor=executor,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
+    )
+    _drain_quarantine(quarantined, quarantine, "run_chaos_matrix")
+    return [report for report in results if report is not None]
 
 
 # ----------------------------------------------------------------------
@@ -515,6 +557,10 @@ def run_adversary_matrix(
     trace: bool = False,
     parallelism: int = 1,
     executor=None,
+    fail_fast: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    quarantine: Optional[List] = None,
 ) -> List[AdversaryReport]:
     """Sweep adversary personas × hardening policies.
 
@@ -530,8 +576,14 @@ def run_adversary_matrix(
     counts) — and the reports are reassembled into the serial order
     (baseline, then adversaries, per policy).  Cell independence makes
     the parallel report list byte-identical to the serial one.
+
+    Failure containment mirrors :func:`run_chaos_matrix`: keep-going
+    with bounded retries and quarantine by default, ``fail_fast=True``
+    to raise.  A quarantined *baseline* also sidelines that policy's
+    adversary cells (their amplification factor would be meaningless),
+    recording them with error ``baseline-quarantined``.
     """
-    from .parallel import run_tasks
+    from .parallel import QuarantinedCell, run_tasks_fault_tolerant
 
     policies = list(configs.items())
     active_adversaries = [
@@ -554,33 +606,71 @@ def run_adversary_matrix(
                 trace=trace,
             )
 
+        cell.cell_context = f"adversary '{adversary_label}' × '{policy_label}'"
         return cell
 
-    baselines = run_tasks(
+    all_quarantined: List[QuarantinedCell] = []
+    baselines, quarantined, _ = run_tasks_fault_tolerant(
         [make_cell(config, policy_label) for policy_label, config in policies],
         parallelism=parallelism,
         executor=executor,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
     )
-    adversary_tasks = [
-        make_cell(
-            config,
-            policy_label,
-            adversary_label=adversary_label,
-            scenario=scenario,
-            baseline_sends=baselines[policy_index].upstream_sends,
-        )
-        for policy_index, (policy_label, config) in enumerate(policies)
-        for adversary_label, scenario in active_adversaries
-    ]
-    adversary_reports = run_tasks(
-        adversary_tasks, parallelism=parallelism, executor=executor
+    all_quarantined.extend(quarantined)
+    adversary_tasks = []
+    skipped: List[QuarantinedCell] = []
+    for policy_index, (policy_label, config) in enumerate(policies):
+        baseline = baselines[policy_index]
+        for adversary_label, scenario in active_adversaries:
+            if baseline is None:
+                skipped.append(
+                    QuarantinedCell(
+                        index=-1,
+                        context=(
+                            f"cell [adversary '{adversary_label}' × "
+                            f"'{policy_label}']"
+                        ),
+                        attempts=0,
+                        error="baseline-quarantined",
+                        detail="policy baseline failed; amplification "
+                        "denominator unavailable",
+                    )
+                )
+                continue
+            adversary_tasks.append(
+                make_cell(
+                    config,
+                    policy_label,
+                    adversary_label=adversary_label,
+                    scenario=scenario,
+                    baseline_sends=baseline.upstream_sends,
+                )
+            )
+    adversary_reports, quarantined, _ = run_tasks_fault_tolerant(
+        adversary_tasks,
+        parallelism=parallelism,
+        executor=executor,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
     )
+    all_quarantined.extend(quarantined)
+    all_quarantined.extend(skipped)
     reports: List[AdversaryReport] = []
-    per_policy = len(active_adversaries)
+    cursor = 0
     for policy_index, baseline in enumerate(baselines):
+        if baseline is None:
+            continue
         reports.append(baseline)
-        start = policy_index * per_policy
-        reports.extend(adversary_reports[start:start + per_policy])
+        for report in adversary_reports[
+            cursor:cursor + len(active_adversaries)
+        ]:
+            if report is not None:
+                reports.append(report)
+        cursor += len(active_adversaries)
+    _drain_quarantine(all_quarantined, quarantine, "run_adversary_matrix")
     return reports
 
 

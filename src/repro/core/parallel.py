@@ -51,10 +51,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
 from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     List,
     Optional,
@@ -382,6 +387,222 @@ def _invoke_task(index: int) -> Any:
     return _ACTIVE_TASKS[index]()
 
 
+def task_context(task: Any, index: int = -1) -> str:
+    """A human-readable description of *task* for failure reports.
+
+    Recognises the shapes this repository fans out: an explicit
+    ``cell_context`` attribute wins (the matrix drivers set one); a
+    :class:`_ShardTask` describes its shard and config; anything else
+    falls back to its name.  The index is always included so a failure
+    can be mapped back to its position in the task list.
+    """
+    prefix = f"cell {index}" if index >= 0 else "cell"
+    explicit = getattr(task, "cell_context", None)
+    if explicit:
+        return f"{prefix} [{explicit}]"
+    spec = getattr(task, "spec", None)
+    config = getattr(task, "config", None)
+    if spec is not None:
+        parts = [f"shard={spec.index}", f"seed={spec.seed}"]
+        if config is not None and hasattr(config, "describe"):
+            parts.append(f"config='{config.describe()}'")
+        return f"{prefix} [{' '.join(parts)}]"
+    name = getattr(task, "__name__", None) or type(task).__name__
+    return f"{prefix} [{name}]"
+
+
+class TaskFailure(RuntimeError):
+    """A fanned-out task failed, with the failing cell's context.
+
+    ``context`` identifies the cell (shard index/seed/config for shard
+    tasks, scenario × policy for matrix cells); ``detail`` carries the
+    worker-side traceback text, so the parent's exception explains the
+    child's failure instead of a bare pool traceback.
+    """
+
+    kind = "exception"
+
+    def __init__(self, context: str, detail: str = ""):
+        self.context = context
+        self.detail = detail
+        message = f"{context} failed"
+        if detail:
+            message += f":\n{detail.rstrip()}"
+        super().__init__(message)
+
+
+class WorkerLost(TaskFailure):
+    """A worker process died without reporting a result — killed,
+    segfaulted, or ``os._exit`` — instead of hanging the pool."""
+
+    kind = "worker-lost"
+
+    def __init__(self, context: str, exitcode: Optional[int]):
+        self.exitcode = exitcode
+        if exitcode is not None and exitcode < 0:
+            how = f"killed by signal {-exitcode}"
+        else:
+            how = f"exited with code {exitcode}"
+        super().__init__(context, f"worker died without a result ({how})")
+
+
+class CellTimeout(TaskFailure):
+    """A cell exceeded its wall-clock budget and its worker was
+    terminated."""
+
+    kind = "timeout"
+
+    def __init__(self, context: str, timeout: float):
+        self.timeout = timeout
+        super().__init__(context, f"no result within {timeout:g}s; worker terminated")
+
+
+class QuarantineError(RuntimeError):
+    """Raised by keep-going executors used through the plain
+    ``Executor.run`` protocol when cells were quarantined (protocol
+    callers cannot consume partial result lists)."""
+
+    def __init__(self, quarantined: Sequence["QuarantinedCell"]):
+        self.quarantined = list(quarantined)
+        lines = "\n".join(f"  - {cell.describe()}" for cell in quarantined)
+        super().__init__(
+            f"{len(self.quarantined)} cell(s) quarantined:\n{lines}"
+        )
+
+
+@dataclasses.dataclass
+class QuarantinedCell:
+    """A poison cell that failed every attempt and was set aside so the
+    rest of the sweep could complete."""
+
+    index: int
+    context: str
+    attempts: int
+    error: str  # TaskFailure.kind: exception / worker-lost / timeout
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"{self.context}: {self.error} after {self.attempts} attempt(s)"
+            + (f" — {self.detail.strip().splitlines()[-1]}" if self.detail else "")
+        )
+
+
+@dataclasses.dataclass
+class ExecutorHealth:
+    """Aggregate robustness counters for one fan-out.
+
+    These are *operational* facts (how the run went), deliberately kept
+    out of merged experiment results so a retried or resumed sweep stays
+    byte-identical to an undisturbed one — the same physical/logical
+    split the hot-path caches use for their hit counters.
+    """
+
+    cells_ok: int = 0
+    retries: int = 0
+    worker_lost: int = 0
+    worker_restarts: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+
+    def emit(self, metrics, prefix: str = "executor") -> None:
+        """Feed the counters into a metrics registry (None is a no-op)."""
+        if metrics is None:
+            return
+        metrics.inc(f"{prefix}.cells_ok", self.cells_ok)
+        metrics.inc(f"{prefix}.retries", self.retries)
+        metrics.inc(f"{prefix}.worker_lost", self.worker_lost)
+        metrics.inc(f"{prefix}.worker_restarts", self.worker_restarts)
+        metrics.inc(f"{prefix}.timeouts", self.timeouts)
+        metrics.inc(f"{prefix}.quarantined", self.quarantined)
+
+    def merge(self, other: "ExecutorHealth") -> "ExecutorHealth":
+        return ExecutorHealth(
+            cells_ok=self.cells_ok + other.cells_ok,
+            retries=self.retries + other.retries,
+            worker_lost=self.worker_lost + other.worker_lost,
+            worker_restarts=self.worker_restarts + other.worker_restarts,
+            timeouts=self.timeouts + other.timeouts,
+            quarantined=self.quarantined + other.quarantined,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"ok={self.cells_ok} retries={self.retries} "
+            f"lost={self.worker_lost} restarts={self.worker_restarts} "
+            f"timeouts={self.timeouts} quarantined={self.quarantined}"
+        )
+
+
+def backoff_schedule(
+    retries: int, base: float = 0.05, factor: float = 2.0, cap: float = 2.0
+) -> Tuple[float, ...]:
+    """The deterministic retry-delay schedule: ``min(cap, base *
+    factor**k)`` for the k-th retry.  A pure function of its arguments —
+    no jitter — so a re-run retries on exactly the same schedule."""
+    return tuple(min(cap, base * factor ** k) for k in range(max(0, retries)))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjection:
+    """Failure-injection knobs for tests, docs, and the CI smoke job.
+
+    ``crash_once_cells`` names task indices whose *first* attempt dies
+    via ``os._exit`` (a hard worker loss — no exception, no result); a
+    marker file under ``marker_dir`` records the attempt so the retry
+    succeeds.  Requires process isolation (the executor's fork path):
+    injected crashes inside an in-process run would kill the caller.
+    """
+
+    marker_dir: str
+    crash_once_cells: FrozenSet[int] = frozenset()
+    #: Exit code the crashed worker dies with (93 reads as "injected").
+    exit_code: int = 93
+
+    def wrap(
+        self, index: int, task: Callable[[], T]
+    ) -> Callable[[], T]:
+        if index not in self.crash_once_cells:
+            return task
+        marker = os.path.join(self.marker_dir, f"crash-once-{index}")
+
+        def injected() -> T:
+            try:
+                # O_EXCL: exactly one attempt crashes, every later one runs.
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return task()
+            os.close(fd)
+            os._exit(self.exit_code)
+
+        injected.cell_context = task_context(task, index)  # type: ignore[attr-defined]
+        return injected
+
+
+def _child_main(index: int, conn) -> None:
+    """Worker body: run one inherited task, ship the outcome, exit.
+
+    ``os._exit`` skips the parent's atexit/finalizer state the fork
+    inherited; the parent learns everything it needs from the pipe (or
+    from its silence, which becomes :class:`WorkerLost`).
+    """
+    status = 0
+    try:
+        try:
+            result = _ACTIVE_TASKS[index]()  # type: ignore[index]
+            payload = ("ok", result)
+        except BaseException:
+            payload = ("error", traceback.format_exc())
+            status = 1
+        try:
+            conn.send(payload)
+        except Exception:
+            status = 1
+        conn.close()
+    finally:
+        os._exit(status)
+
+
 class SerialExecutor:
     """The in-process fallback: runs every task in the calling process,
     in order.  Used for debugging, platforms without ``fork``, and as
@@ -393,14 +614,293 @@ class SerialExecutor:
         return [task() for task in tasks]
 
 
+class FaultTolerantExecutor:
+    """A crash-surviving executor: per-cell timeouts, bounded retries on
+    a deterministic backoff schedule, dead-worker detection, and poison
+    -cell quarantine.
+
+    Process isolation (one forked worker per attempt, handed its task
+    by index like the classic pool) is used whenever it is needed to
+    contain a failure — more than one worker, a timeout to enforce, or
+    ``isolate=True`` — and available on the platform.  Otherwise tasks
+    run in-process with the same retry/quarantine semantics (minus
+    crash containment, which only a separate process can provide).
+
+    Failure handling:
+
+    * a task exception is wrapped in :class:`TaskFailure` carrying the
+      cell's context and the worker traceback;
+    * a worker that dies without reporting (killed, ``os._exit``,
+      segfault) becomes :class:`WorkerLost` — detected promptly from
+      the closed result pipe, never a silent hang;
+    * a cell that exceeds ``timeout`` has its worker terminated and
+      becomes :class:`CellTimeout`;
+    * each failed cell is retried up to ``retries`` times, delayed by
+      :func:`backoff_schedule`; a cell that fails every attempt is
+      **quarantined** (``keep_going=True``, the default) so healthy
+      cells still complete, or raised immediately (``keep_going=False``,
+      i.e. fail-fast).
+
+    ``run_with_quarantine`` streams results to an ``on_result`` callback
+    in the parent as cells complete — the hook the crash-safe store uses
+    to commit cells incrementally, so a killed sweep keeps its finished
+    work.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        keep_going: bool = True,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_cap: float = 2.0,
+        isolate: Optional[bool] = None,
+        poll_interval: float = 0.02,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.keep_going = keep_going
+        self.backoff = backoff_schedule(
+            retries, base=backoff_base, factor=backoff_factor, cap=backoff_cap
+        )
+        self.isolate = isolate
+        self.poll_interval = poll_interval
+        self._sleep = sleep
+        self.health = ExecutorHealth()
+
+    @staticmethod
+    def fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _isolating(self, task_count: int) -> bool:
+        if not self.fork_available():
+            return False
+        if self.isolate is not None:
+            return self.isolate
+        return self.workers > 1 and task_count > 1 or self.timeout is not None
+
+    # -- Executor protocol -------------------------------------------------
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Protocol-compatible entry: the full result list or an
+        exception.  Keep-going runs that quarantined cells raise
+        :class:`QuarantineError` (a partial list would silently
+        misalign with the task list)."""
+        results, quarantined, _ = self.run_with_quarantine(tasks)
+        if quarantined:
+            raise QuarantineError(quarantined)
+        return [result for result in results]  # type: ignore[misc]
+
+    # -- full-fat API ------------------------------------------------------
+
+    def run_with_quarantine(
+        self,
+        tasks: Sequence[Callable[[], T]],
+        on_result: Optional[Callable[[int, T], None]] = None,
+    ) -> Tuple[List[Optional[T]], List[QuarantinedCell], ExecutorHealth]:
+        """Run *tasks*, surviving failures.
+
+        Returns ``(results, quarantined, health)``: ``results`` is
+        index-aligned with *tasks* (``None`` for quarantined cells),
+        ``quarantined`` lists the poison cells, and ``health`` the
+        run's robustness counters.  ``on_result`` fires in the parent
+        as each cell's result arrives (before slower cells finish).
+        With ``keep_going=False`` the first exhausted cell raises its
+        typed failure instead of being quarantined.
+        """
+        health = ExecutorHealth()
+        self.health = health
+        results: List[Optional[T]] = [None] * len(tasks)
+        quarantined: List[QuarantinedCell] = []
+        if not tasks:
+            return results, quarantined, health
+        if self._isolating(len(tasks)):
+            self._run_processes(tasks, results, quarantined, health, on_result)
+        else:
+            self._run_inline(tasks, results, quarantined, health, on_result)
+        return results, quarantined, health
+
+    # -- in-process path ---------------------------------------------------
+
+    def _run_inline(self, tasks, results, quarantined, health, on_result):
+        for index, task in enumerate(tasks):
+            context = task_context(task, index)
+            for attempt in range(self.retries + 1):
+                try:
+                    value = task()
+                except Exception:
+                    detail = traceback.format_exc()
+                    if attempt < self.retries:
+                        health.retries += 1
+                        delay = self.backoff[attempt]
+                        if delay > 0:
+                            self._sleep(delay)
+                        continue
+                    failure = TaskFailure(context, detail)
+                    self._fail(
+                        index, context, attempt + 1, failure,
+                        quarantined, health,
+                    )
+                    break
+                else:
+                    results[index] = value
+                    health.cells_ok += 1
+                    if on_result is not None:
+                        on_result(index, value)
+                    break
+
+    # -- forked-worker path ------------------------------------------------
+
+    def _run_processes(self, tasks, results, quarantined, health, on_result):
+        global _ACTIVE_TASKS
+        context_mp = multiprocessing.get_context("fork")
+        previous = _ACTIVE_TASKS
+        _ACTIVE_TASKS = tasks
+        #: index -> (process, reader, deadline)
+        running: Dict[int, Tuple[Any, Any, Optional[float]]] = {}
+        #: (not_before, index) — retry delays without blocking the loop.
+        pending: List[Tuple[float, int]] = [
+            (0.0, index) for index in range(len(tasks))
+        ]
+        attempts = [0] * len(tasks)
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Fill free slots with due work.
+                due = [item for item in pending if item[0] <= now]
+                for item in sorted(due):
+                    if len(running) >= self.workers:
+                        break
+                    pending.remove(item)
+                    index = item[1]
+                    attempts[index] += 1
+                    reader, writer = context_mp.Pipe(duplex=False)
+                    process = context_mp.Process(
+                        target=_child_main, args=(index, writer)
+                    )
+                    process.start()
+                    writer.close()
+                    deadline = (
+                        now + self.timeout if self.timeout is not None else None
+                    )
+                    running[index] = (process, reader, deadline)
+                if not running:
+                    # Everything pending is backing off; wait out the
+                    # nearest retry without spinning.
+                    wake = min(item[0] for item in pending)
+                    self._sleep(max(0.0, min(wake - now, self.poll_interval)))
+                    continue
+                multiprocessing.connection.wait(
+                    [reader for (_, reader, _) in running.values()],
+                    timeout=self.poll_interval,
+                )
+                now = time.monotonic()
+                for index in list(running):
+                    process, reader, deadline = running[index]
+                    failure: Optional[TaskFailure] = None
+                    context = task_context(tasks[index], index)
+                    if reader.poll():
+                        try:
+                            tag, payload = reader.recv()
+                        except (EOFError, OSError):
+                            process.join(timeout=1.0)
+                            failure = WorkerLost(context, process.exitcode)
+                        else:
+                            if tag == "ok":
+                                del running[index]
+                                self._reap(process, reader)
+                                results[index] = payload
+                                health.cells_ok += 1
+                                if on_result is not None:
+                                    on_result(index, payload)
+                                continue
+                            failure = TaskFailure(context, payload)
+                    elif not process.is_alive():
+                        # Dead without a result: flush any race between
+                        # is_alive and a final send before declaring loss.
+                        if reader.poll(0):
+                            continue  # handle on the next sweep
+                        process.join(timeout=1.0)
+                        failure = WorkerLost(context, process.exitcode)
+                    elif deadline is not None and now >= deadline:
+                        failure = CellTimeout(context, self.timeout)
+                    else:
+                        continue
+                    del running[index]
+                    self._reap(process, reader, force=True)
+                    if isinstance(failure, WorkerLost):
+                        health.worker_lost += 1
+                    elif isinstance(failure, CellTimeout):
+                        health.timeouts += 1
+                    if attempts[index] <= self.retries:
+                        health.retries += 1
+                        if isinstance(failure, (WorkerLost, CellTimeout)):
+                            health.worker_restarts += 1
+                        delay = self.backoff[attempts[index] - 1]
+                        pending.append((time.monotonic() + delay, index))
+                    else:
+                        self._fail(
+                            index, context, attempts[index], failure,
+                            quarantined, health,
+                        )
+        finally:
+            _ACTIVE_TASKS = previous
+            for process, reader, _ in running.values():
+                self._reap(process, reader, force=True)
+
+    def _fail(self, index, context, attempts, failure, quarantined, health):
+        if not self.keep_going:
+            raise failure
+        health.quarantined += 1
+        quarantined.append(
+            QuarantinedCell(
+                index=index,
+                context=context,
+                attempts=attempts,
+                error=failure.kind,
+                detail=failure.detail,
+            )
+        )
+
+    @staticmethod
+    def _reap(process, reader, force: bool = False) -> None:
+        """Join a worker, escalating terminate → kill so no child is
+        ever left running or zombied (the no-hung-processes contract)."""
+        try:
+            reader.close()
+        except Exception:
+            pass
+        if force and process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - terminate() sufficed so far
+            process.kill()
+            process.join(timeout=5.0)
+
+
 class MultiprocessingExecutor:
     """A ``fork``-based worker pool.
 
     Tasks are handed to workers by index: the child inherits the task
     list through fork, so only the index travels out and only the
     (picklable) result travels back.  On platforms without ``fork`` —
-    or with ``workers <= 1`` — it degrades to :class:`SerialExecutor`
-    semantics, which is safe because executors are output-invisible.
+    or with ``workers <= 1`` — it degrades to in-process execution,
+    which is safe because executors are output-invisible.
+
+    Failure semantics (fail-fast, no retries): a task exception raises
+    :class:`TaskFailure` naming the failing cell's (config, seed,
+    shard) context with the worker traceback attached, and a worker
+    killed mid-task raises a typed :class:`WorkerLost` instead of
+    hanging the pool.  For retries, timeouts, and quarantine, use
+    :class:`FaultTolerantExecutor` directly.
     """
 
     def __init__(self, workers: int):
@@ -413,17 +913,29 @@ class MultiprocessingExecutor:
         return "fork" in multiprocessing.get_all_start_methods()
 
     def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
-        global _ACTIVE_TASKS
         if self.workers == 1 or len(tasks) <= 1 or not self.fork_available():
-            return SerialExecutor().run(tasks)
-        context = multiprocessing.get_context("fork")
-        previous = _ACTIVE_TASKS
-        _ACTIVE_TASKS = tasks
-        try:
-            with context.Pool(min(self.workers, len(tasks))) as pool:
-                return pool.map(_invoke_task, range(len(tasks)), chunksize=1)
-        finally:
-            _ACTIVE_TASKS = previous
+            return self._run_serial(tasks)
+        engine = FaultTolerantExecutor(
+            workers=min(self.workers, len(tasks)),
+            timeout=None,
+            retries=0,
+            keep_going=False,
+            isolate=True,
+        )
+        results, _, _ = engine.run_with_quarantine(tasks)
+        return [result for result in results]  # type: ignore[misc]
+
+    @staticmethod
+    def _run_serial(tasks: Sequence[Callable[[], T]]) -> List[T]:
+        results: List[T] = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(task())
+            except Exception as exc:
+                raise TaskFailure(
+                    task_context(task, index), traceback.format_exc()
+                ) from exc
+        return results
 
 
 def resolve_executor(parallelism: int, executor=None):
@@ -445,6 +957,46 @@ def run_tasks(
     """Fan *tasks* out on the chosen executor, preserving input order
     in the returned list (the pool maps by index)."""
     return resolve_executor(parallelism, executor).run(tasks)
+
+
+def run_tasks_fault_tolerant(
+    tasks: Sequence[Callable[[], T]],
+    parallelism: int = 1,
+    executor=None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    fail_fast: bool = False,
+    backoff_base: float = 0.05,
+    on_result: Optional[Callable[[int, T], None]] = None,
+) -> Tuple[List[Optional[T]], List[QuarantinedCell], ExecutorHealth]:
+    """Fan *tasks* out with failure containment.
+
+    The fault-tolerant analogue of :func:`run_tasks`: returns an
+    index-aligned result list (``None`` where a cell was quarantined),
+    the quarantine record, and the run's health counters.  An explicit
+    :class:`FaultTolerantExecutor` is used as given; a legacy executor
+    (:class:`SerialExecutor`, :class:`MultiprocessingExecutor`) runs the
+    tasks with its own fail-fast semantics and reports empty quarantine.
+    """
+    if executor is None:
+        executor = FaultTolerantExecutor(
+            workers=max(parallelism, 1),
+            timeout=timeout,
+            retries=retries,
+            keep_going=not fail_fast,
+            backoff_base=backoff_base,
+        )
+    if isinstance(executor, FaultTolerantExecutor):
+        return executor.run_with_quarantine(tasks, on_result=on_result)
+    results = executor.run(tasks)
+    if on_result is not None:
+        for index, result in enumerate(results):
+            on_result(index, result)
+    return (
+        list(results),
+        [],
+        ExecutorHealth(cells_ok=len(results)),
+    )
 
 
 # ----------------------------------------------------------------------

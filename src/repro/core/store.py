@@ -1,0 +1,766 @@
+"""Crash-safe, content-addressed sweep result store with resume.
+
+The paper's headline numbers come from sweeping scenario matrices
+(configs × faults × adversaries × remedies × seeds).  Per-cell cost is
+now small, but aggregate cost is not — and a sweep that dies at cell
+980 of 1000 should not owe the first 979 again.  This module makes
+"handle every scenario you can imagine" an *accumulation* problem:
+
+* :class:`CellKey` captures the **input side** of a cell — code
+  version, config digest, workload digest, base seed, and the shard
+  plan entry (index, count, derived sub-seed) — canonicalised and
+  SHA-256'd into a content address;
+* :class:`ResultStore` commits each cell's :class:`ExperimentResult`
+  under that address with a **write-to-temp + atomic rename** (a crash
+  mid-commit leaves either the complete previous state or a stray
+  ``*.tmp`` that ``gc`` removes — never a torn cell);
+* reads are **fingerprint-verified**: the committed envelope stores the
+  SHA-256 of the payload *and* of the result's canonical
+  :func:`~repro.core.parallel.result_fingerprint`; both are recomputed
+  at load, so a truncated or bit-flipped cell is detected, quarantined
+  to ``*.corrupt``, and transparently re-run — never silently reused;
+* :class:`SweepJournal` appends one JSON line per store event (reuse,
+  commit, corruption, quarantine) with flush+fsync, tolerating a torn
+  final line after a crash;
+* :func:`run_stored_sweep` stitches it together with the
+  fault-tolerant executor from :mod:`repro.core.parallel`: completed
+  cells commit **as they finish** (so SIGTERM mid-sweep keeps them),
+  a resumed sweep loads every committed cell and re-runs only missing,
+  corrupt, or previously quarantined ones, and the merged result is
+  **byte-identical** to an uninterrupted run — enforced by the same
+  fingerprint machinery that validates the parallel merge.
+
+Store layout::
+
+    <root>/
+      journal.jsonl            # append-only sweep event journal
+      ab/abcdef…123.cell       # JSON envelope, addressed by key digest
+      ab/abcdef…123.cell.corrupt   # quarantined by a failed verify
+
+Operational counters (cells reused / re-run, corruption detected,
+executor retries/restarts/quarantine) are deliberately kept *out* of
+the merged experiment result — they describe how the run went, not
+what it computed — so a resumed sweep fingerprints identically to a
+fresh one.  They surface through :class:`SweepOutcome`, the journal,
+an optional metrics registry, and ``python -m repro store``.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import os
+import pickle
+import signal
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..dnscore import Name
+from ..resolver import ResolverConfig
+from .experiment import ExperimentResult
+from .parallel import (
+    ExecutorHealth,
+    FaultInjection,
+    FaultTolerantExecutor,
+    QuarantinedCell,
+    ShardSpec,
+    UniverseFactory,
+    _ShardTask,
+    plan_shards,
+    merge_shard_results,
+    result_fingerprint,
+)
+
+#: Envelope schema version; bump on incompatible layout changes.
+STORE_FORMAT = 1
+
+
+class StoreError(Exception):
+    """A store operation failed (not a corruption — those are handled)."""
+
+
+# ----------------------------------------------------------------------
+# Canonical digests
+# ----------------------------------------------------------------------
+
+def _canonicalize(value: Any) -> Any:
+    """Reduce *value* to JSON-safe plain data, deterministically.
+
+    Dataclasses carry their qualified name so two different config
+    classes with equal fields cannot collide; enums reduce to their
+    value; sets sort; callables reduce to their qualified name (with
+    ``functools.partial`` flattened, which covers the repository's
+    picklable universe factories).
+    """
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__qualname__, "value": value.value}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            "fields": {
+                field.name: _canonicalize(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Name):
+        return {"__name__": value.to_text()}
+    if isinstance(value, functools.partial):
+        return {
+            "__partial__": _canonicalize(value.func),
+            "args": [_canonicalize(item) for item in value.args],
+            "kwargs": {
+                key: _canonicalize(value.keywords[key])
+                for key in sorted(value.keywords)
+            },
+        }
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        qualname = getattr(value, "__qualname__", type(value).__name__)
+        return {"__callable__": f"{module}.{qualname}"}
+    if isinstance(value, dict):
+        return {
+            str(key): _canonicalize(value[key])
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonicalize(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON for hashing: canonicalised, sorted keys,
+    compact separators."""
+    return json.dumps(
+        _canonicalize(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def config_digest(config: ResolverConfig) -> str:
+    """Content digest of a resolver configuration (every field, via the
+    dataclass canonicalisation — two configs digest equal iff their
+    fields are equal)."""
+    return stable_digest(config)
+
+
+def names_digest(names: Sequence[Name]) -> str:
+    """Content digest of an ordered name list."""
+    text = "\n".join(name.to_text() for name in names)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def factory_digest(factory: UniverseFactory) -> str:
+    """Content digest of a universe factory's *identity*.
+
+    ``functools.partial`` factories (the shape
+    :func:`~repro.core.setup.standard_universe_factory` returns) digest
+    their target and every bound argument, so changing the filler count
+    or an override dirties the key.  Opaque closures reduce to their
+    qualified name — callers with closure-captured parameters should
+    pass an explicit ``factory_key`` to :func:`run_stored_sweep`.
+    """
+    return stable_digest(factory)
+
+
+def fingerprint_digest(result: ExperimentResult) -> str:
+    """SHA-256 of the result's canonical fingerprint — the value the
+    byte-identity machinery compares, reduced to one line."""
+    return stable_digest(result_fingerprint(result))
+
+
+# ----------------------------------------------------------------------
+# Cell keys
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CellKey:
+    """The input side of one sweep cell, i.e. everything its result is
+    a pure function of."""
+
+    #: What kind of cell ("leakage-shard", "chaos-cell", ...).
+    kind: str
+    #: Code version the cell was produced by (``repro.__version__``
+    #: unless overridden via ``REPRO_CODE_VERSION`` — bumping either
+    #: dirties every cell, and ``gc`` reclaims the stale ones).
+    code_version: str
+    #: Digest of the universe factory identity.
+    factory: str
+    #: Digest of the resolver configuration.
+    config: str
+    #: Digest of the shard's own (ordered) name slice.
+    workload: str
+    #: The sweep's base seed.
+    seed: int
+    #: This cell's position in the shard plan.
+    shard_index: int
+    shard_count: int
+    #: The derived sub-seed actually driving the shard's universe.
+    shard_seed: int
+    #: Sorted residual parameters (ptr_fraction, trace, ...).
+    extra: Tuple[Tuple[str, str], ...] = ()
+
+    def digest(self) -> str:
+        return stable_digest(self)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "code_version": self.code_version,
+            "seed": self.seed,
+            "shard": f"{self.shard_index}/{self.shard_count}",
+            "shard_seed": self.shard_seed,
+            "config": self.config[:12],
+            "workload": self.workload[:12],
+        }
+
+
+def current_code_version() -> str:
+    """The code version cells are keyed under.  ``REPRO_CODE_VERSION``
+    overrides the package version — the knob tests and operators use to
+    mark every existing cell dirty without editing source."""
+    return os.environ.get("REPRO_CODE_VERSION", __version__)
+
+
+def shard_cell_key(
+    factory: UniverseFactory,
+    config: ResolverConfig,
+    spec: ShardSpec,
+    shard_count: int,
+    seed: int,
+    ptr_fraction: float = 0.01,
+    dnssec_ok_stub: bool = True,
+    trace: bool = False,
+    kind: str = "leakage-shard",
+    factory_key: Optional[str] = None,
+    code_version: Optional[str] = None,
+) -> CellKey:
+    """The :class:`CellKey` for one shard of a sharded leakage sweep."""
+    return CellKey(
+        kind=kind,
+        code_version=code_version or current_code_version(),
+        factory=factory_key or factory_digest(factory),
+        config=config_digest(config),
+        workload=names_digest(spec.names),
+        seed=seed,
+        shard_index=spec.index,
+        shard_count=shard_count,
+        shard_seed=spec.seed,
+        extra=(
+            ("dnssec_ok_stub", str(dnssec_ok_stub)),
+            ("ptr_fraction", repr(float(ptr_fraction))),
+            ("trace", str(trace)),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+
+class SweepJournal:
+    """Append-only JSONL record of sweep/store events.
+
+    Each :meth:`record` appends one line and fsyncs, so the journal
+    survives the same crashes the store does.  A torn final line (the
+    crash landed mid-append) is tolerated on read.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+
+    def record(self, event: str, **fields: Any) -> None:
+        entry = {"event": event}
+        entry.update(fields)
+        line = json.dumps(_canonicalize(entry), sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a+", encoding="utf-8") as handle:
+            # Heal a torn tail from a crash mid-append: if the file
+            # doesn't end in a newline, terminate the dead line first
+            # so this record stays parseable.
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(handle.tell() - 1)
+                if handle.read(1) != "\n":
+                    handle.write("\n")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def events(self) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        entries: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A torn final line from a crash mid-append.
+                    continue
+        return entries
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class StoreStats:
+    """Counters for one :class:`ResultStore` instance's lifetime."""
+
+    commits: int = 0
+    reuses: int = 0
+    misses: int = 0
+    corrupt_detected: int = 0
+
+    def emit(self, metrics, prefix: str = "store") -> None:
+        if metrics is None:
+            return
+        metrics.inc(f"{prefix}.commits", self.commits)
+        metrics.inc(f"{prefix}.cells_reused", self.reuses)
+        metrics.inc(f"{prefix}.misses", self.misses)
+        metrics.inc(f"{prefix}.corrupt_detected", self.corrupt_detected)
+
+
+@dataclasses.dataclass
+class StoreEntry:
+    """One committed cell, as listed by :meth:`ResultStore.entries`."""
+
+    digest: str
+    path: Path
+    header: Dict[str, Any]
+
+    @property
+    def code_version(self) -> str:
+        return self.header.get("key", {}).get("fields", {}).get(
+            "code_version", "?"
+        )
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Outcome of :meth:`ResultStore.verify`."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+
+class ResultStore:
+    """Content-addressed, crash-safe on-disk cell store.
+
+    Commits are idempotent (re-committing an equal result under the
+    same key rewrites the same content) and atomic (temp file in the
+    destination directory, fsync, ``os.replace``).  Loads verify both
+    the payload bytes and the recomputed result fingerprint against the
+    digests in the envelope; any mismatch quarantines the file to
+    ``*.corrupt`` and reports a miss, which makes the cell re-run.
+    """
+
+    CELL_SUFFIX = ".cell"
+
+    def __init__(
+        self,
+        root,
+        code_version: Optional[str] = None,
+        abort_after_commits: Optional[int] = None,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.code_version = code_version or current_code_version()
+        self.stats = StoreStats()
+        #: Failure-injection knob (tests / CI smoke): after the Nth
+        #: successful commit, SIGTERM the current process — a
+        #: deterministic stand-in for "the operator killed the sweep
+        #: halfway".
+        self.abort_after_commits = abort_after_commits
+
+    # -- paths ------------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}{self.CELL_SUFFIX}"
+
+    def journal(self) -> SweepJournal:
+        return SweepJournal(self.root / "journal.jsonl")
+
+    # -- write ------------------------------------------------------------
+
+    def commit(self, key: CellKey, result: ExperimentResult) -> Path:
+        """Atomically commit *result* under *key*; returns the path.
+
+        Idempotent: committing the same (key, equal-fingerprint) pair
+        again rewrites identical content; committing a *different*
+        result under the same key replaces it atomically (last write
+        wins — keys are meant to make that impossible for pure cells).
+        """
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "format": STORE_FORMAT,
+            "key": _canonicalize(key),
+            "key_digest": key.digest(),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "fingerprint_sha256": fingerprint_digest(result),
+            "payload_b64": base64.b64encode(payload).decode("ascii"),
+        }
+        destination = self.path_for(key.digest())
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        temp = destination.with_suffix(
+            destination.suffix + f".tmp.{os.getpid()}"
+        )
+        data = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, destination)
+        self.stats.commits += 1
+        if (
+            self.abort_after_commits is not None
+            and self.stats.commits >= self.abort_after_commits
+        ):
+            os.kill(os.getpid(), signal.SIGTERM)
+        return destination
+
+    # -- read -------------------------------------------------------------
+
+    def load(self, key: CellKey) -> Optional[ExperimentResult]:
+        """The committed result for *key*, or ``None``.
+
+        ``None`` means either "never committed" or "committed but
+        corrupt" — a corrupt cell is moved aside to ``*.corrupt`` and
+        counted in :attr:`stats`, and the caller re-runs it.
+        """
+        digest = key.digest()
+        path = self.path_for(digest)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        result = self._load_verified(path, digest)
+        if result is None:
+            self.stats.corrupt_detected += 1
+            self.stats.misses += 1
+            self._quarantine_file(path)
+            return None
+        self.stats.reuses += 1
+        return result
+
+    def _load_verified(
+        self, path: Path, expected_digest: Optional[str] = None
+    ) -> Optional[ExperimentResult]:
+        """Parse + verify one cell file; ``None`` on any corruption."""
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if envelope["format"] != STORE_FORMAT:
+                return None
+            if (
+                expected_digest is not None
+                and envelope["key_digest"] != expected_digest
+            ):
+                return None
+            payload = base64.b64decode(
+                envelope["payload_b64"].encode("ascii"), validate=True
+            )
+            if hashlib.sha256(payload).hexdigest() != envelope["payload_sha256"]:
+                return None
+            result = pickle.loads(payload)
+            if fingerprint_digest(result) != envelope["fingerprint_sha256"]:
+                return None
+            return result
+        except Exception:
+            return None
+
+    @staticmethod
+    def _quarantine_file(path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+
+    # -- inspection -------------------------------------------------------
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Every committed cell (headers only, payloads not decoded)."""
+        for path in sorted(self.root.glob(f"*/*{self.CELL_SUFFIX}")):
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+            except Exception:
+                envelope = {}
+            header = {
+                key: value
+                for key, value in envelope.items()
+                if key != "payload_b64"
+            }
+            yield StoreEntry(
+                digest=path.stem, path=path, header=header
+            )
+
+    def verify(self) -> VerifyReport:
+        """Fully verify every cell (payload hash + recomputed result
+        fingerprint), quarantining failures."""
+        report = VerifyReport()
+        for path in sorted(self.root.glob(f"*/*{self.CELL_SUFFIX}")):
+            report.checked += 1
+            digest = path.stem
+            if self._load_verified(path, digest) is None:
+                report.corrupt.append(str(path))
+                self.stats.corrupt_detected += 1
+                self._quarantine_file(path)
+            else:
+                report.ok += 1
+        return report
+
+    def gc(self, all_versions: bool = False) -> Dict[str, int]:
+        """Reclaim junk: stray ``*.tmp`` files from interrupted
+        commits, quarantined ``*.corrupt`` files, and (unless
+        ``all_versions``) cells keyed under other code versions."""
+        removed = {"tmp": 0, "corrupt": 0, "stale": 0, "bytes": 0}
+        for path in list(self.root.glob("*/*.tmp.*")):
+            removed["tmp"] += 1
+            removed["bytes"] += path.stat().st_size
+            path.unlink()
+        for path in list(self.root.glob("*/*.corrupt")):
+            removed["corrupt"] += 1
+            removed["bytes"] += path.stat().st_size
+            path.unlink()
+        if not all_versions:
+            for entry in list(self.entries()):
+                if entry.code_version != self.code_version:
+                    removed["stale"] += 1
+                    removed["bytes"] += entry.path.stat().st_size
+                    entry.path.unlink()
+        # Prune emptied shard directories.
+        for directory in list(self.root.glob("*")):
+            if directory.is_dir() and not any(directory.iterdir()):
+                directory.rmdir()
+        return removed
+
+
+# ----------------------------------------------------------------------
+# The stored sweep: resume, quarantine, byte-identity
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SweepOutcome:
+    """Everything one stored sweep produced.
+
+    ``result`` merges every *healthy* cell (reused + freshly run) in
+    shard order; quarantined cells are excluded from the merge and
+    listed in ``quarantined``.  A complete outcome's ``result`` is
+    byte-identical (per :func:`~repro.core.parallel.result_fingerprint`)
+    to an uninterrupted serial run of the same plan.
+    """
+
+    result: ExperimentResult
+    cells_total: int
+    cells_reused: int
+    cells_rerun: int
+    quarantined: List[QuarantinedCell]
+    health: ExecutorHealth
+    store_stats: Optional[StoreStats] = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined
+
+    def raise_if_incomplete(self) -> None:
+        if self.quarantined:
+            from .parallel import QuarantineError
+
+            raise QuarantineError(self.quarantined)
+
+    def describe(self) -> str:
+        parts = [
+            f"cells={self.cells_total}",
+            f"reused={self.cells_reused}",
+            f"rerun={self.cells_rerun}",
+            f"quarantined={len(self.quarantined)}",
+        ]
+        if self.store_stats is not None and self.store_stats.corrupt_detected:
+            parts.append(f"corrupt={self.store_stats.corrupt_detected}")
+        return "sweep " + " ".join(parts) + f" [{self.health.describe()}]"
+
+
+def run_stored_sweep(
+    factory: UniverseFactory,
+    config: ResolverConfig,
+    names: Sequence[Name],
+    seed: int = 0,
+    shards: Optional[int] = None,
+    parallelism: int = 1,
+    executor: Optional[FaultTolerantExecutor] = None,
+    store: Optional[ResultStore] = None,
+    ptr_fraction: float = 0.01,
+    dnssec_ok_stub: bool = True,
+    trace: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    fail_fast: bool = False,
+    backoff_base: float = 0.05,
+    factory_key: Optional[str] = None,
+    kind: str = "leakage-shard",
+    journal: Optional[SweepJournal] = None,
+    metrics=None,
+    injection: Optional[FaultInjection] = None,
+) -> SweepOutcome:
+    """A sharded leakage sweep over a crash-safe store.
+
+    The shard plan is identical to
+    :func:`~repro.core.parallel.run_sharded_experiment`'s; each shard's
+    :class:`CellKey` is checked against *store* first and only missing
+    (or corrupt) cells run — on the fault-tolerant executor, with
+    per-cell ``timeout``, ``retries`` on a deterministic backoff, and
+    worker-loss detection.  Fresh results commit **as they complete**,
+    so an interrupted sweep resumes from its last committed cell simply
+    by calling this again; ``fail_fast=False`` (the default) quarantines
+    poison cells and completes the rest.
+
+    Operational counters go to ``metrics`` (optional registry) and the
+    store's journal; they never enter ``result``, which therefore stays
+    byte-identical across resume/retry histories.
+    """
+    shard_count = shards if shards is not None else max(parallelism, 1)
+    plan = plan_shards(names, shard_count, seed)
+    if journal is None and store is not None:
+        journal = store.journal()
+
+    def note(event: str, **fields: Any) -> None:
+        if journal is not None:
+            journal.record(event, **fields)
+
+    note(
+        "sweep-start",
+        kind=kind,
+        seed=seed,
+        shards=shard_count,
+        cells=len(plan),
+    )
+    keys: List[Optional[CellKey]] = []
+    reused: Dict[int, ExperimentResult] = {}
+    for spec in plan:
+        if store is None:
+            keys.append(None)
+            continue
+        key = shard_cell_key(
+            factory,
+            config,
+            spec,
+            shard_count=shard_count,
+            seed=seed,
+            ptr_fraction=ptr_fraction,
+            dnssec_ok_stub=dnssec_ok_stub,
+            trace=trace,
+            kind=kind,
+            factory_key=factory_key,
+        )
+        keys.append(key)
+        corrupt_before = store.stats.corrupt_detected
+        cached = store.load(key)
+        if cached is not None:
+            reused[spec.index] = cached
+            note("reuse", shard=spec.index, key=key.digest())
+        elif store.stats.corrupt_detected > corrupt_before:
+            note("corrupt", shard=spec.index, key=key.digest())
+
+    missing = [spec for spec in plan if spec.index not in reused]
+    tasks: List[Callable[[], ExperimentResult]] = []
+    task_specs: List[ShardSpec] = []
+    for spec in missing:
+        task: Callable[[], ExperimentResult] = _ShardTask(
+            factory=factory,
+            config=config,
+            spec=spec,
+            ptr_fraction=ptr_fraction,
+            dnssec_ok_stub=dnssec_ok_stub,
+            trace=trace,
+        )
+        if injection is not None:
+            task = injection.wrap(spec.index, task)
+        tasks.append(task)
+        task_specs.append(spec)
+
+    if executor is None:
+        executor = FaultTolerantExecutor(
+            workers=max(parallelism, 1),
+            timeout=timeout,
+            retries=retries,
+            keep_going=not fail_fast,
+            backoff_base=backoff_base,
+            # Injected crashes need a worker process to die in.
+            isolate=True if injection is not None else None,
+        )
+
+    fresh: Dict[int, ExperimentResult] = {}
+
+    def commit_cell(task_index: int, result: ExperimentResult) -> None:
+        spec = task_specs[task_index]
+        fresh[spec.index] = result
+        if store is not None and keys[spec.index] is not None:
+            store.commit(keys[spec.index], result)
+            note("commit", shard=spec.index, key=keys[spec.index].digest())
+
+    _, quarantined, health = executor.run_with_quarantine(
+        tasks, on_result=commit_cell
+    )
+    for cell in quarantined:
+        spec = task_specs[cell.index]
+        # Report shard indices, not positions in the missing-task list.
+        cell.index = spec.index
+        note(
+            "quarantine",
+            shard=spec.index,
+            error=cell.error,
+            attempts=cell.attempts,
+            context=cell.context,
+        )
+
+    pairs = [
+        (spec.index, reused.get(spec.index, fresh.get(spec.index)))
+        for spec in plan
+    ]
+    merged = merge_shard_results(
+        (index, result) for index, result in pairs if result is not None
+    )
+    outcome = SweepOutcome(
+        result=merged,
+        cells_total=len(plan),
+        cells_reused=len(reused),
+        cells_rerun=len(fresh),
+        quarantined=quarantined,
+        health=health,
+        store_stats=store.stats if store is not None else None,
+    )
+    note(
+        "sweep-end",
+        reused=outcome.cells_reused,
+        rerun=outcome.cells_rerun,
+        quarantined=len(quarantined),
+    )
+    health.emit(metrics, prefix="executor")
+    if metrics is not None:
+        metrics.inc("sweep.cells_total", outcome.cells_total)
+        metrics.inc("sweep.cells_reused", outcome.cells_reused)
+        metrics.inc("sweep.cells_rerun", outcome.cells_rerun)
+        metrics.inc("sweep.cells_quarantined", len(quarantined))
+    if store is not None:
+        store.stats.emit(metrics, prefix="store")
+    return outcome

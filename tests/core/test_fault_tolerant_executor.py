@@ -1,0 +1,265 @@
+"""The fault-tolerant executor: failure context, dead-worker
+detection, timeouts, retries with deterministic backoff, quarantine,
+and the no-hung-processes guarantee."""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.core import (
+    CellTimeout,
+    ExecutorHealth,
+    FaultInjection,
+    FaultTolerantExecutor,
+    MultiprocessingExecutor,
+    QuarantineError,
+    TaskFailure,
+    WorkerLost,
+    backoff_schedule,
+    run_tasks_fault_tolerant,
+    task_context,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+fork_only = pytest.mark.skipif(
+    not HAVE_FORK, reason="needs fork start method"
+)
+
+
+def _ok(value):
+    def task():
+        return value
+
+    return task
+
+
+def _boom(message):
+    def task():
+        raise ValueError(message)
+
+    return task
+
+
+def _die(sig=signal.SIGKILL):
+    def task():
+        os.kill(os.getpid(), sig)
+
+    return task
+
+
+def _hang():
+    def task():  # pragma: no cover - killed by the timeout
+        import time
+
+        time.sleep(60)
+
+    return task
+
+
+def assert_no_hung_children():
+    for child in multiprocessing.active_children():
+        child.join(timeout=5)
+    assert multiprocessing.active_children() == []
+
+
+# ----------------------------------------------------------------------
+# Pure pieces
+# ----------------------------------------------------------------------
+
+def test_backoff_schedule_is_deterministic_and_capped():
+    assert backoff_schedule(0) == ()
+    assert backoff_schedule(4, base=0.05, factor=2.0, cap=2.0) == (
+        0.05,
+        0.1,
+        0.2,
+        0.4,
+    )
+    assert backoff_schedule(8, base=0.5, factor=3.0, cap=2.0)[-1] == 2.0
+    # Pure: same inputs, same schedule.
+    assert backoff_schedule(5) == backoff_schedule(5)
+
+
+def test_task_context_names_shard_and_explicit_cells():
+    task = _ok(1)
+    task.cell_context = "chaos 'dlv-outage' × 'strict'"
+    assert task_context(task, 3) == "cell 3 [chaos 'dlv-outage' × 'strict']"
+    assert "cell 0" in task_context(_ok(1), 0)
+
+
+def test_exception_carries_cell_context():
+    executor = FaultTolerantExecutor(retries=0, keep_going=False)
+    failing = _boom("bad cell")
+    failing.cell_context = "shard=2 seed=2017 config='bind'"
+    with pytest.raises(TaskFailure) as info:
+        executor.run([_ok(1), failing, _ok(3)])
+    assert "shard=2 seed=2017" in str(info.value)
+    assert "bad cell" in str(info.value)
+    assert info.value.kind == "exception"
+
+
+def test_keep_going_quarantines_and_returns_health():
+    executor = FaultTolerantExecutor(retries=0, keep_going=True)
+    failing = _boom("poison")
+    results, quarantined, health = executor.run_with_quarantine(
+        [_ok("a"), failing, _ok("c")]
+    )
+    assert results == ["a", None, "c"]
+    assert [cell.index for cell in quarantined] == [1]
+    assert quarantined[0].error == "exception"
+    assert health.cells_ok == 2 and health.quarantined == 1
+    # The protocol-compatible run() cannot return partial lists.
+    with pytest.raises(QuarantineError):
+        executor.run([_ok("a"), failing])
+
+
+# ----------------------------------------------------------------------
+# Process isolation: dead workers, timeouts, crash injection
+# ----------------------------------------------------------------------
+
+@fork_only
+def test_killed_worker_raises_typed_worker_lost():
+    executor = FaultTolerantExecutor(
+        retries=0, keep_going=False, isolate=True
+    )
+    with pytest.raises(WorkerLost) as info:
+        executor.run([_ok(1), _die(signal.SIGKILL)])
+    assert info.value.kind == "worker-lost"
+    assert info.value.exitcode == -signal.SIGKILL
+    assert "killed by signal 9" in str(info.value)
+    assert_no_hung_children()
+
+
+@fork_only
+def test_killed_worker_is_quarantined_in_keep_going_mode():
+    executor = FaultTolerantExecutor(
+        retries=0, keep_going=True, isolate=True
+    )
+    results, quarantined, health = executor.run_with_quarantine(
+        [_ok("x"), _die(), _ok("y")]
+    )
+    assert results == ["x", None, "y"]
+    assert quarantined[0].error == "worker-lost"
+    assert health.worker_lost == 1
+    assert_no_hung_children()
+
+
+@fork_only
+def test_hung_worker_is_terminated_on_timeout():
+    executor = FaultTolerantExecutor(
+        retries=0, keep_going=False, timeout=0.5
+    )
+    with pytest.raises(CellTimeout) as info:
+        executor.run([_hang()])
+    assert info.value.kind == "timeout"
+    assert_no_hung_children()
+
+
+@fork_only
+def test_hung_worker_quarantined_keep_going():
+    executor = FaultTolerantExecutor(
+        retries=0, keep_going=True, timeout=0.5
+    )
+    results, quarantined, health = executor.run_with_quarantine(
+        [_ok(7), _hang()]
+    )
+    assert results == [7, None]
+    assert quarantined[0].error == "timeout"
+    assert health.timeouts == 1
+    assert_no_hung_children()
+
+
+@fork_only
+def test_crash_once_injection_succeeds_on_retry(tmp_path):
+    injection = FaultInjection(
+        marker_dir=str(tmp_path), crash_once_cells=frozenset({1})
+    )
+    tasks = [
+        injection.wrap(index, task)
+        for index, task in enumerate([_ok("a"), _ok("b"), _ok("c")])
+    ]
+    executor = FaultTolerantExecutor(
+        retries=2, keep_going=True, isolate=True, backoff_base=0.01
+    )
+    results, quarantined, health = executor.run_with_quarantine(tasks)
+    assert results == ["a", "b", "c"]
+    assert quarantined == []
+    assert health.worker_lost == 1
+    assert health.retries == 1
+    assert health.worker_restarts >= 1
+    assert (tmp_path / "crash-once-1").exists()
+    assert_no_hung_children()
+
+
+@fork_only
+def test_poison_cell_exhausts_retries_and_is_quarantined():
+    executor = FaultTolerantExecutor(
+        retries=2, keep_going=True, isolate=True, backoff_base=0.01
+    )
+    results, quarantined, health = executor.run_with_quarantine(
+        [_ok(1), _die(signal.SIGKILL)]
+    )
+    assert results == [1, None]
+    assert quarantined[0].attempts == 3  # initial try + 2 retries
+    assert health.retries == 2
+    assert health.worker_lost == 3
+    assert_no_hung_children()
+
+
+@fork_only
+def test_parallel_run_preserves_task_order():
+    executor = FaultTolerantExecutor(workers=4, retries=0)
+    values = list(range(16))
+    assert executor.run([_ok(v) for v in values]) == values
+    assert_no_hung_children()
+
+
+# ----------------------------------------------------------------------
+# The hardened MultiprocessingExecutor and the helper entrypoint
+# ----------------------------------------------------------------------
+
+def test_multiprocessing_executor_surfaces_context():
+    executor = MultiprocessingExecutor(workers=2)
+    failing = _boom("from the pool")
+    failing.cell_context = "shard=1 seed=2016"
+    with pytest.raises(TaskFailure) as info:
+        executor.run([_ok(1), failing, _ok(3)])
+    assert "shard=1 seed=2016" in str(info.value)
+    assert "from the pool" in str(info.value)
+    assert_no_hung_children()
+
+
+@fork_only
+def test_multiprocessing_executor_killed_worker_does_not_hang():
+    executor = MultiprocessingExecutor(workers=2)
+    with pytest.raises(WorkerLost):
+        executor.run([_ok(1), _die(), _ok(3)])
+    assert_no_hung_children()
+
+
+def test_run_tasks_fault_tolerant_keep_going_collects():
+    results, quarantined, health = run_tasks_fault_tolerant(
+        [_ok(1), _boom("nope"), _ok(3)], parallelism=1, retries=0
+    )
+    assert results == [1, None, 3]
+    assert len(quarantined) == 1
+    assert isinstance(health, ExecutorHealth)
+
+
+def test_run_tasks_fault_tolerant_fail_fast():
+    with pytest.raises(TaskFailure):
+        run_tasks_fault_tolerant(
+            [_ok(1), _boom("nope")], parallelism=1, retries=0, fail_fast=True
+        )
+
+
+def test_run_tasks_fault_tolerant_on_result_streams():
+    seen = []
+    run_tasks_fault_tolerant(
+        [_ok("a"), _ok("b")],
+        parallelism=1,
+        on_result=lambda index, result: seen.append((index, result)),
+    )
+    assert sorted(seen) == [(0, "a"), (1, "b")]

@@ -37,6 +37,7 @@ SNIPPET_FILES = [
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
+    "docs/ROBUSTNESS.md",
     "EXPERIMENTS.md",
 ]
 

@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""CI smoke: kill a stored sweep mid-run, resume it, prove identity.
+
+The end-to-end crash-recovery scenario, as a standalone script the CI
+job (and any operator) can run:
+
+1. compute the uninterrupted serial **reference** result;
+2. run the same sweep against a fresh store in a child process that
+   SIGTERMs itself after its second cell commit (a genuine mid-run
+   kill — the child must die by signal, not finish);
+3. **bit-flip** one surviving cell file on disk;
+4. **resume** the sweep in this process, with a one-shot injected
+   worker crash on the never-committed shard (where ``fork`` exists);
+5. assert the resumed merge is **byte-identical** to the reference,
+   that cells were actually reused, and that no worker processes were
+   left behind;
+6. write ``SWEEP_RESUME_STATS.json`` (reused vs re-run cells, store
+   and executor health counters) for the CI artifact upload.
+
+Exit status 0 on success, 1 with a message on any violated assertion.
+
+Run:  PYTHONPATH=src python tools/sweep_resume_smoke.py
+      PYTHONPATH=src python tools/sweep_resume_smoke.py --domains 20 --shards 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (  # noqa: E402
+    FaultInjection,
+    MetricsRegistry,
+    ResultStore,
+    SerialExecutor,
+    SweepJournal,
+    result_fingerprint,
+    run_sharded_experiment,
+    run_stored_sweep,
+    standard_universe_factory,
+    standard_workload,
+)
+from repro.resolver import correct_bind_config  # noqa: E402
+
+STATS_PATH = REPO_ROOT / "SWEEP_RESUME_STATS.json"
+
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    from repro.core import ResultStore, run_stored_sweep
+    from repro.core import standard_universe_factory, standard_workload
+    from repro.resolver import correct_bind_config
+
+    root = sys.argv[1]
+    domains, filler, shards, seed, abort_after = map(int, sys.argv[2:7])
+    factory = standard_universe_factory(
+        domains, filler_count=filler, workload_seed=seed
+    )
+    names = standard_workload(domains, seed=seed).names(domains)
+    run_stored_sweep(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=seed,
+        shards=shards,
+        store=ResultStore(root, abort_after_commits=abort_after),
+    )
+    sys.exit(7)  # unreachable unless the SIGTERM injection failed
+    """
+)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL {message}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domains", type=int, default=12)
+    parser.add_argument("--filler", type=int, default=150)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--abort-after", type=int, default=2)
+    args = parser.parse_args(argv)
+    if not 0 < args.abort_after < args.shards:
+        parser.error("--abort-after must leave at least one cell unrun")
+
+    began = time.perf_counter()
+    factory = standard_universe_factory(
+        args.domains, filler_count=args.filler, workload_seed=args.seed
+    )
+    names = standard_workload(args.domains, seed=args.seed).names(
+        args.domains
+    )
+
+    # 1. Reference: the uninterrupted serial run.
+    reference = run_sharded_experiment(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=args.seed,
+        shards=args.shards,
+        executor=SerialExecutor(),
+    )
+    print(f"  ok reference run ({len(names)} names, {args.shards} shards)")
+
+    workdir = Path(tempfile.mkdtemp(prefix="sweep-resume-smoke-"))
+    store_root = workdir / "store"
+
+    # 2. Child sweep, killed by its own store after N commits.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    child = subprocess.run(
+        [
+            sys.executable, "-c", CHILD_SCRIPT, str(store_root),
+            str(args.domains), str(args.filler), str(args.shards),
+            str(args.seed), str(args.abort_after),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if child.returncode != -signal.SIGTERM:
+        fail(
+            f"child sweep should die by SIGTERM, got rc={child.returncode}\n"
+            f"{child.stdout}{child.stderr}"
+        )
+    committed = sorted(store_root.glob("*/*.cell"))
+    if len(committed) != args.abort_after:
+        fail(f"expected {args.abort_after} committed cells, found {len(committed)}")
+    print(f"  ok child killed mid-sweep (rc=-SIGTERM, {len(committed)} cells survive)")
+
+    # 3. Corrupt one survivor.
+    victim = committed[0]
+    blob = bytearray(victim.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    print(f"  ok bit-flipped {victim.name}")
+
+    # 4. Resume, with an injected one-shot worker crash on the shard
+    #    the serial child never reached.
+    injection = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        marker_dir = workdir / "markers"
+        marker_dir.mkdir()
+        injection = FaultInjection(
+            marker_dir=str(marker_dir),
+            crash_once_cells=frozenset({args.shards - 1}),
+        )
+    metrics = MetricsRegistry()
+    outcome = run_stored_sweep(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=args.seed,
+        shards=args.shards,
+        store=ResultStore(store_root),
+        journal=SweepJournal(workdir / "journal.jsonl"),
+        metrics=metrics,
+        injection=injection,
+        retries=2,
+        backoff_base=0.01,
+    )
+
+    # 5. The assertions that make this a smoke *test*.
+    if outcome.quarantined:
+        fail(f"resume quarantined cells: {[c.describe() for c in outcome.quarantined]}")
+    if result_fingerprint(outcome.result) != result_fingerprint(reference):
+        fail("resumed sweep is NOT byte-identical to the reference")
+    if outcome.cells_reused < 1:
+        fail("resume reused no cells")
+    if outcome.store_stats.corrupt_detected != 1:
+        fail("the corrupted cell was not detected")
+    if injection is not None and outcome.health.worker_lost != 1:
+        fail("the injected worker crash was not observed")
+    for process in multiprocessing.active_children():
+        process.join(timeout=5)
+    if multiprocessing.active_children():
+        fail("worker processes left behind")
+    print(
+        "  ok resumed sweep byte-identical to reference "
+        f"({outcome.cells_reused} reused, {outcome.cells_rerun} re-run)"
+    )
+
+    # 6. The artifact.
+    stats = {
+        "domains": args.domains,
+        "filler": args.filler,
+        "shards": args.shards,
+        "seed": args.seed,
+        "abort_after_commits": args.abort_after,
+        "injected_worker_crash": injection is not None,
+        "cells_total": outcome.cells_total,
+        "cells_reused": outcome.cells_reused,
+        "cells_rerun": outcome.cells_rerun,
+        "quarantined": len(outcome.quarantined),
+        "store": {
+            "commits": outcome.store_stats.commits,
+            "reuses": outcome.store_stats.reuses,
+            "misses": outcome.store_stats.misses,
+            "corrupt_detected": outcome.store_stats.corrupt_detected,
+        },
+        "executor": {
+            "cells_ok": outcome.health.cells_ok,
+            "retries": outcome.health.retries,
+            "worker_lost": outcome.health.worker_lost,
+            "worker_restarts": outcome.health.worker_restarts,
+            "timeouts": outcome.health.timeouts,
+            "quarantined": outcome.health.quarantined,
+        },
+        "metrics": metrics.snapshot()["counters"],
+        "elapsed_seconds": round(time.perf_counter() - began, 3),
+    }
+    STATS_PATH.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    print(f"  ok wrote {STATS_PATH.name}")
+    print("sweep-resume smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
