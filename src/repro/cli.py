@@ -15,7 +15,13 @@ Commands:
   cache statistics.
 * ``store``    — inspect the crash-safe sweep result store:
   ``ls`` committed cells, ``verify`` payload + fingerprint integrity,
-  ``gc`` temp/corrupt/stale-version files.
+  ``gc`` temp/corrupt/stale-version/lease files.
+* ``work``     — join a distributed sweep as one worker: claim cells
+  from a shared store under the lease discipline, take over dead
+  peers' cells, exit when the board is drained.
+
+Exit-code contract (``sweep``, ``store``, ``work``): 0 success,
+1 corruption/incomplete, 2 usage error, 3 cells quarantined.
 """
 
 from __future__ import annotations
@@ -80,6 +86,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             return 2
         store = ResultStore(args.store)
+    if args.distributed is not None:
+        if store is None:
+            print("--distributed requires --store DIR", file=sys.stderr)
+            return 2
+        return _run_distributed_sweep(args, sizes)
     if args.parallelism > 1 or args.shards is not None or store is not None:
         shards = args.shards if args.shards is not None else args.parallelism
         executor = None
@@ -132,6 +143,115 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_distributed_sweep(args: argparse.Namespace, sizes: List[int]) -> int:
+    """The ``repro sweep --distributed N`` coordinator path."""
+    from .analysis import fig8_dlv_queries, fig9_leak_proportion
+    from .analysis.figures import LeakageSweepPoint
+    from .core.distrib import run_distributed_sweep
+
+    outcome = run_distributed_sweep(
+        args.store,
+        workers=args.distributed,
+        sizes=sizes,
+        filler_count=args.filler,
+        shards=args.shards,
+        ttl=args.lease_ttl,
+        retries=args.retries,
+    )
+    print(
+        f"distributed sweep: {args.distributed} worker(s), "
+        f"store={args.store}"
+    )
+    print(f"  {outcome.describe()}")
+    for worker_id, code in sorted(outcome.worker_exits.items()):
+        print(f"  worker {worker_id}: exit {code}")
+    print()
+    points = [
+        LeakageSweepPoint(
+            domains=size,
+            dlv_queries=result.leakage.dlv_queries,
+            leaked_domains=result.leakage.leaked_count,
+            proportion=result.leakage.leaked_count / size if size else 0.0,
+            utility=result.leakage.utility_fraction,
+        )
+        for size, result in zip(sorted(sizes), outcome.stage_results)
+    ]
+    print(fig8_dlv_queries(points)[1])
+    print()
+    print(fig9_leak_proportion(points)[1])
+    if outcome.quarantined:
+        print("\nquarantined cells (affected points are partial):")
+        for cell in outcome.quarantined:
+            print(f"  - {cell.describe()}")
+        return 3
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from .core import ResultStore
+    from .core.distrib import (
+        WorkerFault,
+        load_sweep_manifest,
+        read_marker,
+        run_worker,
+    )
+
+    fault = None
+    if args.die_after_claims is not None or args.stall_after_claims is not None:
+        fault = WorkerFault(
+            die_after_claims=args.die_after_claims,
+            stall_after_claims=args.stall_after_claims,
+            stall_seconds=args.stall_seconds,
+        )
+    report = run_worker(
+        args.store,
+        args.worker_id,
+        ttl=args.ttl,
+        retries=args.retries,
+        poll_interval=args.poll_interval,
+        max_takeovers=args.max_takeovers,
+        fault=fault,
+    )
+    # The exit-code contract is judged against the *board*, not just
+    # this worker: peers' quarantines leave the sweep incomplete too.
+    store = ResultStore(args.store)
+    manifest = load_sweep_manifest(store)
+    missing = 0
+    quarantined = 0
+    for cell in manifest.cells():
+        digest = cell.key.digest()
+        if store.path_for(digest).exists():
+            continue
+        if read_marker(store.quarantine_path_for(digest)) is not None:
+            quarantined += 1
+        else:
+            missing += 1
+    if args.json:
+        import json as json_module
+
+        payload = report.as_dict()
+        payload["board"] = {"missing": missing, "quarantined": quarantined}
+        print(json_module.dumps(payload, sort_keys=True))
+    else:
+        stats = report.stats
+        print(
+            f"worker {args.worker_id}: {stats.committed} committed, "
+            f"{stats.claims} claim(s), {stats.takeovers} takeover(s), "
+            f"{stats.duplicates} duplicate(s), "
+            f"{stats.quarantined} quarantined"
+        )
+        if quarantined or missing:
+            print(
+                f"board: {quarantined} cell(s) quarantined, "
+                f"{missing} missing"
+            )
+    if missing:
+        return 1
+    if quarantined:
+        return 3
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .analysis import format_table
     from .core import ResultStore
@@ -172,9 +292,20 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0 if report.clean else 1
     if args.action == "gc":
         removed = store.gc(all_versions=args.all_versions)
+        leases = (
+            removed["lease_orphaned"]
+            + removed["lease_expired"]
+            + removed["lease_corrupt"]
+            + removed["lease_stale"]
+        )
         print(
             f"gc: removed {removed['tmp']} temp, {removed['corrupt']} "
-            f"corrupt, {removed['stale']} stale-version file(s) "
+            f"corrupt, {removed['stale']} stale-version, "
+            f"{leases} lease file(s) "
+            f"({removed['lease_orphaned']} orphaned, "
+            f"{removed['lease_expired']} expired, "
+            f"{removed['lease_corrupt']} corrupt, "
+            f"{removed['lease_stale']} rename remnant) "
             f"({removed['bytes']} bytes)"
         )
         return 0
@@ -398,7 +529,22 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument("--filler", type=int, default=20000)
     quickstart.set_defaults(func=_cmd_quickstart)
 
-    sweep = subparsers.add_parser("sweep", help="Fig 8/9 leakage sweep")
+    exit_contract = (
+        "exit codes:\n"
+        "  0  success — every cell ran (or was reused) cleanly\n"
+        "  1  corruption — verification found corrupt cells / the board\n"
+        "     was left incomplete\n"
+        "  2  usage error (bad flag combination, missing store)\n"
+        "  3  quarantine — some cells were quarantined; healthy output\n"
+        "     was still produced but the affected points are partial"
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="Fig 8/9 leakage sweep",
+        epilog=exit_contract,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     sweep.add_argument("--sizes", default="100,1000")
     sweep.add_argument("--filler", type=int, default=20000)
     sweep.add_argument(
@@ -464,10 +610,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per failing cell, on a deterministic "
         "exponential backoff (default 2)",
     )
+    sweep.add_argument(
+        "--distributed",
+        type=int,
+        metavar="N",
+        help="coordinator mode: write the sweep manifest into --store, "
+        "spawn N independent 'repro work' worker processes to drain it "
+        "under the lease discipline, and merge (requires --store; see "
+        "'repro work --help' for joining from other hosts)",
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="distributed mode: lease heartbeat TTL in seconds — a "
+        "worker silent this long is presumed dead and its cell taken "
+        "over (default 30)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     store = subparsers.add_parser(
-        "store", help="inspect the crash-safe sweep result store"
+        "store",
+        help="inspect the crash-safe sweep result store",
+        epilog=exit_contract,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     store.add_argument("action", choices=("ls", "verify", "gc"))
     store.add_argument("--root", required=True, help="store directory")
@@ -478,6 +644,81 @@ def build_parser() -> argparse.ArgumentParser:
         "reclaiming them",
     )
     store.set_defaults(func=_cmd_store)
+
+    work = subparsers.add_parser(
+        "work",
+        help="join a distributed sweep as one lease-coordinated worker",
+        epilog=exit_contract,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    work.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="shared result store holding the sweep manifest (written by "
+        "'repro sweep --distributed' or write_sweep_manifest)",
+    )
+    work.add_argument(
+        "--worker-id",
+        required=True,
+        help="this worker's identity, recorded in its lease claims and "
+        "journal events (unique per process/host, e.g. 'host3-w0')",
+    )
+    work.add_argument(
+        "--ttl",
+        type=float,
+        default=30.0,
+        help="lease heartbeat TTL in seconds; must match the fleet's "
+        "(default 30)",
+    )
+    work.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="local retry budget per failing cell before quarantining "
+        "it for the whole fleet (default 2)",
+    )
+    work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        help="idle rescan interval when every open cell is leased to a "
+        "live peer (default 0.05s)",
+    )
+    work.add_argument(
+        "--max-takeovers",
+        type=int,
+        default=3,
+        help="a cell whose lease has been taken over this many times is "
+        "quarantined as poison (default 3)",
+    )
+    work.add_argument(
+        "--json",
+        action="store_true",
+        help="print the worker report as JSON (machine consumption)",
+    )
+    work.add_argument(
+        "--die-after-claims",
+        type=int,
+        metavar="N",
+        help="failure injection (tests/CI): SIGKILL this worker right "
+        "after its Nth successful claim, mid-cell with the lease held",
+    )
+    work.add_argument(
+        "--stall-after-claims",
+        type=int,
+        metavar="N",
+        help="failure injection (tests/CI): after the Nth claim, stall "
+        "without heartbeating for --stall-seconds before running the "
+        "cell (exercises the fencing path)",
+    )
+    work.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=0.0,
+        help="stall duration for --stall-after-claims",
+    )
+    work.set_defaults(func=_cmd_work)
 
     tables = subparsers.add_parser("tables", help="regenerate Tables 1-5")
     tables.add_argument("--sizes", default="100")

@@ -1,0 +1,1565 @@
+"""Distributed sweep workers: lease/claim discipline over the store.
+
+PR 6 made the sweep store crash-safe for *one* host: verified reads,
+idempotent atomic commits, resume.  This module adds the other half
+the ROADMAP names — a claim/lease discipline so **multiple worker
+processes (or hosts sharing the store directory) drain one sweep's
+cell set** without ever running the same cell twice on purpose, and
+without losing a cell to a dead worker:
+
+* a **lease file** (``<digest>.lease`` beside the cell) is created
+  with ``O_EXCL`` — the filesystem arbitrates exactly one claimant —
+  and carries the owner id, a **fencing token** (serial + unique
+  nonce), and a **heartbeat** the owner refreshes from a background
+  thread while the cell runs;
+* workers **skip committed cells**, claim uncommitted ones, and **take
+  over** cells whose lease heartbeat has expired: ``kill -9`` a worker
+  mid-cell and a peer finishes its cell after the TTL.  Takeover is
+  arbitrated by ``os.rename`` of the expired lease (exactly one
+  renamer wins) followed by a fresh ``O_EXCL`` claim carrying a bumped
+  token;
+* a **zombie** (a worker that stalled past its TTL and lost its lease)
+  detects the foreign fencing token before and after committing: its
+  late commit is a *detected no-op* — the store's idempotent commits
+  plus fingerprint comparison turn a racing duplicate into an asserted
+  byte-identical re-commit, never a conflict;
+* a **corrupt lease file** (torn write, bit-flip) reads as expired and
+  is taken over immediately — a broken claim can delay a cell, never
+  wedge the sweep;
+* a cell that fails every local retry — or whose claim has been taken
+  over more than ``max_takeovers`` times (it keeps killing its owners)
+  — is **quarantined** via a marker file all workers see, so poison
+  cells are skipped fleet-wide instead of ping-ponging between hosts.
+
+Three entry points sit on top of the one drain loop:
+
+* :class:`DistributedExecutor` — the ``Executor``-protocol face
+  (``run`` / ``run_with_quarantine``), so :func:`~.store.run_stored_sweep`,
+  the chaos/adversary matrices, and ``sharded_leakage_sweep`` gain
+  lease-coordinated local workers for free;
+* :func:`run_worker` — one independent worker process joining a sweep
+  described by the store's **manifest** (``python -m repro work
+  --store DIR --worker-id ID``), the multi-host path;
+* :func:`run_distributed_sweep` — the coordinator: writes the
+  manifest, spawns N local workers, monitors them, and merges — with
+  a local fallback that finishes any cell the whole fleet failed to
+  drain, so a dead fleet degrades to a slow sweep, never a lost one.
+
+Everything operational (claims, takeovers, renewals, fenced commits,
+duplicates) is counted in :class:`DistribStats` and emitted as
+``distrib.*`` / ``executor.lease_*`` metrics and journal events; none
+of it touches the merged :class:`~.experiment.ExperimentResult`, which
+stays byte-identical to the serial reference — the same contract every
+executor in :mod:`repro.core.parallel` honours.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..resolver import (
+    ResolverConfig,
+    broken_anchor_bind_config,
+    correct_bind_config,
+)
+from .experiment import ExperimentResult
+from .parallel import (
+    ExecutorHealth,
+    QuarantineError,
+    QuarantinedCell,
+    TaskFailure,
+    WorkerLost,
+    _ShardTask,
+    backoff_schedule,
+    merge_shard_results,
+    plan_shards,
+    task_context,
+)
+from .store import (
+    LEASE_SUFFIX,
+    QUARANTINE_SUFFIX,
+    ResultStore,
+    StoreError,
+    SweepJournal,
+    current_code_version,
+    fingerprint_digest,
+    shard_cell_key,
+)
+
+#: Lease/quarantine envelope schema version.
+LEASE_FORMAT = 1
+#: Default production lease TTL; tests and the smoke job shrink it.
+DEFAULT_LEASE_TTL = 30.0
+#: A cell whose lease has been taken over this many times is poison:
+#: it keeps killing (or outliving) its owners.
+DEFAULT_MAX_TAKEOVERS = 3
+
+#: Named resolver-config builders a sweep manifest may reference.  A
+#: manifest travels between hosts as JSON, so it names a constructor
+#: from this allowlist instead of pickling arbitrary config objects.
+CONFIG_BUILDERS: Dict[str, Callable[..., ResolverConfig]] = {
+    "correct_bind_config": correct_bind_config,
+    "broken_anchor_bind_config": broken_anchor_bind_config,
+}
+
+_NONCE_COUNTER = itertools.count(1)
+
+
+class LeaseError(Exception):
+    """A lease operation failed structurally (not a lost race)."""
+
+
+class Fenced(Exception):
+    """The lease now carries a foreign fencing token: this worker was
+    presumed dead and its cell taken over.  Its pending commit must be
+    treated as a detected no-op."""
+
+
+# ----------------------------------------------------------------------
+# Lease files
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Lease:
+    """One claim on one cell, as serialised into its ``.lease`` file.
+
+    ``token`` is the fencing serial (1 on a fresh claim, bumped on
+    every takeover); ``nonce`` makes the fence unambiguous even when a
+    corrupt lease forced the serial to restart — fencing compares
+    ``(token, nonce)``, so two claims can never be confused.
+    """
+
+    cell: str
+    owner: str
+    nonce: str
+    token: int
+    ttl: float
+    acquired: float
+    heartbeat: float
+    takeovers: int = 0
+
+    def expired(self, now: float) -> bool:
+        return now - self.heartbeat > self.ttl
+
+    def same_claim(self, other: "Lease") -> bool:
+        return self.token == other.token and self.nonce == other.nonce
+
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        payload["format"] = LEASE_FORMAT
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Lease":
+        payload = json.loads(text)
+        if payload.pop("format", None) != LEASE_FORMAT:
+            raise LeaseError("unknown lease format")
+        return cls(**payload)
+
+
+def _new_nonce(owner: str) -> str:
+    return f"{owner}:{os.getpid()}:{next(_NONCE_COUNTER)}"
+
+
+def read_lease(path: Path) -> Optional[Lease]:
+    """The lease at *path*, or ``None`` when the file exists but is
+    corrupt (torn write, bit-flip, wrong format).  Raises
+    ``FileNotFoundError`` when there is no lease at all — the two
+    conditions are handled differently by claimants."""
+    raw = Path(path).read_bytes()
+    try:
+        return Lease.from_json(raw.decode("utf-8"))
+    except Exception:
+        return None
+
+
+def _write_lease_excl(path: Path, lease: Lease) -> bool:
+    """Create *path* exclusively — the claim arbitration.  Returns
+    False when somebody else's lease already exists.
+
+    The content is written to a private temp file first and linked
+    into place (``os.link`` fails with ``EEXIST`` exactly like
+    ``O_EXCL``), so a concurrent reader can never observe a claim
+    file mid-write — an empty just-created lease would read as
+    "corrupt" and invite an immediate bogus takeover.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(lease.to_json())
+        handle.flush()
+        os.fsync(handle.fileno())
+    try:
+        os.link(temp, path)
+        return True
+    except FileExistsError:
+        return False
+    finally:
+        os.unlink(temp)
+
+
+def _rewrite_lease(path: Path, lease: Lease) -> None:
+    """Atomically replace *path* (heartbeat refresh): same-directory
+    temp file, fsync, ``os.replace``."""
+    temp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(lease.to_json())
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+@dataclasses.dataclass
+class ClaimResult:
+    """What :func:`claim_cell` got: the lease held by this worker plus
+    how it was obtained (``fresh`` / ``takeover`` / ``corrupt``)."""
+
+    lease: Lease
+    how: str
+
+
+def claim_cell(
+    path: Path,
+    cell: str,
+    owner: str,
+    ttl: float,
+    clock: Callable[[], float] = time.time,
+) -> Optional[ClaimResult]:
+    """Try to claim *cell* by creating (or taking over) its lease.
+
+    * no lease → ``O_EXCL`` create, token 1 (``fresh``);
+    * live lease → ``None`` (someone else owns the cell);
+    * expired lease → ``os.rename`` it aside (exactly one renamer
+      wins), then ``O_EXCL`` create with ``token+1`` (``takeover``);
+    * corrupt lease → same rename arbitration, token restarts at 1 but
+      the nonce keeps the fence unambiguous (``corrupt``).
+    """
+    path = Path(path)
+    now = clock()
+    fresh = Lease(
+        cell=cell,
+        owner=owner,
+        nonce=_new_nonce(owner),
+        token=1,
+        ttl=ttl,
+        acquired=now,
+        heartbeat=now,
+    )
+    if _write_lease_excl(path, fresh):
+        return ClaimResult(fresh, "fresh")
+    try:
+        current = read_lease(path)
+    except FileNotFoundError:
+        # Raced with a release; the rescan loop will retry.
+        return None
+    if current is not None and not current.expired(now):
+        return None
+    # Dead or corrupt lease: arbitrate the takeover by renaming it
+    # aside — os.rename succeeds for exactly one contender.
+    stale = path.with_suffix(path.suffix + f".stale.{os.getpid()}")
+    try:
+        os.rename(path, stale)
+    except FileNotFoundError:
+        return None  # another taker won
+    try:
+        os.unlink(stale)
+    except OSError:
+        pass
+    taken = dataclasses.replace(
+        fresh,
+        nonce=_new_nonce(owner),
+        token=(current.token + 1) if current is not None else 1,
+        takeovers=(current.takeovers + 1) if current is not None else 1,
+        acquired=clock(),
+        heartbeat=clock(),
+    )
+    if not _write_lease_excl(path, taken):
+        # A fresh claimant slipped in between our rename and create.
+        return None
+    return ClaimResult(taken, "takeover" if current is not None else "corrupt")
+
+
+def renew_lease(
+    path: Path, lease: Lease, clock: Callable[[], float] = time.time
+) -> Lease:
+    """Refresh the heartbeat of a lease this worker holds.
+
+    Verifies the fence first: if the file is gone or carries a foreign
+    ``(token, nonce)``, the cell was taken over and :class:`Fenced`
+    is raised — the worker must treat its in-flight result as a
+    detected duplicate, and must not touch the new owner's lease.
+    """
+    try:
+        current = read_lease(path)
+    except FileNotFoundError:
+        raise Fenced(f"lease for {lease.cell} disappeared")
+    if current is None or not lease.same_claim(current):
+        raise Fenced(f"lease for {lease.cell} was taken over")
+    renewed = dataclasses.replace(lease, heartbeat=clock())
+    _rewrite_lease(path, renewed)
+    return renewed
+
+
+def release_lease(path: Path, lease: Lease) -> bool:
+    """Remove the lease if this worker still holds it.  Returns False
+    (and leaves the file alone) when the claim was fenced away."""
+    try:
+        current = read_lease(path)
+    except FileNotFoundError:
+        return False
+    if current is None or not lease.same_claim(current):
+        return False
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    return True
+
+
+class _Heartbeat:
+    """Background lease renewal while a cell runs.
+
+    Renews every ``ttl / 4``; the first :class:`Fenced` stops the
+    thread and latches :attr:`fenced` so the worker can detect, before
+    committing, that it became a zombie.  A SIGKILLed worker's
+    heartbeat dies with it — which is exactly how peers learn the cell
+    is orphaned.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        lease: Lease,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.path = Path(path)
+        self.lease = lease
+        self.clock = clock
+        self.renewals = 0
+        self.fenced = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-{lease.cell[:8]}", daemon=True
+        )
+
+    def start(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        interval = max(self.lease.ttl / 4.0, 0.01)
+        while not self._stop.wait(interval):
+            try:
+                self.lease = renew_lease(self.path, self.lease, self.clock)
+                self.renewals += 1
+            except Fenced:
+                self.fenced = True
+                return
+            except OSError:  # pragma: no cover - transient fs trouble
+                continue
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Stats and faults
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class DistribStats:
+    """Operational counters for lease-coordinated work.  Emitted as
+    ``distrib.*`` (and the lease subset as ``executor.lease_*``); never
+    part of merged results."""
+
+    claims: int = 0
+    takeovers: int = 0
+    corrupt_leases: int = 0
+    renewals: int = 0
+    fenced: int = 0
+    released: int = 0
+    committed: int = 0
+    duplicates: int = 0
+    conflicts: int = 0
+    skipped_done: int = 0
+    quarantined: int = 0
+
+    def merge(self, other: "DistribStats") -> "DistribStats":
+        return DistribStats(
+            **{
+                field.name: getattr(self, field.name)
+                + getattr(other, field.name)
+                for field in dataclasses.fields(self)
+            }
+        )
+
+    def emit(self, metrics, prefix: str = "distrib") -> None:
+        if metrics is None:
+            return
+        for field in dataclasses.fields(self):
+            metrics.inc(f"{prefix}.{field.name}", getattr(self, field.name))
+        # The lease vocabulary, under the executor namespace the health
+        # counters already use.
+        metrics.inc("executor.lease_claims", self.claims)
+        metrics.inc("executor.lease_takeovers", self.takeovers)
+        metrics.inc("executor.lease_renewals", self.renewals)
+        metrics.inc("executor.lease_fenced", self.fenced)
+        metrics.inc("executor.lease_released", self.released)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerFault:
+    """Failure-injection knobs for one worker (tests / CI smoke).
+
+    ``die_after_claims=N`` SIGKILLs the worker right after its Nth
+    successful claim — mid-cell, lease held, heartbeat silenced: the
+    canonical dead-worker-takeover scenario.  ``stall_after_claims=N``
+    instead pauses for ``stall_seconds`` *without heartbeating* before
+    running the cell — the canonical zombie: its lease expires, a peer
+    takes over, and its late commit must be fenced.
+    """
+
+    die_after_claims: Optional[int] = None
+    stall_after_claims: Optional[int] = None
+    stall_seconds: float = 0.0
+
+
+@dataclasses.dataclass
+class WorkerReport:
+    """What one worker did to the board."""
+
+    worker_id: str
+    cells_seen: int = 0
+    stats: DistribStats = dataclasses.field(default_factory=DistribStats)
+    quarantined: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "cells_seen": self.cells_seen,
+            "stats": self.stats.as_dict(),
+            "quarantined": self.quarantined,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+        }
+
+
+def _write_marker(path: Path, payload: Dict[str, Any]) -> bool:
+    """Atomically create a quarantine marker; first writer wins.
+    Returns False when a marker already exists."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    try:
+        os.link(temp, path)
+        created = True
+    except FileExistsError:
+        created = False
+    finally:
+        os.unlink(temp)
+    return created
+
+
+def read_marker(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# The drain loop
+# ----------------------------------------------------------------------
+
+def drain_board(
+    board,
+    worker_id: str,
+    ttl: float = DEFAULT_LEASE_TTL,
+    retries: int = 2,
+    backoff_base: float = 0.05,
+    poll_interval: float = 0.05,
+    max_takeovers: int = DEFAULT_MAX_TAKEOVERS,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], None] = time.sleep,
+    fault: Optional[WorkerFault] = None,
+    journal: Optional[SweepJournal] = None,
+    metrics=None,
+    on_commit: Optional[Callable[[str, Any], None]] = None,
+) -> WorkerReport:
+    """Drain every open cell on *board* under the lease discipline.
+
+    *board* is duck-typed (``cells() / is_done(cid) / lease_path(cid) /
+    quarantine_path(cid) / execute(cid) / commit(cid, result, fenced) /
+    describe(cid)``); :class:`SweepBoard` drives the shared
+    :class:`~.store.ResultStore`, :class:`ExecutorBoard` a private
+    coordination directory.
+
+    The loop rescans until every cell is committed or quarantined:
+    committed cells are skipped, unclaimed cells claimed, live foreign
+    leases respected, expired/corrupt ones taken over.  When a pass
+    makes no progress (everything open is leased to live peers) the
+    worker idles ``poll_interval`` and rescans — that idle-rescan is
+    how a peer's death eventually hands its cell over.
+    """
+    report = WorkerReport(worker_id=worker_id)
+    stats = report.stats
+    backoff = backoff_schedule(retries, base=backoff_base)
+    began = time.perf_counter()
+    report.cells_seen = len(board.cells())
+
+    def note(event: str, **fields: Any) -> None:
+        if journal is not None:
+            journal.record(event, worker=worker_id, **fields)
+
+    while True:
+        open_cells = [
+            cid
+            for cid in board.cells()
+            if not board.is_done(cid)
+            and not Path(board.quarantine_path(cid)).exists()
+        ]
+        if not open_cells:
+            break
+        progress = False
+        for cid in open_cells:
+            if board.is_done(cid):
+                stats.skipped_done += 1
+                progress = True
+                continue
+            if Path(board.quarantine_path(cid)).exists():
+                continue
+            lease_path = Path(board.lease_path(cid))
+            claimed = claim_cell(lease_path, cid, worker_id, ttl, clock)
+            if claimed is None:
+                continue
+            progress = True
+            lease = claimed.lease
+            stats.claims += 1
+            if claimed.how == "takeover":
+                stats.takeovers += 1
+            elif claimed.how == "corrupt":
+                stats.corrupt_leases += 1
+                stats.takeovers += 1
+            note(
+                "claim",
+                cell=cid,
+                how=claimed.how,
+                token=lease.token,
+                takeovers=lease.takeovers,
+            )
+            if lease.takeovers > max_takeovers:
+                # The cell has outlived too many owners: poison.
+                payload = {
+                    "format": LEASE_FORMAT,
+                    "cell": cid,
+                    "context": board.describe(cid),
+                    "error": "takeover-limit",
+                    "attempts": lease.takeovers,
+                    "detail": (
+                        f"lease taken over {lease.takeovers} times "
+                        f"(limit {max_takeovers})"
+                    ),
+                    "owner": worker_id,
+                }
+                if _write_marker(board.quarantine_path(cid), payload):
+                    stats.quarantined += 1
+                    report.quarantined.append(payload)
+                    note("quarantine", cell=cid, error="takeover-limit")
+                release_lease(lease_path, lease)
+                stats.released += 1
+                continue
+            if (
+                fault is not None
+                and fault.die_after_claims is not None
+                and stats.claims >= fault.die_after_claims
+            ):
+                # Injected mid-cell death: lease held, heartbeat never
+                # starts, the cell is orphaned until a peer's takeover.
+                os.kill(os.getpid(), signal.SIGKILL)
+            stalled = (
+                fault is not None
+                and fault.stall_after_claims is not None
+                and stats.claims >= fault.stall_after_claims
+            )
+            heartbeat = _Heartbeat(lease_path, lease, clock)
+            if stalled:
+                # Zombie mode: hold the lease without heartbeating for
+                # longer than the TTL, then proceed as if nothing
+                # happened — the fence must catch us.
+                sleep(fault.stall_seconds)
+            else:
+                heartbeat.start()
+            failure_detail = None
+            result = None
+            try:
+                for attempt in range(retries + 1):
+                    try:
+                        result = board.execute(cid)
+                        failure_detail = None
+                        break
+                    except Exception:
+                        failure_detail = traceback.format_exc()
+                        if attempt < retries:
+                            sleep(backoff[attempt])
+            finally:
+                heartbeat.stop()
+            stats.renewals += heartbeat.renewals
+            if failure_detail is not None:
+                payload = {
+                    "format": LEASE_FORMAT,
+                    "cell": cid,
+                    "context": board.describe(cid),
+                    "error": "exception",
+                    "attempts": retries + 1,
+                    "detail": failure_detail,
+                    "owner": worker_id,
+                }
+                if _write_marker(board.quarantine_path(cid), payload):
+                    stats.quarantined += 1
+                    report.quarantined.append(payload)
+                    note("quarantine", cell=cid, error="exception")
+                if release_lease(lease_path, lease):
+                    stats.released += 1
+                continue
+            # The fence check: did we keep the claim the whole time?
+            fenced = heartbeat.fenced
+            if not fenced:
+                try:
+                    current = read_lease(lease_path)
+                except FileNotFoundError:
+                    current = None
+                fenced = current is None or not lease.same_claim(current)
+            outcome = board.commit(cid, result, fenced=fenced)
+            if fenced:
+                stats.fenced += 1
+                note("fenced", cell=cid, outcome=outcome)
+            if outcome == "skipped":
+                # Fenced no-op: the cell was taken over mid-run and is
+                # not committed yet — the write belongs to the new
+                # owner, not this zombie.
+                pass
+            elif outcome == "committed":
+                stats.committed += 1
+                note("commit", cell=cid, token=lease.token)
+                if on_commit is not None:
+                    on_commit(cid, result)
+            elif outcome == "duplicate":
+                stats.duplicates += 1
+                note("duplicate", cell=cid)
+            else:  # conflict: same key, different bytes — impossible
+                # for pure cells, so it is loudly quarantined.
+                stats.conflicts += 1
+                payload = {
+                    "format": LEASE_FORMAT,
+                    "cell": cid,
+                    "context": board.describe(cid),
+                    "error": "conflict",
+                    "attempts": 1,
+                    "detail": "racing commit produced different bytes",
+                    "owner": worker_id,
+                }
+                if _write_marker(board.quarantine_path(cid), payload):
+                    stats.quarantined += 1
+                    report.quarantined.append(payload)
+                note("conflict", cell=cid)
+            if not fenced and release_lease(lease_path, lease):
+                stats.released += 1
+        if not progress:
+            sleep(poll_interval)
+    report.elapsed_seconds = time.perf_counter() - began
+    stats.emit(metrics)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Boards
+# ----------------------------------------------------------------------
+
+class SweepBoard:
+    """The cell set of one stored sweep, as a drainable board.
+
+    Cells are :class:`~.store.CellKey` digests; completion is a
+    committed (verifiable) cell in the shared :class:`ResultStore`;
+    commit performs duplicate detection via the stored fingerprint
+    digest — a racing byte-identical commit is a ``duplicate`` (benign,
+    counted), a mismatch is a ``conflict`` (quarantined).
+    """
+
+    def __init__(self, store: ResultStore, cells: "List[SweepCell]"):
+        self.store = store
+        self._order = [cell.key.digest() for cell in cells]
+        self._cells = {cell.key.digest(): cell for cell in cells}
+
+    def cells(self) -> Sequence[str]:
+        return self._order
+
+    def is_done(self, cid: str) -> bool:
+        return self.store.path_for(cid).exists()
+
+    def lease_path(self, cid: str) -> Path:
+        return self.store.lease_path_for(cid)
+
+    def quarantine_path(self, cid: str) -> Path:
+        return self.store.quarantine_path_for(cid)
+
+    def describe(self, cid: str) -> str:
+        cell = self._cells[cid]
+        return (
+            f"stage={cell.stage} shard={cell.key.shard_index}/"
+            f"{cell.key.shard_count} seed={cell.key.seed} key={cid[:12]}"
+        )
+
+    def execute(self, cid: str) -> ExperimentResult:
+        return self._cells[cid].task()
+
+    def commit(self, cid: str, result: ExperimentResult, fenced: bool) -> str:
+        cell = self._cells[cid]
+        if self.is_done(cid):
+            existing = self.store.load(cell.key)
+            if existing is None:
+                if fenced:
+                    return "skipped"
+                # The committed copy was corrupt; our fresh result
+                # recommits over the quarantined corpse.
+                self.store.commit(cell.key, result)
+                return "committed"
+            if fingerprint_digest(existing) == fingerprint_digest(result):
+                return "duplicate"
+            return "conflict"
+        if fenced:
+            # The fence says this claim was taken over: the commit
+            # belongs to the new owner.  Detected no-op.
+            return "skipped"
+        self.store.commit(cell.key, result)
+        return "committed"
+
+
+@dataclasses.dataclass
+class SweepCell:
+    """One runnable cell of a manifest sweep: its key, its task, and
+    which size-stage it belongs to."""
+
+    key: Any  # CellKey
+    task: Callable[[], ExperimentResult]
+    stage: int
+
+
+class ExecutorBoard:
+    """A board over a private coordination directory, for
+    :class:`DistributedExecutor`: results are pickled envelopes
+    committed with link-if-absent, so the first finisher wins and a
+    racing duplicate is detected by payload digest."""
+
+    def __init__(self, root, tasks: Sequence[Callable[[], Any]]):
+        self.root = Path(root)
+        self.tasks = tasks
+        for sub in ("leases", "results", "quarantine"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        self._ids = [f"task-{index:05d}" for index in range(len(tasks))]
+
+    @staticmethod
+    def index_of(cid: str) -> int:
+        return int(cid.split("-")[-1])
+
+    def cells(self) -> Sequence[str]:
+        return self._ids
+
+    def result_path(self, cid: str) -> Path:
+        return self.root / "results" / f"{cid}.pkl"
+
+    def lease_path(self, cid: str) -> Path:
+        return self.root / "leases" / f"{cid}{LEASE_SUFFIX}"
+
+    def quarantine_path(self, cid: str) -> Path:
+        return self.root / "quarantine" / f"{cid}{QUARANTINE_SUFFIX}"
+
+    def is_done(self, cid: str) -> bool:
+        return self.result_path(cid).exists()
+
+    def describe(self, cid: str) -> str:
+        index = self.index_of(cid)
+        return task_context(self.tasks[index], index)
+
+    def execute(self, cid: str) -> Any:
+        return self.tasks[self.index_of(cid)]()
+
+    def commit(self, cid: str, result: Any, fenced: bool) -> str:
+        if fenced and not self.is_done(cid):
+            return "skipped"
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = json.dumps(
+            {
+                "format": LEASE_FORMAT,
+                "cell": cid,
+                "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                "payload_b64": base64.b64encode(payload).decode("ascii"),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        destination = self.result_path(cid)
+        temp = destination.with_suffix(f".tmp.{os.getpid()}")
+        with open(temp, "wb") as handle:
+            handle.write(envelope)
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.link(temp, destination)
+            return "committed"
+        except FileExistsError:
+            mine = hashlib.sha256(payload).hexdigest()
+            existing = self.load_envelope(cid)
+            theirs = existing.get("payload_sha256") if existing else None
+            return "duplicate" if theirs == mine else "conflict"
+        finally:
+            os.unlink(temp)
+
+    def load_envelope(self, cid: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(
+                self.result_path(cid).read_text(encoding="utf-8")
+            )
+        except Exception:
+            return None
+
+    def load_result(self, cid: str) -> Tuple[bool, Any]:
+        """Verified load: ``(ok, value)``; ``ok=False`` means missing
+        or corrupt (the corrupt file is removed so workers re-run)."""
+        envelope = self.load_envelope(cid)
+        if envelope is None:
+            return False, None
+        try:
+            payload = base64.b64decode(
+                envelope["payload_b64"].encode("ascii"), validate=True
+            )
+            if (
+                hashlib.sha256(payload).hexdigest()
+                != envelope["payload_sha256"]
+            ):
+                raise ValueError("payload digest mismatch")
+            return True, pickle.loads(payload)
+        except Exception:
+            try:
+                os.unlink(self.result_path(cid))
+            except OSError:
+                pass
+            return False, None
+
+
+# ----------------------------------------------------------------------
+# DistributedExecutor: the Executor-protocol face
+# ----------------------------------------------------------------------
+
+def _executor_worker_main(
+    board: ExecutorBoard,
+    worker_id: str,
+    params: Dict[str, Any],
+    fault: Optional[WorkerFault],
+) -> None:
+    """Forked worker body: drain the board, write a report, exit hard
+    (``os._exit`` skips inherited finalizers, like the classic pool)."""
+    status = 0
+    try:
+        report = drain_board(
+            board,
+            worker_id,
+            ttl=params["ttl"],
+            retries=params["retries"],
+            backoff_base=params["backoff_base"],
+            poll_interval=params["poll_interval"],
+            max_takeovers=params["max_takeovers"],
+            fault=fault,
+        )
+        report_path = board.root / "workers" / f"{worker_id}.json"
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(
+            json.dumps(report.as_dict(), sort_keys=True), encoding="utf-8"
+        )
+    except BaseException:  # pragma: no cover - defensive
+        status = 1
+    finally:
+        os._exit(status)
+
+
+class DistributedExecutor:
+    """Lease-coordinated local worker fleet behind the ``Executor``
+    protocol.
+
+    ``run_with_quarantine(tasks, on_result)`` forks ``workers``
+    processes that drain an :class:`ExecutorBoard` under the lease
+    discipline: a SIGKILLed worker's cell is taken over by a peer
+    after ``ttl``, retries/quarantine work per cell exactly as on
+    :class:`~.parallel.FaultTolerantExecutor`, and the parent streams
+    verified results to ``on_result`` as they land — so
+    ``run_stored_sweep`` commits cells incrementally no matter which
+    worker produced them.  If the *entire* fleet dies with cells still
+    open, the parent respawns replacements (up to ``max_restarts``)
+    rather than hanging or losing the sweep.
+
+    Without ``fork`` the same board is drained in-process — the lease
+    files still arbitrate, so several independent *processes* pointed
+    at one ``root`` cooperate even on spawn-only platforms.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        root: Optional[str] = None,
+        ttl: float = 5.0,
+        retries: int = 2,
+        keep_going: bool = True,
+        backoff_base: float = 0.05,
+        poll_interval: float = 0.05,
+        max_takeovers: int = DEFAULT_MAX_TAKEOVERS,
+        max_restarts: Optional[int] = None,
+        worker_faults: Optional[Dict[int, WorkerFault]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.root = root
+        self.ttl = ttl
+        self.retries = retries
+        self.keep_going = keep_going
+        self.backoff_base = backoff_base
+        self.poll_interval = poll_interval
+        self.max_takeovers = max_takeovers
+        self.max_restarts = max_restarts if max_restarts is not None else workers
+        self.worker_faults = dict(worker_faults or {})
+        self.health = ExecutorHealth()
+        self.stats = DistribStats()
+        self.leaked_leases = 0
+
+    @staticmethod
+    def fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # -- Executor protocol -------------------------------------------------
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]:
+        results, quarantined, _ = self.run_with_quarantine(tasks)
+        if quarantined:
+            raise QuarantineError(quarantined)
+        return [result for result in results]
+
+    # -- full-fat API ------------------------------------------------------
+
+    def run_with_quarantine(
+        self,
+        tasks: Sequence[Callable[[], Any]],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> Tuple[List[Optional[Any]], List[QuarantinedCell], ExecutorHealth]:
+        health = ExecutorHealth()
+        self.health = health
+        self.stats = DistribStats()
+        results: List[Optional[Any]] = [None] * len(tasks)
+        quarantined: List[QuarantinedCell] = []
+        if not tasks:
+            return results, quarantined, health
+        own_root = self.root is None
+        root = Path(self.root or tempfile.mkdtemp(prefix="repro-distrib-"))
+        board = ExecutorBoard(root, tasks)
+        params = {
+            "ttl": self.ttl,
+            "retries": self.retries,
+            "backoff_base": self.backoff_base,
+            "poll_interval": self.poll_interval,
+            "max_takeovers": self.max_takeovers,
+        }
+        if not self.fork_available():
+            report = drain_board(
+                board,
+                "w0",
+                fault=self.worker_faults.get(0),
+                **params,
+            )
+            self.stats = self.stats.merge(report.stats)
+            self._collect(
+                board, results, quarantined, health, on_result, set(), set()
+            )
+            self._finish(board, own_root, quarantined)
+            return results, quarantined, health
+
+        context_mp = multiprocessing.get_context("fork")
+        processes: Dict[str, Any] = {}
+        spawned = 0
+
+        def spawn(index: int) -> None:
+            nonlocal spawned
+            worker_id = f"w{index}"
+            process = context_mp.Process(
+                target=_executor_worker_main,
+                args=(board, worker_id, params, self.worker_faults.get(index)),
+                name=f"distrib-{worker_id}",
+            )
+            process.start()
+            processes[worker_id] = process
+            spawned += 1
+
+        for index in range(min(self.workers, len(tasks))):
+            spawn(index)
+
+        delivered: set = set()
+        reported: set = set()
+        restarts = 0
+        try:
+            while True:
+                self._collect(
+                    board, results, quarantined, health, on_result,
+                    delivered, reported,
+                )
+                if not self.keep_going and quarantined:
+                    raise self._failure_for(quarantined[0])
+                open_cells = [
+                    cid
+                    for cid in board.cells()
+                    if not board.is_done(cid)
+                    and not board.quarantine_path(cid).exists()
+                ]
+                if not open_cells:
+                    break
+                live = 0
+                for worker_id, process in list(processes.items()):
+                    if process.is_alive():
+                        live += 1
+                        continue
+                    process.join(timeout=0.1)
+                    exitcode = process.exitcode
+                    del processes[worker_id]
+                    if exitcode not in (0, None):
+                        health.worker_lost += 1
+                if live == 0:
+                    # The whole fleet is dead with work remaining:
+                    # respawn rather than losing the sweep.
+                    if restarts >= self.max_restarts:
+                        for cid in open_cells:
+                            index = board.index_of(cid)
+                            cell = QuarantinedCell(
+                                index=index,
+                                context=board.describe(cid),
+                                attempts=1,
+                                error="worker-lost",
+                                detail="every worker died; restart budget spent",
+                            )
+                            quarantined.append(cell)
+                            health.quarantined += 1
+                        break
+                    restarts += 1
+                    health.worker_restarts += 1
+                    spawn(spawned)
+                time.sleep(self.poll_interval)
+            self._collect(
+                board, results, quarantined, health, on_result,
+                delivered, reported,
+            )
+            if not self.keep_going and quarantined:
+                raise self._failure_for(quarantined[0])
+        finally:
+            for process in processes.values():
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=5.0)
+        self._aggregate_reports(board)
+        self._finish(board, own_root, quarantined)
+        return results, quarantined, health
+
+    # -- internals ---------------------------------------------------------
+
+    def _collect(
+        self, board, results, quarantined, health, on_result,
+        delivered: set, reported: set,
+    ) -> None:
+        for cid in board.cells():
+            index = board.index_of(cid)
+            if cid not in delivered and board.is_done(cid):
+                ok, value = board.load_result(cid)
+                if not ok:
+                    continue  # corrupt envelope removed; workers re-run
+                delivered.add(cid)
+                results[index] = value
+                health.cells_ok += 1
+                if on_result is not None:
+                    on_result(index, value)
+            if cid not in reported and board.quarantine_path(cid).exists():
+                marker = read_marker(board.quarantine_path(cid)) or {}
+                reported.add(cid)
+                cell = QuarantinedCell(
+                    index=index,
+                    context=marker.get("context", board.describe(cid)),
+                    attempts=marker.get("attempts", 1),
+                    error=marker.get("error", "exception"),
+                    detail=marker.get("detail", ""),
+                )
+                quarantined.append(cell)
+                health.quarantined += 1
+
+    @staticmethod
+    def _failure_for(cell: QuarantinedCell) -> TaskFailure:
+        if cell.error == "worker-lost":
+            return WorkerLost(cell.context, None)
+        return TaskFailure(cell.context, cell.detail)
+
+    def _aggregate_reports(self, board: ExecutorBoard) -> None:
+        for path in sorted((board.root / "workers").glob("*.json")):
+            payload = read_marker(path)
+            if payload is None:
+                continue
+            stats = DistribStats(**payload.get("stats", {}))
+            self.stats = self.stats.merge(stats)
+        self.health.retries += self.stats.takeovers
+
+    def _finish(self, board: ExecutorBoard, own_root: bool, quarantined) -> None:
+        self.leaked_leases = len(list((board.root / "leases").glob("*")))
+        if own_root and not quarantined and self.leaked_leases == 0:
+            import shutil
+
+            shutil.rmtree(board.root, ignore_errors=True)
+
+    def emit(self, metrics) -> None:
+        """Feed both counter families into a metrics registry."""
+        self.health.emit(metrics, prefix="executor")
+        self.stats.emit(metrics, prefix="distrib")
+
+
+# ----------------------------------------------------------------------
+# The sweep manifest: how independent hosts learn the cell set
+# ----------------------------------------------------------------------
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepManifest:
+    """Everything a worker needs to reconstruct a sweep's cell set.
+
+    Travels as JSON inside the store, so independent processes (and
+    hosts mounting the same directory) derive the *same* cell keys
+    from the same inputs.  Configs are named from
+    :data:`CONFIG_BUILDERS` plus JSON-safe field overrides — a
+    manifest never pickles code.
+    """
+
+    sizes: Tuple[int, ...]
+    filler_count: int
+    seed: int = 2016
+    shards: int = 2
+    config_name: str = "correct_bind_config"
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    ptr_fraction: float = 0.01
+    dnssec_ok_stub: bool = True
+    trace: bool = False
+    kind: str = "leakage-shard"
+    code_version: str = dataclasses.field(default_factory=current_code_version)
+
+    def config(self) -> ResolverConfig:
+        try:
+            builder = CONFIG_BUILDERS[self.config_name]
+        except KeyError:
+            raise StoreError(
+                f"manifest names unknown config {self.config_name!r} "
+                f"(known: {sorted(CONFIG_BUILDERS)})"
+            )
+        return builder(**dict(self.config_overrides))
+
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        payload["format"] = LEASE_FORMAT
+        payload["sizes"] = list(self.sizes)
+        payload["config_overrides"] = [
+            list(pair) for pair in self.config_overrides
+        ]
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepManifest":
+        payload = json.loads(text)
+        if payload.pop("format", None) != LEASE_FORMAT:
+            raise StoreError("unknown manifest format")
+        payload["sizes"] = tuple(payload["sizes"])
+        payload["config_overrides"] = tuple(
+            (key, value) for key, value in payload.get("config_overrides", [])
+        )
+        return cls(**payload)
+
+    def cells(self) -> List[SweepCell]:
+        """The sweep's full cell list, stage by stage, in shard order —
+        identical on every host because it derives from the manifest
+        alone."""
+        from .setup import standard_universe_factory, standard_workload
+
+        config = self.config()
+        cells: List[SweepCell] = []
+        for stage, size in enumerate(sorted(self.sizes)):
+            factory = standard_universe_factory(
+                size, filler_count=self.filler_count, workload_seed=self.seed
+            )
+            names = standard_workload(size, seed=self.seed).names(size)
+            for spec in plan_shards(names, self.shards, self.seed):
+                key = shard_cell_key(
+                    factory,
+                    config,
+                    spec,
+                    shard_count=self.shards,
+                    seed=self.seed,
+                    ptr_fraction=self.ptr_fraction,
+                    dnssec_ok_stub=self.dnssec_ok_stub,
+                    trace=self.trace,
+                    kind=self.kind,
+                    code_version=self.code_version,
+                )
+                task = _ShardTask(
+                    factory=factory,
+                    config=config,
+                    spec=spec,
+                    ptr_fraction=self.ptr_fraction,
+                    dnssec_ok_stub=self.dnssec_ok_stub,
+                    trace=self.trace,
+                )
+                cells.append(SweepCell(key=key, task=task, stage=stage))
+        return cells
+
+
+def write_sweep_manifest(store: ResultStore, manifest: SweepManifest) -> Path:
+    """Publish *manifest* into the store, atomically.
+
+    Idempotent for an identical manifest; a *different* manifest for a
+    store that already has one is refused — one store, one sweep
+    definition (make a new store for a new sweep)."""
+    path = store.root / MANIFEST_NAME
+    text = manifest.to_json()
+    if path.exists():
+        existing = path.read_text(encoding="utf-8")
+        if existing == text:
+            return path
+        raise StoreError(
+            f"store {store.root} already holds a different sweep manifest"
+        )
+    temp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
+
+
+def load_sweep_manifest(store: ResultStore) -> SweepManifest:
+    path = store.root / MANIFEST_NAME
+    if not path.exists():
+        raise StoreError(
+            f"store {store.root} has no {MANIFEST_NAME}; run the "
+            "coordinator (repro sweep --distributed) or "
+            "write_sweep_manifest() first"
+        )
+    try:
+        return SweepManifest.from_json(path.read_text(encoding="utf-8"))
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise StoreError(f"unreadable sweep manifest at {path}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# Workers and the coordinator
+# ----------------------------------------------------------------------
+
+def run_worker(
+    store_root,
+    worker_id: str,
+    ttl: float = DEFAULT_LEASE_TTL,
+    retries: int = 2,
+    backoff_base: float = 0.05,
+    poll_interval: float = 0.05,
+    max_takeovers: int = DEFAULT_MAX_TAKEOVERS,
+    fault: Optional[WorkerFault] = None,
+    metrics=None,
+) -> WorkerReport:
+    """Join the sweep described by the store's manifest as one worker.
+
+    This is the body of ``python -m repro work --store DIR
+    --worker-id ID``: load the manifest, derive the cell set, and
+    drain it under the lease discipline until every cell is committed
+    (by anyone) or quarantined.  Safe to run any number of times, from
+    any number of processes or hosts sharing the directory.
+    """
+    store = ResultStore(store_root)
+    manifest = load_sweep_manifest(store)
+    board = SweepBoard(store, manifest.cells())
+    report = drain_board(
+        board,
+        worker_id,
+        ttl=ttl,
+        retries=retries,
+        backoff_base=backoff_base,
+        poll_interval=poll_interval,
+        max_takeovers=max_takeovers,
+        fault=fault,
+        journal=store.journal(),
+        metrics=metrics,
+    )
+    if metrics is not None:
+        store.stats.emit(metrics, prefix="store")
+    return report
+
+
+@dataclasses.dataclass
+class DistribOutcome:
+    """What a distributed sweep produced: per-stage merged results
+    plus the operational story (reuse/run arithmetic, quarantine,
+    worker exit codes)."""
+
+    stage_results: List[ExperimentResult]
+    cells_total: int
+    cells_reused: int
+    cells_rerun: int
+    quarantined: List[QuarantinedCell]
+    worker_exits: Dict[str, Optional[int]] = dataclasses.field(
+        default_factory=dict
+    )
+    stats: DistribStats = dataclasses.field(default_factory=DistribStats)
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined
+
+    @property
+    def result(self) -> ExperimentResult:
+        """All stages merged (byte-identical to a serial run of the
+        concatenated stage plans)."""
+        merged = self.stage_results[0]
+        from .parallel import merge_results
+
+        for part in self.stage_results[1:]:
+            merged = merge_results(merged, part)
+        return merged
+
+    def describe(self) -> str:
+        return (
+            f"distributed sweep cells={self.cells_total} "
+            f"reused={self.cells_reused} rerun={self.cells_rerun} "
+            f"quarantined={len(self.quarantined)}"
+        )
+
+
+def collect_sweep(
+    store: ResultStore,
+    manifest: Optional[SweepManifest] = None,
+    run_missing: bool = True,
+    journal: Optional[SweepJournal] = None,
+) -> DistribOutcome:
+    """Merge a (possibly partially) drained sweep from the store.
+
+    Committed cells are loaded with full verification; quarantine
+    markers become :class:`QuarantinedCell` entries; anything missing
+    and unmarked is run *locally* when ``run_missing`` (the
+    coordinator's fallback: a fleet that died mid-sweep degrades to a
+    slower sweep, never a lost one) and committed back.
+    """
+    manifest = manifest or load_sweep_manifest(store)
+    cells = manifest.cells()
+    stage_count = max(cell.stage for cell in cells) + 1 if cells else 0
+    stage_pairs: List[List[Tuple[int, ExperimentResult]]] = [
+        [] for _ in range(stage_count)
+    ]
+    quarantined: List[QuarantinedCell] = []
+    reused = rerun = 0
+    for cell in cells:
+        digest = cell.key.digest()
+        result = store.load(cell.key)
+        if result is None:
+            marker_path = store.quarantine_path_for(digest)
+            marker = read_marker(marker_path)
+            if marker is not None:
+                quarantined.append(
+                    QuarantinedCell(
+                        index=cell.key.shard_index,
+                        context=marker.get("context", digest[:12]),
+                        attempts=marker.get("attempts", 1),
+                        error=marker.get("error", "exception"),
+                        detail=marker.get("detail", ""),
+                    )
+                )
+                continue
+            if not run_missing:
+                continue
+            result = cell.task()
+            store.commit(cell.key, result)
+            if journal is not None:
+                journal.record(
+                    "commit", worker="coordinator", cell=digest
+                )
+            rerun += 1
+        else:
+            reused += 1
+        stage_pairs[cell.stage].append((cell.key.shard_index, result))
+    stage_results = [merge_shard_results(pairs) for pairs in stage_pairs]
+    return DistribOutcome(
+        stage_results=stage_results,
+        cells_total=len(cells),
+        cells_reused=reused,
+        cells_rerun=rerun,
+        quarantined=quarantined,
+    )
+
+
+def _worker_command(
+    store_root, worker_id: str, ttl: float, retries: int,
+    poll_interval: float,
+) -> List[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "work",
+        "--store",
+        str(store_root),
+        "--worker-id",
+        worker_id,
+        "--ttl",
+        str(ttl),
+        "--retries",
+        str(retries),
+        "--poll-interval",
+        str(poll_interval),
+        "--json",
+    ]
+
+
+def spawn_worker_process(
+    store_root, worker_id: str, ttl: float = DEFAULT_LEASE_TTL,
+    retries: int = 2, poll_interval: float = 0.05,
+    extra_args: Sequence[str] = (),
+) -> subprocess.Popen:
+    """Start one ``repro work`` worker as a real child process (its own
+    interpreter — the honest multi-process path the coordinator and
+    the chaos tests use)."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    command = _worker_command(
+        store_root, worker_id, ttl, retries, poll_interval
+    ) + list(extra_args)
+    return subprocess.Popen(
+        command,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def run_distributed_sweep(
+    store_root,
+    workers: int = 2,
+    sizes: Sequence[int] = (100,),
+    filler_count: int = 20000,
+    seed: int = 2016,
+    shards: Optional[int] = None,
+    ttl: float = DEFAULT_LEASE_TTL,
+    retries: int = 2,
+    poll_interval: float = 0.05,
+    config_name: str = "correct_bind_config",
+    metrics=None,
+    worker_timeout: float = 3600.0,
+) -> DistribOutcome:
+    """The coordinator: manifest → N worker processes → merge.
+
+    Spawns ``workers`` local ``repro work`` processes against
+    *store_root* and waits for the cell set to drain.  Workers that
+    die are *not* respawned — their cells are taken over by surviving
+    peers; if every worker dies, :func:`collect_sweep`'s local
+    fallback finishes the remainder in this process.  The merged
+    result is byte-identical to the serial reference either way.
+    """
+    store = ResultStore(store_root)
+    manifest = SweepManifest(
+        sizes=tuple(sizes),
+        filler_count=filler_count,
+        seed=seed,
+        shards=shards if shards is not None else max(workers, 1),
+        config_name=config_name,
+    )
+    write_sweep_manifest(store, manifest)
+    journal = store.journal()
+    journal.record(
+        "distrib-start",
+        workers=workers,
+        sizes=list(manifest.sizes),
+        shards=manifest.shards,
+        seed=seed,
+    )
+    processes = {
+        f"w{index}": spawn_worker_process(
+            store_root, f"w{index}", ttl=ttl, retries=retries,
+            poll_interval=poll_interval,
+        )
+        for index in range(workers)
+    }
+    exits: Dict[str, Optional[int]] = {}
+    deadline = time.monotonic() + worker_timeout
+    for worker_id, process in processes.items():
+        remaining = max(1.0, deadline - time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10.0)
+        exits[worker_id] = process.returncode
+        # Drain pipes so children are fully reaped.
+        if process.stdout is not None:
+            process.stdout.close()
+        if process.stderr is not None:
+            process.stderr.close()
+    outcome = collect_sweep(store, manifest, journal=journal)
+    outcome.worker_exits = exits
+    journal.record(
+        "distrib-end",
+        reused=outcome.cells_reused,
+        rerun=outcome.cells_rerun,
+        quarantined=len(outcome.quarantined),
+        exits={k: v for k, v in exits.items()},
+    )
+    if metrics is not None:
+        metrics.inc("distrib.workers_spawned", workers)
+        metrics.inc(
+            "distrib.workers_lost",
+            sum(1 for code in exits.values() if code not in (0, 3)),
+        )
+        store.stats.emit(metrics, prefix="store")
+    return outcome

@@ -430,6 +430,14 @@ class TaskFailure(RuntimeError):
             message += f":\n{detail.rstrip()}"
         super().__init__(message)
 
+    def __reduce__(self):
+        # RuntimeError's default reduce replays ``args`` (the rendered
+        # message) into ``__init__``, which takes (context, detail) —
+        # so a pickled failure either crashed on unpickle or lost its
+        # cell context.  Failures cross process boundaries (pool pipes,
+        # distributed workers), so reconstruct from the real fields.
+        return (type(self), (self.context, self.detail))
+
 
 class WorkerLost(TaskFailure):
     """A worker process died without reporting a result — killed,
@@ -445,6 +453,9 @@ class WorkerLost(TaskFailure):
             how = f"exited with code {exitcode}"
         super().__init__(context, f"worker died without a result ({how})")
 
+    def __reduce__(self):
+        return (type(self), (self.context, self.exitcode))
+
 
 class CellTimeout(TaskFailure):
     """A cell exceeded its wall-clock budget and its worker was
@@ -455,6 +466,9 @@ class CellTimeout(TaskFailure):
     def __init__(self, context: str, timeout: float):
         self.timeout = timeout
         super().__init__(context, f"no result within {timeout:g}s; worker terminated")
+
+    def __reduce__(self):
+        return (type(self), (self.context, self.timeout))
 
 
 class QuarantineError(RuntimeError):
@@ -986,7 +1000,10 @@ def run_tasks_fault_tolerant(
             keep_going=not fail_fast,
             backoff_base=backoff_base,
         )
-    if isinstance(executor, FaultTolerantExecutor):
+    # Duck-typed, not isinstance: any executor offering the quarantine
+    # protocol (FaultTolerantExecutor, distrib.DistributedExecutor)
+    # gets streamed results and quarantine reporting.
+    if hasattr(executor, "run_with_quarantine"):
         return executor.run_with_quarantine(tasks, on_result=on_result)
     results = executor.run(tasks)
     if on_result is not None:

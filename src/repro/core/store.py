@@ -56,6 +56,7 @@ import json
 import os
 import pickle
 import signal
+import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -78,6 +79,16 @@ from .parallel import (
 
 #: Envelope schema version; bump on incompatible layout changes.
 STORE_FORMAT = 1
+
+#: Suffixes the distributed layer (:mod:`repro.core.distrib`) parks
+#: beside cells: a worker's claim, and a cross-worker poison marker.
+LEASE_SUFFIX = ".lease"
+QUARANTINE_SUFFIX = ".quarantine"
+
+#: A lease file untouched for this long is unquestionably dead no
+#: matter what TTL its sweep ran with; :meth:`ResultStore.gc` reclaims
+#: it even when it can't parse the recorded TTL.
+GC_LEASE_GRACE_SECONDS = 3600.0
 
 
 class StoreError(Exception):
@@ -286,16 +297,18 @@ class SweepJournal:
         entry.update(fields)
         line = json.dumps(_canonicalize(entry), sort_keys=True)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a+", encoding="utf-8") as handle:
+        # Binary mode throughout: a torn tail may hold arbitrary bytes,
+        # which a utf-8 text handle would refuse to even look at.
+        with open(self.path, "ab+") as handle:
             # Heal a torn tail from a crash mid-append: if the file
             # doesn't end in a newline, terminate the dead line first
             # so this record stays parseable.
             handle.seek(0, os.SEEK_END)
             if handle.tell() > 0:
                 handle.seek(handle.tell() - 1)
-                if handle.read(1) != "\n":
-                    handle.write("\n")
-            handle.write(line + "\n")
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -303,15 +316,15 @@ class SweepJournal:
         if not self.path.exists():
             return []
         entries: List[Dict[str, Any]] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
                     continue
                 try:
-                    entries.append(json.loads(line))
-                except json.JSONDecodeError:
-                    # A torn final line from a crash mid-append.
+                    entries.append(json.loads(raw.decode("utf-8")))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    # A torn or bit-rotted line from a crash mid-append.
                     continue
         return entries
 
@@ -378,6 +391,8 @@ class ResultStore:
     """
 
     CELL_SUFFIX = ".cell"
+    LEASE_SUFFIX = LEASE_SUFFIX  # module constant, re-exported per-store
+    QUARANTINE_SUFFIX = QUARANTINE_SUFFIX
 
     def __init__(
         self,
@@ -399,6 +414,18 @@ class ResultStore:
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}{self.CELL_SUFFIX}"
+
+    def lease_path_for(self, digest: str) -> Path:
+        """Where a distributed worker's claim on this cell lives (see
+        :mod:`repro.core.distrib`): beside the cell, so the claim and
+        the commit share a directory — and a filesystem."""
+        path = self.path_for(digest)
+        return path.parent / f"{digest}{self.LEASE_SUFFIX}"
+
+    def quarantine_path_for(self, digest: str) -> Path:
+        """Where a cell's cross-worker quarantine marker lives."""
+        path = self.path_for(digest)
+        return path.parent / f"{digest}{self.QUARANTINE_SUFFIX}"
 
     def journal(self) -> SweepJournal:
         return SweepJournal(self.root / "journal.jsonl")
@@ -529,19 +556,83 @@ class ResultStore:
                 report.ok += 1
         return report
 
-    def gc(self, all_versions: bool = False) -> Dict[str, int]:
-        """Reclaim junk: stray ``*.tmp`` files from interrupted
-        commits, quarantined ``*.corrupt`` files, and (unless
-        ``all_versions``) cells keyed under other code versions."""
-        removed = {"tmp": 0, "corrupt": 0, "stale": 0, "bytes": 0}
+    def gc(
+        self, all_versions: bool = False, now: Optional[float] = None
+    ) -> Dict[str, int]:
+        """Reclaim junk, one class at a time, each reported in the
+        returned stats dict:
+
+        * ``tmp`` — stray ``*.tmp.*`` files from interrupted commits
+          (and interrupted lease refreshes);
+        * ``corrupt`` — ``*.corrupt`` corpses whose cell has since been
+          **recommitted** healthy: the evidence served its purpose.  A
+          corpse with *no* healthy sibling is kept — it is the only
+          forensic record of what the corruption looked like;
+        * ``lease_orphaned`` — lease files whose cell is already
+          committed (the owner died between commit and release, or was
+          fenced);
+        * ``lease_expired`` — lease files whose own heartbeat+TTL says
+          the owner is long dead (2× the recorded TTL, so a gc run
+          never races a live sweep's renewal cadence);
+        * ``lease_corrupt`` — unparseable lease files older than
+          :data:`GC_LEASE_GRACE_SECONDS` (a *fresh* torn lease is left
+          for the workers' own takeover arbitration to consume);
+        * ``lease_stale`` — ``*.lease.stale.*`` remnants of takeover
+          renames that crashed between rename and unlink;
+        * ``stale`` — unless ``all_versions``, cells keyed under other
+          code versions.
+        """
+        now = time.time() if now is None else now
+        removed = {
+            "tmp": 0,
+            "corrupt": 0,
+            "stale": 0,
+            "lease_orphaned": 0,
+            "lease_expired": 0,
+            "lease_corrupt": 0,
+            "lease_stale": 0,
+            "bytes": 0,
+        }
+
+        def reclaim(path: Path, kind: str) -> None:
+            try:
+                removed["bytes"] += path.stat().st_size
+                path.unlink()
+            except OSError:
+                return
+            removed[kind] += 1
+
         for path in list(self.root.glob("*/*.tmp.*")):
-            removed["tmp"] += 1
-            removed["bytes"] += path.stat().st_size
-            path.unlink()
+            reclaim(path, "tmp")
+        for path in list(self.root.glob(f"*/*{LEASE_SUFFIX}.stale.*")):
+            reclaim(path, "lease_stale")
+        for path in list(self.root.glob(f"*/*{LEASE_SUFFIX}")):
+            digest = path.name[: -len(LEASE_SUFFIX)]
+            if self.path_for(digest).exists():
+                reclaim(path, "lease_orphaned")
+                continue
+            try:
+                lease = json.loads(path.read_text(encoding="utf-8"))
+                heartbeat = float(lease["heartbeat"])
+                ttl = float(lease["ttl"])
+            except Exception:
+                try:
+                    aged = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if aged > GC_LEASE_GRACE_SECONDS:
+                    reclaim(path, "lease_corrupt")
+                continue
+            if now - heartbeat > max(2.0 * ttl, ttl + 1.0):
+                reclaim(path, "lease_expired")
         for path in list(self.root.glob("*/*.corrupt")):
-            removed["corrupt"] += 1
-            removed["bytes"] += path.stat().st_size
-            path.unlink()
+            # `<digest>.cell.corrupt` → reclaim only once a healthy
+            # `<digest>.cell` exists again.
+            stem = path.name[: -len(".corrupt")]
+            if stem.endswith(self.CELL_SUFFIX):
+                digest = stem[: -len(self.CELL_SUFFIX)]
+                if self.path_for(digest).exists():
+                    reclaim(path, "corrupt")
         if not all_versions:
             for entry in list(self.entries()):
                 if entry.code_version != self.code_version:

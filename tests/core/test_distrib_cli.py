@@ -1,0 +1,186 @@
+"""The CLI side of distributed sweeps: the exit-code contract
+(0 ok / 1 corruption-or-incomplete / 2 usage / 3 quarantine), the
+``repro work`` verb, and pickle round-trips for the failure types
+that cross process boundaries."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import (
+    CellTimeout,
+    ResultStore,
+    SweepManifest,
+    TaskFailure,
+    WorkerLost,
+    write_sweep_manifest,
+)
+
+DOMAINS = 8
+FILLER = 100
+SEED = 2016
+
+
+def _seed_store(root, shards=1):
+    store = ResultStore(root)
+    manifest = SweepManifest(
+        sizes=(DOMAINS,), filler_count=FILLER, seed=SEED, shards=shards
+    )
+    write_sweep_manifest(store, manifest)
+    return store, manifest
+
+
+# ----------------------------------------------------------------------
+# Failure types must survive the pickle boundary intact
+# ----------------------------------------------------------------------
+
+class TestFailurePickling:
+    """Workers raise these in child processes; the parent re-raises
+    them.  RuntimeError's default reduce replays the *rendered*
+    message into the constructor, which would mangle the custom
+    ``(context, detail)`` signatures — hence ``__reduce__``."""
+
+    def test_task_failure_roundtrip(self):
+        original = TaskFailure("cell 3 [shard 3/4]", "Boom\n  traceback")
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is TaskFailure
+        assert clone.context == original.context
+        assert clone.detail == original.detail
+        assert str(clone) == str(original)
+
+    def test_worker_lost_roundtrip(self):
+        for exitcode in (-9, 1, None):
+            original = WorkerLost("cell 0 [shard 0/2]", exitcode)
+            clone = pickle.loads(pickle.dumps(original))
+            assert type(clone) is WorkerLost
+            assert clone.exitcode == exitcode
+            assert clone.context == original.context
+            assert str(clone) == str(original)
+
+    def test_cell_timeout_roundtrip(self):
+        original = CellTimeout("cell 1 [shard 1/2]", 12.5)
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is CellTimeout
+        assert clone.timeout == 12.5
+        assert str(clone) == str(original)
+
+    def test_kind_survives(self):
+        for original in (
+            TaskFailure("c", "d"),
+            WorkerLost("c", -9),
+            CellTimeout("c", 1.0),
+        ):
+            clone = pickle.loads(pickle.dumps(original))
+            assert clone.kind == original.kind
+
+
+# ----------------------------------------------------------------------
+# The exit-code contract in the parser surface
+# ----------------------------------------------------------------------
+
+def _subparser(name):
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return action.choices[name]
+    raise AssertionError("no subparsers registered")
+
+
+class TestExitContract:
+    @pytest.mark.parametrize("verb", ["sweep", "store", "work"])
+    def test_epilog_documents_the_contract(self, verb):
+        text = _subparser(verb).format_help()
+        assert "exit codes:" in text
+        for marker in ("0  success", "1  corruption", "2  usage",
+                       "3  quarantine"):
+            assert marker in text, (verb, marker)
+
+    def test_distributed_requires_store(self, capsys):
+        code = main(["sweep", "--distributed", "2", "--sizes", "8"])
+        assert code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_work_requires_store_and_worker_id(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["work"])
+        assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# The work verb end to end (in-process)
+# ----------------------------------------------------------------------
+
+class TestWorkVerb:
+    def test_clean_drain_exits_zero_with_json_report(self, tmp_path, capsys):
+        _seed_store(tmp_path / "store")
+        code = main([
+            "work", "--store", str(tmp_path / "store"),
+            "--worker-id", "w0", "--ttl", "5.0", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["worker_id"] == "w0"
+        assert payload["stats"]["committed"] == 1
+        assert payload["board"] == {"missing": 0, "quarantined": 0}
+
+    def test_second_worker_is_a_noop(self, tmp_path, capsys):
+        _seed_store(tmp_path / "store")
+        assert main([
+            "work", "--store", str(tmp_path / "store"),
+            "--worker-id", "w0", "--ttl", "5.0",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "work", "--store", str(tmp_path / "store"),
+            "--worker-id", "w1", "--ttl", "5.0", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["claims"] == 0
+        assert payload["stats"]["committed"] == 0
+        assert payload["board"] == {"missing": 0, "quarantined": 0}
+
+    def test_quarantined_board_exits_three(self, tmp_path, capsys, monkeypatch):
+        """A peer already quarantined a cell: this worker skips it and
+        reports partial output per the contract."""
+        from repro.core import distrib
+
+        store, manifest = _seed_store(tmp_path / "store")
+        digest = manifest.cells()[0].key.digest()
+        marker = store.quarantine_path_for(digest)
+        distrib._write_marker(
+            marker,
+            {"cell": digest, "context": "poison", "attempts": 3,
+             "error": "exception", "detail": "injected"},
+        )
+        code = main([
+            "work", "--store", str(tmp_path / "store"),
+            "--worker-id", "w0", "--ttl", "5.0", "--json",
+        ])
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["board"] == {"missing": 0, "quarantined": 1}
+
+    def test_incomplete_board_exits_one(self, tmp_path, capsys, monkeypatch):
+        """If the board is left with unrun, unquarantined cells (the
+        judging is against the whole board, not this worker), the
+        contract says 1."""
+        from repro.core import distrib
+        from repro.core.distrib import DistribStats, WorkerReport
+
+        _seed_store(tmp_path / "store")
+        monkeypatch.setattr(
+            distrib,
+            "run_worker",
+            lambda *args, **kwargs: WorkerReport(
+                worker_id="w0", cells_seen=1, stats=DistribStats()
+            ),
+        )
+        code = main([
+            "work", "--store", str(tmp_path / "store"),
+            "--worker-id", "w0", "--json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["board"]["missing"] == 1

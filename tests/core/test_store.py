@@ -178,6 +178,94 @@ def test_gc_reclaims_tmp_corrupt_and_stale_versions(tmp_path, shard_result):
     assert ResultStore(tmp_path).load(key) is not None
 
 
+def test_gc_reclaims_orphaned_expired_and_corrupt_leases(
+    tmp_path, shard_result
+):
+    """The lease classes: a lease whose cell is committed (owner died
+    between commit and release), a lease whose heartbeat is long past
+    its TTL, a fresh unparseable lease (kept for worker arbitration)
+    vs an old one (reclaimed), and takeover-rename remnants."""
+    import json as json_module
+
+    key, result = shard_result
+    store = ResultStore(tmp_path)
+    store.commit(key, result)
+    now = 1_000_000.0
+
+    def lease_payload(heartbeat, ttl=5.0):
+        return json_module.dumps(
+            {
+                "format": 1,
+                "cell": "x" * 64,
+                "owner": "w0",
+                "nonce": "w0:1:1",
+                "token": 1,
+                "ttl": ttl,
+                "acquired": heartbeat,
+                "heartbeat": heartbeat,
+                "takeovers": 0,
+            }
+        )
+
+    # Orphaned: the committed cell still carries a lease.
+    orphaned = store.lease_path_for(key.digest())
+    orphaned.write_text(lease_payload(now))
+    # Expired: uncommitted cell, heartbeat 100×TTL ago.
+    expired = store.lease_path_for("ee" + "0" * 62)
+    expired.parent.mkdir(parents=True, exist_ok=True)
+    expired.write_text(lease_payload(now - 500.0))
+    # Live: uncommitted cell, fresh heartbeat — must be kept.
+    live = store.lease_path_for("aa" + "0" * 62)
+    live.parent.mkdir(parents=True, exist_ok=True)
+    live.write_text(lease_payload(now - 1.0))
+    # Corrupt: unparseable bytes.  mtime is *now*, so the fresh one is
+    # left for the workers' own takeover arbitration.
+    fresh_garbage = store.lease_path_for("bb" + "0" * 62)
+    fresh_garbage.parent.mkdir(parents=True, exist_ok=True)
+    fresh_garbage.write_bytes(b"\x00\xffnot a lease")
+    # A takeover-rename remnant (crash between rename and unlink).
+    stale_remnant = expired.parent / (expired.name + ".stale.4242")
+    stale_remnant.write_text(lease_payload(now - 500.0))
+
+    removed = store.gc(now=now)
+    assert removed["lease_orphaned"] == 1 and not orphaned.exists()
+    assert removed["lease_expired"] == 1 and not expired.exists()
+    assert removed["lease_stale"] == 1 and not stale_remnant.exists()
+    assert removed["lease_corrupt"] == 0 and fresh_garbage.exists()
+    assert live.exists()
+    assert removed["bytes"] > 0
+
+    # Hours later the garbage lease is past the grace window.
+    from repro.core.store import GC_LEASE_GRACE_SECONDS
+
+    later = fresh_garbage.stat().st_mtime + GC_LEASE_GRACE_SECONDS + 1.0
+    removed = store.gc(now=later)
+    assert removed["lease_corrupt"] == 1 and not fresh_garbage.exists()
+    # The live lease's heartbeat is ancient by then too.
+    assert removed["lease_expired"] == 1 and not live.exists()
+
+
+def test_gc_keeps_corrupt_corpse_until_recommit(tmp_path, shard_result):
+    """A `.corrupt` corpse is forensic evidence while its cell is
+    missing; once the cell is recommitted healthy it becomes junk."""
+    key, result = shard_result
+    store = ResultStore(tmp_path)
+    path = store.commit(key, result)
+    # Corrupt the cell: load() quarantines it to `<name>.corrupt`.
+    path.write_bytes(b"{ not json")
+    assert store.load(key) is None
+    corpse = path.parent / (path.name + ".corrupt")
+    assert corpse.exists() and not path.exists()
+
+    removed = store.gc()
+    assert removed["corrupt"] == 0 and corpse.exists()  # evidence kept
+
+    store.commit(key, result)  # recommitted healthy
+    removed = store.gc()
+    assert removed["corrupt"] == 1 and not corpse.exists()
+    assert ResultStore(tmp_path).load(key) is not None
+
+
 def test_cell_key_digest_is_stable_and_input_sensitive(shard_result):
     key, _ = shard_result
     assert key.digest() == key.digest()

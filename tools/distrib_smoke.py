@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""CI smoke: a distributed sweep survives a SIGKILLed worker.
+
+The end-to-end dead-worker-takeover scenario, as a standalone script
+the CI job (and any operator pointing workers at a shared directory)
+can run:
+
+1. compute the uninterrupted serial **reference** result;
+2. publish the sweep manifest into a fresh shared store;
+3. start a **doomed** worker that SIGKILLs itself right after its
+   first lease claim — mid-cell, lease held, heartbeat silenced;
+4. verify exactly one orphaned, uncommitted lease is left behind;
+5. start two **survivor** workers with a short TTL: one takes the
+   orphaned lease over after expiry, and together they drain the
+   board;
+6. assert the merged result is **byte-identical** to the reference,
+   every cell was worker-committed (the coordinator ran nothing),
+   zero lease files leaked, the journal shows the orphaned cell was
+   reclaimed by a survivor, and no worker processes are left behind;
+7. write ``DISTRIB_STATS.json`` (claims/takeovers per worker, board
+   arithmetic, journal event counts) for the CI artifact upload.
+
+Exit status 0 on success, 1 with a message on any violated assertion.
+
+Run:  PYTHONPATH=src python tools/distrib_smoke.py
+      PYTHONPATH=src python tools/distrib_smoke.py --domains 20 --shards 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (  # noqa: E402
+    ResultStore,
+    SerialExecutor,
+    SweepManifest,
+    collect_sweep,
+    result_fingerprint,
+    run_sharded_experiment,
+    spawn_worker_process,
+    standard_universe_factory,
+    standard_workload,
+    write_sweep_manifest,
+)
+from repro.resolver import correct_bind_config  # noqa: E402
+
+STATS_PATH = REPO_ROOT / "DISTRIB_STATS.json"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL {message}")
+    sys.exit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domains", type=int, default=12)
+    parser.add_argument("--filler", type=int, default=150)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--ttl", type=float, default=0.5,
+                        help="survivor lease TTL (short: fast takeover)")
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error("--shards must leave work for the survivors")
+
+    began = time.perf_counter()
+
+    # 1. Reference: the uninterrupted serial run.
+    factory = standard_universe_factory(
+        args.domains, filler_count=args.filler, workload_seed=args.seed
+    )
+    names = standard_workload(args.domains, seed=args.seed).names(
+        args.domains
+    )
+    reference = run_sharded_experiment(
+        factory,
+        correct_bind_config(),
+        names,
+        seed=args.seed,
+        shards=args.shards,
+        executor=SerialExecutor(),
+    )
+    print(f"  ok reference run ({len(names)} names, {args.shards} shards)")
+
+    # 2. The shared store + manifest.
+    store_root = Path(tempfile.mkdtemp(prefix="distrib-smoke-")) / "store"
+    store = ResultStore(store_root)
+    manifest = SweepManifest(
+        sizes=(args.domains,),
+        filler_count=args.filler,
+        seed=args.seed,
+        shards=args.shards,
+    )
+    write_sweep_manifest(store, manifest)
+    digests = [cell.key.digest() for cell in manifest.cells()]
+
+    # 3. The doomed worker: SIGKILL right after its first claim.
+    doomed = spawn_worker_process(
+        store_root,
+        "doomed",
+        ttl=args.ttl,
+        poll_interval=0.05,
+        extra_args=["--die-after-claims", "1"],
+    )
+    doomed.wait(timeout=300)
+    doomed.stdout.close()
+    doomed.stderr.close()
+    if doomed.returncode != -signal.SIGKILL:
+        fail(f"doomed worker should die by SIGKILL, got rc={doomed.returncode}")
+    print("  ok doomed worker SIGKILLed mid-cell (rc=-SIGKILL)")
+
+    # 4. Exactly one orphaned, uncommitted lease.
+    orphaned = [
+        digest
+        for digest in digests
+        if store.lease_path_for(digest).exists()
+    ]
+    if len(orphaned) != 1:
+        fail(f"expected 1 orphaned lease, found {len(orphaned)}")
+    if store.path_for(orphaned[0]).exists():
+        fail("the orphaned cell should be uncommitted")
+    print(f"  ok one orphaned lease left behind ({orphaned[0][:12]}…)")
+
+    # 5. Two survivors drain the board (takeover after TTL expiry).
+    survivors = {
+        worker_id: spawn_worker_process(
+            store_root, worker_id, ttl=args.ttl, poll_interval=0.05
+        )
+        for worker_id in ("s1", "s2")
+    }
+    worker_exits = {"doomed": doomed.returncode}
+    reports = {}
+    for worker_id, process in survivors.items():
+        process.wait(timeout=300)
+        stdout = process.stdout.read()
+        process.stdout.close()
+        process.stderr.close()
+        worker_exits[worker_id] = process.returncode
+        if process.returncode != 0:
+            fail(f"survivor {worker_id} exited {process.returncode}: {stdout}")
+        reports[worker_id] = json.loads(stdout)
+    print("  ok both survivors drained the board (exit 0)")
+
+    # 6. The assertions that make this a smoke *test*.
+    outcome = collect_sweep(store, run_missing=False)
+    if outcome.quarantined:
+        fail(f"quarantined cells: {outcome.quarantined}")
+    if outcome.cells_reused != args.shards:
+        fail(
+            f"every cell should be worker-committed: "
+            f"reused={outcome.cells_reused} of {args.shards}"
+        )
+    if result_fingerprint(outcome.result) != result_fingerprint(reference):
+        fail("distributed sweep is NOT byte-identical to the reference")
+    leaked = list(store_root.glob("*/*.lease")) + list(
+        store_root.glob("*/*.lease.stale.*")
+    )
+    if leaked:
+        fail(f"leaked lease files: {[str(p) for p in leaked]}")
+    events = store.journal().events()
+    orphan_claims = [
+        event
+        for event in events
+        if event.get("event") == "claim" and event.get("cell") == orphaned[0]
+    ]
+    if not orphan_claims or orphan_claims[0].get("worker") != "doomed":
+        fail("journal should record the doomed worker's claim first")
+    if not any(
+        event.get("worker") in ("s1", "s2") for event in orphan_claims[1:]
+    ):
+        fail("journal should record a survivor reclaiming the orphaned cell")
+    commits = [
+        event.get("cell") for event in events if event.get("event") == "commit"
+    ]
+    if len(commits) != len(set(commits)):
+        fail("duplicate commit events: a fenced zombie wrote twice")
+    for process in multiprocessing.active_children():
+        process.join(timeout=5)
+    if multiprocessing.active_children():
+        fail("worker processes left behind")
+    print(
+        "  ok merged sweep byte-identical to reference "
+        f"({outcome.cells_reused} worker-committed cells, takeover observed)"
+    )
+
+    # 7. The artifact.
+    takeovers = sum(
+        report["stats"]["takeovers"] for report in reports.values()
+    )
+    stats = {
+        "domains": args.domains,
+        "filler": args.filler,
+        "shards": args.shards,
+        "seed": args.seed,
+        "ttl": args.ttl,
+        "worker_exits": worker_exits,
+        "workers": {
+            worker_id: report["stats"] for worker_id, report in reports.items()
+        },
+        "survivor_takeovers": takeovers,
+        "cells_total": outcome.cells_total,
+        "cells_reused": outcome.cells_reused,
+        "cells_rerun": outcome.cells_rerun,
+        "quarantined": len(outcome.quarantined),
+        "journal_events": len(events),
+        "byte_identical": True,
+        "elapsed_seconds": round(time.perf_counter() - began, 3),
+    }
+    STATS_PATH.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    print(f"  ok wrote {STATS_PATH.name}")
+    print("distributed-sweep smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
