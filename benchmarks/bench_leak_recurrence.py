@@ -33,7 +33,7 @@ def run_rounds(size, filler_count, rounds, gap_seconds):
                 "leaked": result.leakage.leaked_count,
             }
         )
-        universe.clock.advance(gap_seconds)
+        universe.clock.sleep_until(universe.clock.now + gap_seconds)
     return rows
 
 

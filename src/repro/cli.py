@@ -312,6 +312,60 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown store action {args.action!r}")
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .core import ReplayParams, run_population_replay
+
+    params = ReplayParams(
+        users=args.users,
+        queries=args.queries,
+        domains=args.domains,
+        registry_filler=args.filler,
+        per_user_qps=args.per_user_qps,
+        window_seconds=args.window,
+        max_concurrent=args.max_inflight,
+        seed=args.seed,
+    )
+
+    def on_window(window) -> None:
+        if not args.json:
+            print("  " + window.describe())
+
+    if not args.json:
+        print(
+            f"replaying {params.queries} queries from {params.users} "
+            f"concurrent users (window {params.window_seconds:,.0f}s, "
+            f"max in-flight {params.max_concurrent})"
+        )
+    result = run_population_replay(params, progress=on_window)
+    if args.json:
+        import json as json_module
+
+        overall = result.overall
+        payload = {
+            "users": params.users,
+            "queries": overall.queries,
+            "failures": overall.failures,
+            "simulated_seconds": result.simulated_seconds,
+            "simulated_qps": result.simulated_qps,
+            "replay_rate": result.replay_rate,
+            "wall_seconds": result.wall_seconds,
+            "dlv_queries": overall.dlv_queries,
+            "case1_queries": overall.case1_queries,
+            "case2_queries": overall.case2_queries,
+            "leaked_domains": len(overall.leaked_domains),
+            "leak_rate": overall.leak_rate,
+            "cache_hit_rate": overall.cache_hit_rate,
+            "mean_latency": overall.mean_latency,
+            "peak_in_flight": result.scheduler.peak_active,
+            "admission_queued": result.scheduler.queued,
+            "windows": len(result.windows),
+        }
+        print(json_module.dumps(payload, sort_keys=True))
+    else:
+        print(result.describe())
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from .analysis import (
         table1_environments,
@@ -775,6 +829,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="dump raw cProfile stats to a file instead"
     )
     profile.set_defaults(func=_cmd_profile)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="population-scale DITL replay on the event scheduler",
+    )
+    replay.add_argument(
+        "--users", type=int, default=8, help="concurrent stub clients"
+    )
+    replay.add_argument(
+        "--queries", type=int, default=2000, help="total queries to replay"
+    )
+    replay.add_argument("--domains", type=int, default=60)
+    replay.add_argument("--filler", type=int, default=300)
+    replay.add_argument(
+        "--per-user-qps",
+        type=float,
+        default=0.05,
+        help="mean per-user query rate before diurnal modulation",
+    )
+    replay.add_argument(
+        "--window",
+        type=float,
+        default=300.0,
+        help="aggregation-window width in simulated seconds",
+    )
+    replay.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission cap on concurrent sessions",
+    )
+    replay.add_argument("--seed", type=int, default=2017)
+    replay.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -245,6 +245,109 @@ def merge_metrics_snapshots(
     }
 
 
+@dataclasses.dataclass(frozen=True)
+class ReplayWindow:
+    """Streaming-aggregation unit of a population-scale replay.
+
+    The event-driven replay (:mod:`repro.core.replay`) never holds
+    per-query records: it folds every completed stub query and every
+    registry-observed packet into the current window, closes the window
+    at its time boundary, and merges closed windows with
+    :func:`merge_replay_windows` — the same monoid discipline the shard
+    merges use, so memory stays flat at millions of queries while the
+    overall result is still an exact fold (associative, commutative,
+    :func:`empty_replay_window` as identity; enforced by Hypothesis in
+    ``tests/core/test_replay.py``).
+
+    ``leaked_domains`` is the one set-valued field: it is bounded by the
+    *domain population*, not the query volume, so carrying it in the
+    monoid is O(domains) — the distinct-leak curve of paper Fig. 8
+    without retaining a single packet.
+    """
+
+    #: Simulated-time bounds of the window (identity: +inf / -inf).
+    start: float
+    end: float
+    #: Stub queries completed / failed (timeout budgets, SERVFAIL paths).
+    queries: int = 0
+    failures: int = 0
+    #: Look-aside traffic the registry received (not dropped in flight).
+    dlv_queries: int = 0
+    case1_queries: int = 0
+    case2_queries: int = 0
+    #: Distinct Case-2 domains (relative to the registry origin).
+    leaked_domains: FrozenSet[str] = frozenset()
+    #: Resolver cache behaviour over the window (metrics deltas).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Wire totals over the window.
+    packets: int = 0
+    wire_bytes: int = 0
+    dropped: int = 0
+    #: Per-query completion latency (simulated seconds): sum and max.
+    latency_sum: float = 0.0
+    latency_max: float = 0.0
+    #: Sessions the scheduler admitted / finished inside the window.
+    sessions_started: int = 0
+    sessions_completed: int = 0
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def leak_rate(self) -> float:
+        """Case-2 queries per completed stub query (the per-window
+        privacy-leak intensity)."""
+        return self.case2_queries / self.queries if self.queries else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.queries if self.queries else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"[{self.start:,.0f}s..{self.end:,.0f}s] "
+            f"{self.queries} queries ({self.failures} failed), "
+            f"dlv={self.dlv_queries} case2={self.case2_queries} "
+            f"({len(self.leaked_domains)} domains), "
+            f"cache-hit {self.cache_hit_rate:.1%}"
+        )
+
+
+def empty_replay_window() -> ReplayWindow:
+    """The identity of :func:`merge_replay_windows`."""
+    return ReplayWindow(start=float("inf"), end=float("-inf"))
+
+
+def merge_replay_windows(a: ReplayWindow, b: ReplayWindow) -> ReplayWindow:
+    """Fold two windows: bounds extend, counts add, leak sets union."""
+    return ReplayWindow(
+        start=min(a.start, b.start),
+        end=max(a.end, b.end),
+        queries=a.queries + b.queries,
+        failures=a.failures + b.failures,
+        dlv_queries=a.dlv_queries + b.dlv_queries,
+        case1_queries=a.case1_queries + b.case1_queries,
+        case2_queries=a.case2_queries + b.case2_queries,
+        leaked_domains=a.leaked_domains | b.leaked_domains,
+        cache_hits=a.cache_hits + b.cache_hits,
+        cache_misses=a.cache_misses + b.cache_misses,
+        packets=a.packets + b.packets,
+        wire_bytes=a.wire_bytes + b.wire_bytes,
+        dropped=a.dropped + b.dropped,
+        latency_sum=a.latency_sum + b.latency_sum,
+        latency_max=max(a.latency_max, b.latency_max),
+        sessions_started=a.sessions_started + b.sessions_started,
+        sessions_completed=a.sessions_completed + b.sessions_completed,
+    )
+
+
 def _retag_trace(root: Span, trace_id: int) -> Span:
     """A copy of *root*'s subtree carrying *trace_id* (span ids and
     structure unchanged)."""

@@ -47,6 +47,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import json
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 
@@ -113,10 +114,27 @@ class Tracer:
 
     def __init__(self, clock):
         self._clock = clock
-        self._stack: List[Span] = []
+        #: The open-span stack and the per-trace span counter are
+        #: **thread-local**: under the event scheduler each concurrent
+        #: stub session runs on its own pooled thread and builds its own
+        #: span tree, so interleaved sessions cannot corrupt each
+        #: other's stack discipline.  Trace ids (``_trace_seq``) and the
+        #: finished-roots list stay *shared* and are touched only at
+        #: root open / root close — which the scheduler's strict
+        #: hand-off serialises in deterministic event order, so trace
+        #: ids and drain order depend on the event schedule, not on
+        #: thread identity.  On the serial path there is one thread and
+        #: this is byte-identical to the old behaviour.
+        self._local = threading.local()
         self._finished: List[Span] = []
         self._trace_seq = 0
-        self._span_seq = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # Emission API (duck-typed: NullTracer mirrors these signatures)
@@ -124,20 +142,21 @@ class Tracer:
 
     def begin(self, name: str, **attrs: Any) -> Span:
         """Open a span: a child of the current span, or a new root."""
-        if self._stack:
-            parent: Optional[Span] = self._stack[-1]
+        stack = self._stack
+        if stack:
+            parent: Optional[Span] = stack[-1]
             trace_id = parent.trace_id  # type: ignore[union-attr]
             parent_id: Optional[int] = parent.span_id  # type: ignore[union-attr]
         else:
             parent = None
             self._trace_seq += 1
-            self._span_seq = 0
+            self._local.span_seq = 0
             trace_id = self._trace_seq
             parent_id = None
-        self._span_seq += 1
+        self._local.span_seq += 1
         span = Span(
             trace_id=trace_id,
-            span_id=self._span_seq,
+            span_id=self._local.span_seq,
             parent_id=parent_id,
             name=name,
             start=self._clock.now,
@@ -145,18 +164,24 @@ class Tracer:
         )
         if parent is not None:
             parent.children.append(span)
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def finish(self, **attrs: Any) -> Span:
-        """Close the innermost open span, merging *attrs* into it."""
-        if not self._stack:
+        """Close the innermost open span, merging *attrs* into it.
+
+        Root closes append to the shared finished list, so drained trace
+        order is *completion* order on the simulated clock — the order a
+        log shipper tailing the resolver would emit them in.
+        """
+        stack = self._stack
+        if not stack:
             raise RuntimeError("finish() with no open span")
-        span = self._stack.pop()
+        span = stack.pop()
         span.end = self._clock.now
         if attrs:
             span.attrs.update(attrs)
-        if not self._stack:
+        if not stack:
             self._finished.append(span)
         return span
 

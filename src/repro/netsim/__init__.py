@@ -7,11 +7,18 @@ from .adversary import (
     SigBomber,
     Spoofer,
 )
-from .capture import Capture, PacketRecord
+from .capture import Capture, PacketRecord, StreamingCapture
 from .clock import SimClock
 from .faults import Brownout, FaultPlan, OutageWindow, TamperHook
 from .latency import LatencyModel, ZeroLatency
 from .network import DnsServer, Network, NetworkError, QueryTimeout
+from .sched import (
+    EventScheduler,
+    Priority,
+    SchedulerError,
+    SchedulerStats,
+    Session,
+)
 
 __all__ = [
     "AdversaryPersona",
@@ -22,14 +29,20 @@ __all__ = [
     "Spoofer",
     "Capture",
     "DnsServer",
+    "EventScheduler",
     "FaultPlan",
     "LatencyModel",
     "Network",
     "NetworkError",
     "OutageWindow",
     "PacketRecord",
+    "Priority",
     "QueryTimeout",
+    "SchedulerError",
+    "SchedulerStats",
+    "Session",
     "SimClock",
+    "StreamingCapture",
     "TamperHook",
     "ZeroLatency",
 ]

@@ -148,3 +148,68 @@ class Capture:
             ):
                 return record
         return None
+
+
+class StreamingCapture(Capture):
+    """A constant-memory capture for population-scale replays.
+
+    A list-based :class:`Capture` holding every packet of a million-query
+    replay is exactly the memory blow-up streaming aggregation exists to
+    avoid, so this subclass keeps **no per-packet records**: ``record``
+    updates O(1) aggregate counters and forwards each
+    :class:`PacketRecord` to an optional *observer* callback, then drops
+    it.  The replay driver's observer does its leak classification (and
+    anything else record-shaped) online, at the wire, the same place the
+    paper's registry tap sits.
+
+    Aggregate views stay correct (``len``, :meth:`total_bytes`,
+    :meth:`query_count`, :meth:`query_type_histogram`); record-level
+    helpers inherited from :class:`Capture` see an empty log — by
+    design, there is nothing retained to filter.
+    """
+
+    def __init__(self, observer: Optional[Callable[[PacketRecord], None]] = None):
+        super().__init__()
+        self.observer = observer
+        self.packets = 0
+        self.queries_seen = 0
+        self.responses_seen = 0
+        self.bytes_seen = 0
+        self.dropped_seen = 0
+        self._qtype_histogram: Counter = Counter()
+
+    def record(self, packet: PacketRecord) -> None:
+        self.packets += 1
+        self.bytes_seen += packet.wire_size
+        if packet.dropped:
+            self.dropped_seen += 1
+        if packet.is_query:
+            self.queries_seen += 1
+            qtype = packet.qtype
+            if qtype is not None:
+                self._qtype_histogram[qtype] += 1
+        else:
+            self.responses_seen += 1
+        if self.observer is not None:
+            self.observer(packet)
+
+    def clear(self) -> None:
+        super().clear()
+        self.packets = 0
+        self.queries_seen = 0
+        self.responses_seen = 0
+        self.bytes_seen = 0
+        self.dropped_seen = 0
+        self._qtype_histogram.clear()
+
+    def __len__(self) -> int:
+        return self.packets
+
+    def total_bytes(self) -> int:
+        return self.bytes_seen
+
+    def query_count(self) -> int:
+        return self.queries_seen
+
+    def query_type_histogram(self) -> Dict[RRType, int]:
+        return dict(self._qtype_histogram)

@@ -16,6 +16,7 @@ from .capture import Capture, PacketRecord
 from .clock import SimClock
 from .faults import FaultPlan
 from .latency import LatencyModel
+from .sched import Priority
 
 
 class DnsServer(Protocol):
@@ -156,7 +157,7 @@ class Network:
             )
             if tracer is not None:
                 tracer.event("fault", kind="outage_blackhole", server=dst)
-            self.clock.advance(self.loss_timeout)
+            self.clock.advance(self.loss_timeout, priority=Priority.TIMEOUT)
             raise QueryTimeout(f"query to {dst} lost (outage)")
         lose_query, lose_response = self.faults.roll_loss(dst)
         self.capture.record(
@@ -173,7 +174,7 @@ class Network:
             if tracer is not None:
                 tracer.event("fault", kind="loss", direction="query",
                              server=dst)
-            self.clock.advance(self.loss_timeout)
+            self.clock.advance(self.loss_timeout, priority=Priority.TIMEOUT)
             raise QueryTimeout(f"query to {dst} lost")
         if outage is not None:
             # The host is reachable but the service is broken: every
@@ -202,8 +203,11 @@ class Network:
         if brownout_extra > 0 and tracer is not None:
             tracer.event("fault", kind="brownout", server=dst,
                          extra=brownout_extra)
+        # A delivery outranks a same-instant timeout (Priority.DELIVERY):
+        # under the event scheduler, a response landing exactly when
+        # another session's loss timer fires is answered first.
         rtt = self.latency.sample(dst) + brownout_extra
-        arrival = self.clock.advance(rtt)
+        arrival = self.clock.advance(rtt, priority=Priority.DELIVERY)
         if metrics is not None:
             metrics.observe("net.rtt", rtt)
             metrics.inc("net.bytes", query_size + response_size)
@@ -224,6 +228,7 @@ class Network:
             # The sender's timer started at send time; the RTT already
             # elapsed counts toward its timeout (fixing the historical
             # rtt + full-timeout double penalty).
-            self.clock.advance(max(0.0, self.loss_timeout - rtt))
+            self.clock.advance(max(0.0, self.loss_timeout - rtt),
+                               priority=Priority.TIMEOUT)
             raise QueryTimeout(f"response from {dst} lost")
         return response

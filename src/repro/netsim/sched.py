@@ -1,0 +1,451 @@
+"""Discrete-event scheduler: many concurrent clients on one universe.
+
+The paper's setting is a DLV registry observing traffic aggregated from
+*millions* of stubs, but the resolver core is deliberately synchronous
+— a stub query runs ``network.query → resolver.handle → nested
+network.query`` to completion.  This module makes those synchronous
+resolutions *resumable sessions* on a priority queue of timestamped
+events, so many stub clients overlap in simulated time on one shared
+universe (shared resolver caches, shared latency/fault RNG state,
+shared registry) without rewriting a line of the resolver.
+
+How a session suspends
+----------------------
+
+Every session runs on its own pool thread, but **exactly one thread is
+ever runnable**: the event loop hands control to a session, then blocks
+until that session either finishes or suspends; a session suspends only
+inside :meth:`SimClock.advance` / :meth:`SimClock.sleep_until`, which
+push a wake-up event and hand control back.  This strict hand-off is
+what keeps the simulation deterministic — there is no preemption, no
+lock contention, and shared RNG streams (latency jitter, fault rolls)
+are consumed in event order, which the queue makes reproducible.
+
+Event ordering and determinism
+------------------------------
+
+The queue orders events by the tuple ``(time, priority, tiebreak,
+seq)``:
+
+1. ``time`` — simulated seconds; the loop never moves backwards.
+2. ``priority`` — :class:`Priority`: at the same instant, response
+   **deliveries** beat **timeout** expiries (a packet that arrives as
+   the timer fires is *answered*, not dropped), timeouts beat new
+   client **dispatches**, and background **timers** run last.
+3. ``tiebreak`` — a caller-supplied tuple of ints (e.g. ``(user_id,
+   query_index)``) that fixes the order of same-time same-priority
+   events *independently of heap-insertion order*.
+4. ``seq`` — insertion sequence, the final resort for events the
+   caller declared order-indifferent.
+
+Given equal tiebreaks, any legal insertion order of the same logical
+events therefore dispatches identically — the property test in
+``tests/netsim/test_sched.py`` enforces it.
+
+Bounded concurrency
+-------------------
+
+``max_concurrent`` caps in-flight sessions (and therefore pool
+threads): surplus dispatches queue FIFO and start the moment a slot
+frees, which both bounds memory at population scale and models
+resolver-side admission queueing.  Pool threads are reused across
+sessions, so a million-query replay churns zero threads after warm-up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import threading
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from collections import deque
+
+from .clock import SimClock
+
+
+class Priority(enum.IntEnum):
+    """Same-instant event ordering (smaller runs first)."""
+
+    #: A response arriving / an RTT elapsing.
+    DELIVERY = 0
+    #: A loss-timeout expiring.  Losing to DELIVERY at the same instant
+    #: is deliberate: a response that arrives exactly at the deadline is
+    #: delivered, not discarded.
+    TIMEOUT = 1
+    #: A new client query entering the system.
+    DISPATCH = 2
+    #: Background timers: fault windows, aggregation-window boundaries.
+    TIMER = 3
+
+
+class SchedulerError(RuntimeError):
+    """Misuse of the event scheduler (re-entry, calls after close, …)."""
+
+
+class _SessionAborted(BaseException):
+    """Internal: unwinds a suspended session when the pool closes."""
+
+
+@dataclasses.dataclass
+class SchedulerStats:
+    """Operational counters for one scheduler lifetime (kept out of
+    experiment results, like :class:`~repro.core.parallel.ExecutorHealth`)."""
+
+    spawned: int = 0
+    completed: int = 0
+    failed: int = 0
+    resumes: int = 0
+    timers: int = 0
+    queued: int = 0
+    peak_active: int = 0
+    peak_queue: int = 0
+    threads_created: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"sessions={self.completed}/{self.spawned} "
+            f"resumes={self.resumes} timers={self.timers} "
+            f"queued={self.queued} peak_active={self.peak_active} "
+            f"peak_queue={self.peak_queue} threads={self.threads_created}"
+        )
+
+
+class Session:
+    """One resumable client session (a unit of concurrent work)."""
+
+    __slots__ = ("fn", "label", "tiebreak", "done", "started_at", "finished_at")
+
+    def __init__(self, fn: Callable[[], None], label: str, tiebreak: Tuple[int, ...]):
+        self.fn = fn
+        self.label = label
+        self.tiebreak = tiebreak
+        self.done = False
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+
+class _Worker(threading.Thread):
+    """A pooled session runner under the strict hand-off protocol."""
+
+    def __init__(self, scheduler: "EventScheduler", index: int):
+        super().__init__(name=f"sim-session-{index}", daemon=True)
+        self.scheduler = scheduler
+        #: Signalled by the loop when a session is assigned (or on close).
+        self.assigned = threading.Event()
+        #: Signalled by the loop to resume a suspended session.
+        self.resume = threading.Event()
+        self.session: Optional[Session] = None
+
+    def run(self) -> None:  # pragma: no branch - thread body
+        scheduler = self.scheduler
+        while True:
+            self.assigned.wait()
+            self.assigned.clear()
+            if scheduler._closing:
+                return
+            session = self.session
+            assert session is not None
+            try:
+                session.fn()
+            except _SessionAborted:
+                return
+            except BaseException as exc:  # noqa: BLE001 - reported to run()
+                scheduler._note_failure(session, exc)
+            scheduler._finish_session(self, session)
+
+
+class EventScheduler:
+    """A deterministic discrete-event loop over a :class:`SimClock`.
+
+    Typical population-scale use::
+
+        clock = universe.clock
+        with EventScheduler(clock, max_concurrent=256) as scheduler:
+            for arrival in arrivals:           # or feed lazily
+                scheduler.spawn(make_session(arrival), at=arrival.time,
+                                tiebreak=(arrival.user, arrival.index))
+            scheduler.run()
+
+    The ``with`` block binds the scheduler to the clock (so
+    ``clock.advance`` inside sessions suspends instead of mutating) and
+    unbinds + tears the thread pool down on exit.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        max_concurrent: int = 256,
+        journal: Optional[List[Tuple[float, str, str]]] = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self._clock = clock
+        self._max_concurrent = max_concurrent
+        #: Optional dispatch journal: ``(time, kind, label)`` appended in
+        #: execution order — the determinism fingerprint the property
+        #: tests compare.  ``None`` (default) records nothing.
+        self.journal = journal
+        self.stats = SchedulerStats()
+        self._heap: List[Tuple[float, int, Tuple[int, ...], int, Tuple[Any, ...]]] = []
+        self._seq = 0
+        self._control = threading.Event()
+        self._workers: List[_Worker] = []
+        self._idle: List[_Worker] = []
+        self._admission: Deque[Session] = deque()
+        self._active = 0
+        self._running = False
+        self._closing = False
+        self._failure: Optional[Tuple[Session, BaseException]] = None
+        clock.bind_scheduler(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    def in_session(self) -> bool:
+        """True when the calling thread is one of this scheduler's
+        session threads (the clock uses this to decide suspend-vs-mutate)."""
+        current = threading.current_thread()
+        return isinstance(current, _Worker) and current.scheduler is self
+
+    def pending(self) -> int:
+        """Events still queued (suspended sessions, future dispatches,
+        timers) plus sessions waiting for an admission slot."""
+        return len(self._heap) + len(self._admission)
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+
+    def _push(
+        self,
+        when: float,
+        priority: int,
+        tiebreak: Tuple[int, ...],
+        payload: Tuple[Any, ...],
+    ) -> None:
+        if self._closing:
+            raise SchedulerError("scheduler is closed")
+        if when < self._clock.now:
+            raise ValueError(
+                f"cannot schedule at {when!r}: clock is at {self._clock.now!r}"
+            )
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (when, int(priority), tuple(tiebreak), self._seq, payload)
+        )
+
+    def spawn(
+        self,
+        fn: Callable[[], None],
+        *,
+        at: Optional[float] = None,
+        label: str = "",
+        tiebreak: Tuple[int, ...] = (),
+    ) -> Session:
+        """Schedule a new session: *fn* runs (resumably) from simulated
+        time *at* (default: now).  ``tiebreak`` fixes same-instant
+        dispatch order independent of insertion order."""
+        session = Session(fn, label, tuple(tiebreak))
+        when = self._clock.now if at is None else at
+        self._push(when, Priority.DISPATCH, session.tiebreak, ("start", session))
+        self.stats.spawned += 1
+        return session
+
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[[], None],
+        *,
+        label: str = "",
+        priority: int = Priority.TIMER,
+        tiebreak: Tuple[int, ...] = (),
+    ) -> None:
+        """Schedule a plain callback (fault window, aggregation-window
+        boundary) on the loop thread.  Callbacks must not block or
+        advance the clock; they observe the instant they fire at."""
+        self._push(when, priority, tuple(tiebreak), ("call", fn, label))
+
+    def wait_until(self, deadline: float, *, priority: Optional[int] = None) -> float:
+        """Suspend the calling session until simulated *deadline*.
+
+        Called (via :meth:`SimClock.advance` / ``sleep_until``) from
+        inside a session thread; schedules the wake-up and hands control
+        back to the event loop.  Returns the clock reading on resume —
+        exactly *deadline*, the same float the serial path computes.
+        """
+        worker = threading.current_thread()
+        if not (isinstance(worker, _Worker) and worker.scheduler is self):
+            raise SchedulerError("wait_until() called outside a session")
+        session = worker.session
+        assert session is not None
+        effective = Priority.DELIVERY if priority is None else priority
+        self._push(
+            max(deadline, self._clock.now),
+            effective,
+            session.tiebreak,
+            ("resume", worker),
+        )
+        worker.resume.clear()
+        self._control.set()
+        worker.resume.wait()
+        if self._closing:
+            raise _SessionAborted()
+        return self._clock.now
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SchedulerStats:
+        """Dispatch events in deterministic order until the queue is
+        empty (or past *until*).  Raises the first session failure, if
+        any, after winding down cleanly.  Returns :attr:`stats`."""
+        if self._running:
+            raise SchedulerError("run() re-entered")
+        if self.in_session():
+            raise SchedulerError("run() called from inside a session")
+        self._running = True
+        try:
+            while self._heap and self._failure is None:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    break
+                when, priority, tiebreak, _seq, payload = heapq.heappop(self._heap)
+                self._clock._jump_to(when)
+                kind = payload[0]
+                if kind == "resume":
+                    worker = payload[1]
+                    self.stats.resumes += 1
+                    self._record("resume", worker.session)
+                    self._handoff(worker.resume)
+                elif kind == "start":
+                    self._admit(payload[1])
+                elif kind == "call":
+                    _, fn, label = payload
+                    self.stats.timers += 1
+                    self._record_label("timer", label)
+                    fn()
+                else:  # pragma: no cover - defensive
+                    raise AssertionError(f"unknown event kind {kind!r}")
+        finally:
+            self._running = False
+        if self._failure is not None:
+            session, error = self._failure
+            self._failure = None
+            raise SchedulerError(
+                f"session {session.label or '<unnamed>'!s} failed: {error!r}"
+            ) from error
+        return self.stats
+
+    def _handoff(self, gate: threading.Event) -> None:
+        """Wake one session thread and block until it suspends/finishes."""
+        gate.set()
+        self._control.wait()
+        self._control.clear()
+
+    def _admit(self, session: Session) -> None:
+        if self._active >= self._max_concurrent:
+            self._admission.append(session)
+            self.stats.queued += 1
+            self.stats.peak_queue = max(self.stats.peak_queue, len(self._admission))
+            self._record("queued", session)
+            return
+        self._activate(session)
+
+    def _activate(self, session: Session) -> None:
+        self._active += 1
+        self.stats.peak_active = max(self.stats.peak_active, self._active)
+        session.started_at = self._clock.now
+        if self._idle:
+            worker = self._idle.pop()
+        else:
+            worker = _Worker(self, len(self._workers))
+            self._workers.append(worker)
+            self.stats.threads_created += 1
+            worker.start()
+        worker.session = session
+        self._record("start", session)
+        self._handoff(worker.assigned)
+
+    def _finish_session(self, worker: _Worker, session: Session) -> None:
+        """Worker-side epilogue (still the single runnable thread):
+        release the slot, requeue the worker, pull the next admission,
+        then hand control back to the loop."""
+        session.done = True
+        session.finished_at = self._clock.now
+        worker.session = None
+        self._active -= 1
+        self._idle.append(worker)
+        self.stats.completed += 1
+        if self._admission and self._failure is None:
+            queued = self._admission.popleft()
+            # Starts at the instant the slot freed: admission queueing
+            # delay is modelled, not hidden.
+            self._push(
+                self._clock.now, Priority.DISPATCH, queued.tiebreak,
+                ("start", queued),
+            )
+        self._control.set()
+
+    def _note_failure(self, session: Session, error: BaseException) -> None:
+        self.stats.failed += 1
+        if self._failure is None:
+            self._failure = (session, error)
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: str, session: Optional[Session]) -> None:
+        if self.journal is not None:
+            label = session.label if session is not None else ""
+            self.journal.append((self._clock.now, kind, label))
+
+    def _record_label(self, kind: str, label: str) -> None:
+        if self.journal is not None:
+            self.journal.append((self._clock.now, kind, label))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the pool and unbind the clock.  Suspended sessions
+        (possible only after a failed run) are aborted, not resumed."""
+        if self._closing:
+            return
+        self._closing = True
+        for worker in self._workers:
+            worker.assigned.set()
+            worker.resume.set()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers.clear()
+        self._idle.clear()
+        self._admission.clear()
+        self._heap.clear()
+        if self._clock.scheduler is self:
+            self._clock.bind_scheduler(None)
+
+    def __enter__(self) -> "EventScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventScheduler(t={self._clock.now:.6f}, "
+            f"pending={self.pending()}, active={self._active})"
+        )

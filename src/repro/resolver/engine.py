@@ -23,6 +23,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import hashlib
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from ..dnscore import (
@@ -34,7 +35,7 @@ from ..dnscore import (
     RRType,
     RRset,
 )
-from ..netsim import Network
+from ..netsim import Network, Priority
 from ..netsim.network import NetworkError, QueryTimeout
 from .cache import RRsetCache
 from .hardening import HardeningCounters, HardeningPolicy
@@ -166,12 +167,14 @@ class IterativeEngine:
         #: Byzantine-robustness checks and per-resolution work budgets.
         self.hardening = hardening or HardeningPolicy()
         self.counters = HardeningCounters()
-        self._budget = self.hardening.fresh_budget()
-        #: Depth of open resolution sessions: while a session is open
-        #: (the recursive resolver serving one stub query), every nested
-        #: resolve — validator chains, DLV searches — draws on one
-        #: shared budget.
-        self._session_depth = 0
+        #: Per-session state (the active work budget and the depth of
+        #: open resolution sessions) is **thread-local**: under the
+        #: event scheduler each concurrent stub session runs on its own
+        #: pooled thread, and its budget must meter *that* client's
+        #: resolution, not whichever session happens to be interleaved
+        #: with it.  On the serial path there is one thread, so this is
+        #: exactly the old single-budget behaviour.
+        self._session_state = threading.local()
         self.max_referrals = max_referrals
         self.max_cname_chain = max_cname_chain
         self.max_retries = max_retries
@@ -198,6 +201,21 @@ class IterativeEngine:
     # Work-budget sessions
     # ------------------------------------------------------------------
 
+    def _session(self):
+        """This thread's session slot (budget + open-session depth),
+        lazily initialised so pooled scheduler threads and the main
+        thread each get their own."""
+        state = self._session_state
+        if not hasattr(state, "budget"):
+            state.budget = self.hardening.fresh_budget()
+            state.depth = 0
+        return state
+
+    @property
+    def _budget(self):
+        """The calling thread's active work budget."""
+        return self._session().budget
+
     @contextlib.contextmanager
     def resolution_session(self):
         """Scope one stub-facing resolution: every resolve, validator
@@ -205,14 +223,17 @@ class IterativeEngine:
         single fresh :class:`~repro.resolver.hardening.WorkBudget`, so
         the hardening caps bound the *total* work one client query can
         trigger.  Sessions nest: inner entries join the outer budget.
+        Budgets are per-thread, so concurrent scheduler sessions meter
+        their own clients independently.
         """
-        if self._session_depth == 0:
-            self._budget = self.hardening.fresh_budget()
-        self._session_depth += 1
+        state = self._session()
+        if state.depth == 0:
+            state.budget = self.hardening.fresh_budget()
+        state.depth += 1
         try:
-            yield self._budget
+            yield state.budget
         finally:
-            self._session_depth -= 1
+            state.depth -= 1
 
     def charge_signature(self) -> bool:
         """Spend one signature verification from the active budget;
@@ -298,7 +319,14 @@ class IterativeEngine:
                 self.health.record_failure(dst)
                 last_error = timeout
                 if attempt + 1 < attempts:
-                    self._clock.advance(self.health.backoff_delay(attempt))
+                    # Retry pacing via the scheduler-friendly absolute
+                    # deadline; under the event loop this suspends the
+                    # session so other clients' traffic interleaves
+                    # during the backoff.
+                    self._clock.sleep_until(
+                        self._clock.now + self.health.backoff_delay(attempt),
+                        priority=Priority.TIMEOUT,
+                    )
                 continue
             except NetworkError as unreachable:
                 # Nothing answers at this address at all (e.g. poisoned
@@ -463,10 +491,11 @@ class IterativeEngine:
     ) -> ResolutionOutcome:
         if _depth > _MAX_RECURSION:
             raise ResolutionError(f"recursion too deep resolving {qname.to_text()}")
-        if _depth == 0 and self._session_depth == 0:
+        state = self._session()
+        if _depth == 0 and state.depth == 0:
             # Standalone use (no session open): each top-level resolve
             # is its own budgeted unit of work.
-            self._budget = self.hardening.fresh_budget()
+            state.budget = self.hardening.fresh_budget()
 
         cached = self._lookup_cached(qname, qtype)
         if cached is not None:

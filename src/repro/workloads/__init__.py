@@ -18,6 +18,7 @@ from .ditl import (
     RATE_MIN_QPM,
     evaluate_txt_overhead,
     generate_trace,
+    iter_replay_arrivals,
 )
 from .secured import (
     ISLAND_COUNT,
@@ -48,6 +49,7 @@ __all__ = [
     "RATE_MIN_QPM",
     "evaluate_txt_overhead",
     "generate_trace",
+    "iter_replay_arrivals",
     "ISLAND_COUNT",
     "NameGenerator",
     "ReverseZone",

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional
+import random
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -93,6 +94,47 @@ def generate_trace(params: Optional[DitlParams] = None) -> DitlTrace:
     rates = np.clip(rates, RATE_MIN_QPM, RATE_MAX_QPM)
     scaled = np.maximum(1, (rates * params.scale)).astype(np.int64)
     return DitlTrace(params=params, per_minute=scaled)
+
+
+def iter_replay_arrivals(
+    trace: Optional[DitlTrace] = None,
+    *,
+    users: int,
+    per_user_qps: float = 0.05,
+    limit: Optional[int] = None,
+    seed: int = 1337,
+) -> Iterator[Tuple[float, int]]:
+    """Lazy ``(arrival_time, user_id)`` stream for population replay.
+
+    The published DITL envelope is an *absolute* rate from one busy
+    resolver serving an unknown user count; replaying it verbatim under
+    a small simulated population would swamp the service rate.  Instead
+    the envelope contributes its **shape**: the per-minute rates are
+    normalised to a diurnal modulation factor, and the instantaneous
+    arrival rate is ``users × per_user_qps × factor(minute)`` — a
+    Poisson process (seeded, exponential gaps) whose volume scales with
+    the simulated population while keeping the trace's load dynamics.
+    The minute index wraps, so the stream is unbounded; ``limit`` caps
+    it.  Arrivals are generated one at a time — O(1) memory no matter
+    how many queries the replay drains — and each carries a uniformly
+    drawn user id.
+    """
+    if users < 1:
+        raise ValueError("users must be >= 1")
+    if per_user_qps <= 0:
+        raise ValueError("per_user_qps must be positive")
+    trace = trace or generate_trace(DitlParams(scale=0.001))
+    per_minute = trace.per_minute.astype(np.float64)
+    factors = [float(f) for f in per_minute / per_minute.mean()]
+    rng = random.Random(seed)
+    now = 0.0
+    emitted = 0
+    while limit is None or emitted < limit:
+        minute = int(now // 60.0) % len(factors)
+        rate = users * per_user_qps * max(factors[minute], 1e-6)
+        now += rng.expovariate(rate)
+        yield now, rng.randrange(users)
+        emitted += 1
 
 
 @dataclasses.dataclass

@@ -1,0 +1,242 @@
+"""Population replay: serial equivalence, determinism, streaming algebra.
+
+The headline contract is **byte-identity**: routing an unmodified
+:class:`LeakageExperiment` through the event scheduler as a single
+session must produce the same result fingerprint and the same trace
+JSONL as the plain serial path.  That is what certifies the scheduler
+as a refactor of the simulation's control flow, not a fork of its
+semantics.
+
+The second contract is **streaming equals batch**: the
+:class:`ReplayWindow` monoid laws (associativity, commutativity,
+identity) and the window fold reproducing the overall totals, plus
+:class:`StreamingCapture` counting exactly what the retaining
+:class:`Capture` retains.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    PopulationReplayResult,
+    ReplayParams,
+    ReplayWindow,
+    Tracer,
+    empty_replay_window,
+    export_traces_jsonl,
+    merge_replay_windows,
+    result_fingerprint,
+    run_experiment_in_session,
+    run_population_replay,
+    standard_experiment,
+)
+from repro.netsim import Capture, StreamingCapture
+from repro.resolver import correct_bind_config
+
+
+SMALL = ReplayParams(
+    users=4, queries=120, domains=30, registry_filler=100,
+    window_seconds=200.0, max_concurrent=16, seed=7,
+)
+
+
+# ----------------------------------------------------------------------
+# Serial equivalence (the byte-identity contract)
+# ----------------------------------------------------------------------
+
+
+def build_experiment(traced=False):
+    from repro.core import standard_universe, standard_workload
+    from repro.core.experiment import LeakageExperiment
+
+    workload = standard_workload(25, seed=11)
+    universe = standard_universe(workload, filler_count=80)
+    tracer = Tracer(universe.clock) if traced else None
+    experiment = LeakageExperiment(
+        universe, correct_bind_config(), tracer=tracer
+    )
+    return experiment, tracer
+
+
+def experiment_names():
+    from repro.core import standard_workload
+
+    return standard_workload(25, seed=11).names(25)
+
+
+def test_single_session_run_is_byte_identical_to_serial():
+    serial, _ = build_experiment()
+    names = experiment_names()
+    serial_result = serial.run(names)
+
+    scheduled, _ = build_experiment()
+    scheduled_result = run_experiment_in_session(scheduled, names)
+
+    assert result_fingerprint(scheduled_result) == result_fingerprint(
+        serial_result
+    )
+
+
+def test_single_session_trace_jsonl_is_byte_identical():
+    serial, _ = build_experiment(traced=True)
+    names = experiment_names()
+    serial_result = serial.run(names)
+    serial_jsonl = export_traces_jsonl(serial_result.traces)
+
+    scheduled, _ = build_experiment(traced=True)
+    scheduled_result = run_experiment_in_session(scheduled, names)
+    scheduled_jsonl = export_traces_jsonl(scheduled_result.traces)
+
+    assert serial_jsonl  # non-trivial comparison
+    assert scheduled_jsonl == serial_jsonl
+
+
+# ----------------------------------------------------------------------
+# Population replay behaviour
+# ----------------------------------------------------------------------
+
+
+def test_population_replay_is_deterministic():
+    first = run_population_replay(SMALL)
+    second = run_population_replay(SMALL)
+    assert first.windows == second.windows
+    assert first.overall == second.overall
+    assert dataclasses.asdict(first.scheduler) == dataclasses.asdict(
+        second.scheduler
+    )
+
+
+def test_population_replay_completes_every_query():
+    result = run_population_replay(SMALL)
+    assert isinstance(result, PopulationReplayResult)
+    assert result.overall.queries == SMALL.queries
+    assert result.overall.sessions_started == SMALL.queries
+    assert result.overall.sessions_completed == SMALL.queries
+    assert result.scheduler.completed == SMALL.queries
+    assert result.overall.end > result.overall.start
+    assert result.simulated_qps > 0
+
+
+def test_population_replay_observes_leakage_online():
+    """Cold shared cache: the first resolutions leak Case-2 DLV queries
+    to the registry, and the streaming classifier must catch them at the
+    wire without retaining packets."""
+    result = run_population_replay(SMALL)
+    assert result.overall.dlv_queries > 0
+    assert result.overall.case2_queries > 0
+    assert len(result.overall.leaked_domains) > 0
+    assert result.overall.case2_queries <= result.overall.dlv_queries
+    # Shared positive/negative caches: later windows stop leaking.
+    assert result.overall.cache_hits > 0
+
+
+def test_window_fold_reproduces_overall():
+    result = run_population_replay(SMALL)
+    assert len(result.windows) >= 2
+    folded = empty_replay_window()
+    for window in result.windows:
+        folded = merge_replay_windows(folded, window)
+    assert folded == result.overall
+    # Windows tile simulated time in order.
+    for earlier, later in zip(result.windows, result.windows[1:]):
+        assert earlier.end == later.start
+
+
+def test_admission_cap_shapes_the_replay():
+    capped = dataclasses.replace(SMALL, max_concurrent=1)
+    result = run_population_replay(capped)
+    assert result.scheduler.peak_active == 1
+    assert result.overall.queries == capped.queries
+    assert result.scheduler.threads_created == 1
+
+
+def test_user_count_drives_contention():
+    """More users → same shared cache, more distinct profiles → the
+    leak set grows (each profile leaks its own uncached domains)."""
+    small = run_population_replay(dataclasses.replace(SMALL, users=2))
+    large = run_population_replay(dataclasses.replace(SMALL, users=12))
+    assert len(large.overall.leaked_domains) >= len(
+        small.overall.leaked_domains
+    )
+
+
+# ----------------------------------------------------------------------
+# ReplayWindow monoid laws
+# ----------------------------------------------------------------------
+
+dyadic = st.integers(min_value=0, max_value=1 << 16).map(lambda k: k / 256.0)
+counts = st.integers(min_value=0, max_value=1000)
+domains = st.frozensets(
+    st.sampled_from(["a.com", "b.net", "c.org", "d.io", "e.de"]), max_size=5
+)
+
+
+@st.composite
+def replay_windows(draw):
+    start = draw(dyadic)
+    return ReplayWindow(
+        start=start,
+        end=start + draw(dyadic),
+        queries=draw(counts),
+        failures=draw(counts),
+        dlv_queries=draw(counts),
+        case1_queries=draw(counts),
+        case2_queries=draw(counts),
+        leaked_domains=draw(domains),
+        cache_hits=draw(counts),
+        cache_misses=draw(counts),
+        packets=draw(counts),
+        wire_bytes=draw(counts),
+        dropped=draw(counts),
+        latency_sum=draw(dyadic),
+        latency_max=draw(dyadic),
+        sessions_started=draw(counts),
+        sessions_completed=draw(counts),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=replay_windows(), b=replay_windows(), c=replay_windows())
+def test_merge_replay_windows_is_associative_and_commutative(a, b, c):
+    merge = merge_replay_windows
+    assert merge(merge(a, b), c) == merge(a, merge(b, c))
+    assert merge(a, b) == merge(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(w=replay_windows())
+def test_empty_replay_window_is_identity(w):
+    empty = empty_replay_window()
+    assert merge_replay_windows(empty, w) == w
+    assert merge_replay_windows(w, empty) == w
+
+
+# ----------------------------------------------------------------------
+# StreamingCapture counts what Capture retains
+# ----------------------------------------------------------------------
+
+
+def test_streaming_capture_matches_retaining_capture():
+    experiment, _ = build_experiment()
+    names = experiment_names()
+    experiment.run(names)
+    retained = experiment.universe.network.capture
+    assert isinstance(retained, Capture)
+    assert len(retained) > 0
+
+    streaming_experiment, _ = build_experiment()
+    observed = []
+    streaming = StreamingCapture(observer=observed.append)
+    streaming_experiment.universe.network.capture = streaming
+    streaming_experiment.run(names)
+
+    assert streaming.packets == len(retained)
+    assert len(streaming) == len(retained)
+    assert streaming.total_bytes() == retained.total_bytes()
+    assert streaming.query_count() == retained.query_count()
+    assert streaming.query_type_histogram() == retained.query_type_histogram()
+    assert len(observed) == streaming.packets
+    # Nothing is retained: record-level views see an empty log.
+    assert list(streaming) == []
+    assert streaming.queries() == []

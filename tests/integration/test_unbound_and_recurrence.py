@@ -81,7 +81,7 @@ class TestLeakRecurrence:
         first = experiment.run(workload.names(20))
         assert first.leakage.leaked_count > 0
         # Let every cache (positive, negative, security memos) expire.
-        universe.clock.advance(100_000)
+        universe.clock.sleep_until(universe.clock.now + 100_000)
         second = experiment.run(workload.names(20))
         assert second.leakage.leaked_count > 0
 

@@ -38,6 +38,7 @@ SNIPPET_FILES = [
     "docs/OBSERVABILITY.md",
     "docs/PERFORMANCE.md",
     "docs/ROBUSTNESS.md",
+    "docs/SCALING.md",
     "EXPERIMENTS.md",
 ]
 
