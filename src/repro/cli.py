@@ -27,6 +27,7 @@ Exit-code contract (``sweep``, ``store``, ``work``): 0 success,
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -312,8 +313,134 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown store action {args.action!r}")
 
 
+def _window_json(window) -> dict:
+    """Availability-extended window counters for ``--json`` output."""
+    return {
+        "queries": window.queries,
+        "failures": window.failures,
+        "servfail_rate": window.servfail_rate,
+        "timeout_rate": window.timeout_rate,
+        "leak_rate": window.leak_rate,
+        "case2_queries": window.case2_queries,
+        "leaked_domains": len(window.leaked_domains),
+        "retries": window.retries,
+        "stale_served": window.stale_served,
+        "admission_queued": window.admission_queued,
+        "admission_rejected": window.admission_rejected,
+        "latency_p50": window.latency_p50,
+        "latency_p99": window.latency_p99,
+        "cache_hit_rate": window.cache_hit_rate,
+    }
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    """The --chaos / --adversary modes of `repro replay`."""
+    import json as json_module
+
+    from .core import (
+        ReplayLoad,
+        deploy_poisoner,
+        deploy_referral_bomber,
+        deploy_sig_bomber,
+        deploy_spoofer,
+        registry_outage_scenario,
+        run_adversary_replay,
+        run_chaos_replay,
+        standard_universe,
+        standard_workload,
+    )
+    from .dnscore import RCode
+    from .resolver import DlvOutagePolicy, correct_bind_config
+
+    workload = standard_workload(args.domains, seed=args.seed)
+    universe = standard_universe(
+        workload, filler_count=args.filler, seed=args.seed
+    )
+    names = [spec.name for spec in workload.domains]
+    load = ReplayLoad(
+        users=args.users,
+        per_user_qps=args.per_user_qps,
+        queries=args.queries,
+        window_seconds=args.window,
+        max_concurrent=args.max_inflight,
+        max_queue=args.max_queue,
+        seed=args.seed,
+    )
+    policies = {
+        "fallback": correct_bind_config(),
+        "strict": correct_bind_config(
+            dlv_outage_policy=DlvOutagePolicy.SERVFAIL
+        ),
+        "stale": dataclasses.replace(correct_bind_config(), serve_stale=True),
+    }
+    config = policies[args.policy]
+
+    def on_window(window) -> None:
+        if not args.json:
+            print("  " + window.describe())
+
+    if args.adversary:
+        personas = {
+            "spoofer": lambda u: deploy_spoofer(u, seed=args.seed),
+            "poisoner": lambda u: deploy_poisoner(
+                u, victims=names[: min(5, len(names))], seed=args.seed
+            ),
+            "referral-bomber": lambda u: deploy_referral_bomber(
+                u, seed=args.seed
+            ),
+            "sig-bomber": lambda u: deploy_sig_bomber(u, seed=args.seed),
+        }
+        result = run_adversary_replay(
+            universe,
+            config,
+            names,
+            adversary=personas[args.adversary],
+            adversary_label=args.adversary,
+            policy_label=args.policy,
+            load=load,
+            progress=on_window,
+        )
+    else:
+        rcode = None if args.fault_rcode == "blackhole" else RCode.SERVFAIL
+        result = run_chaos_replay(
+            universe,
+            config,
+            names,
+            scenario=registry_outage_scenario(
+                rcode=rcode, start=args.fault_start, end=args.fault_end
+            ),
+            scenario_label=f"registry-{args.fault_rcode}",
+            policy_label=args.policy,
+            load=load,
+            progress=on_window,
+        )
+    if args.json:
+        payload = {
+            "scenario": result.scenario,
+            "adversary": result.adversary,
+            "policy": result.policy,
+            "users": load.users,
+            "fault_bounds": result.fault_bounds,
+            "overall": _window_json(result.overall),
+            "during_fault": _window_json(result.during_fault()),
+            "after_fault": _window_json(result.after_fault()),
+            "responses_forged": result.responses_forged,
+            "poisoned_cache_entries": result.poisoned_cache_entries,
+            "upstream_sends": result.upstream_sends,
+            "windows": len(result.windows),
+            "wall_seconds": result.wall_seconds,
+        }
+        print(json_module.dumps(payload, sort_keys=True))
+    else:
+        print(result.describe())
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .core import ReplayParams, run_population_replay
+
+    if args.chaos or args.adversary:
+        return _cmd_chaos_replay(args)
 
     params = ReplayParams(
         users=args.users,
@@ -323,6 +450,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         per_user_qps=args.per_user_qps,
         window_seconds=args.window,
         max_concurrent=args.max_inflight,
+        max_queue=args.max_queue,
         seed=args.seed,
     )
 
@@ -863,6 +991,47 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=2017)
     replay.add_argument(
         "--json", action="store_true", help="machine-readable summary"
+    )
+    replay.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="bound the admission FIFO; arrivals beyond it are shed",
+    )
+    replay.add_argument(
+        "--chaos",
+        action="store_true",
+        help="replay under a scripted DLV registry outage window",
+    )
+    replay.add_argument(
+        "--adversary",
+        choices=["spoofer", "poisoner", "referral-bomber", "sig-bomber"],
+        default=None,
+        help="replay with a byzantine persona live on the wire",
+    )
+    replay.add_argument(
+        "--policy",
+        choices=["fallback", "strict", "stale"],
+        default="strict",
+        help="resolver policy for --chaos/--adversary replays",
+    )
+    replay.add_argument(
+        "--fault-start",
+        type=float,
+        default=300.0,
+        help="outage window start (simulated seconds, --chaos)",
+    )
+    replay.add_argument(
+        "--fault-end",
+        type=float,
+        default=1800.0,
+        help="outage window end (simulated seconds, --chaos)",
+    )
+    replay.add_argument(
+        "--fault-rcode",
+        choices=["servfail", "blackhole"],
+        default="servfail",
+        help="registry outage mode: answers SERVFAIL or black-holes",
     )
     replay.set_defaults(func=_cmd_replay)
 

@@ -283,7 +283,15 @@ class ChaosReport:
     stale_served: int
     lookaside_skipped: int
     lookaside_disabled: bool
-    result: ExperimentResult = dataclasses.field(repr=False)
+    #: The full serial run (``None`` for under-load cells, which have
+    #: no per-name serial result — see ``replay``).
+    result: Optional[ExperimentResult] = dataclasses.field(
+        default=None, repr=False
+    )
+    #: The concurrent replay behind an under-load cell
+    #: (:class:`~repro.core.chaos_replay.ChaosReplayResult`; ``None``
+    #: for serial cells).
+    replay: Optional[object] = dataclasses.field(default=None, repr=False)
 
     def describe(self) -> str:
         return (
@@ -314,6 +322,7 @@ def run_chaos_cell(
     scenario_label: str = "none",
     policy_label: str = "",
     trace: bool = False,
+    load=None,
 ) -> ChaosReport:
     """One cell of the chaos matrix: script the faults, run the
     workload, distil availability / latency / exposure.
@@ -321,12 +330,36 @@ def run_chaos_cell(
     With ``trace=True`` the cell runs fully instrumented: the returned
     report's ``result.traces`` holds one span tree per stub query and
     ``result.metrics`` the cell's counter/histogram snapshot.
+
+    ``load`` selects the execution regime: ``None`` is the serial cell;
+    ``1`` runs the *same* serial experiment as a single session on the
+    event scheduler (byte-identical result — the equivalence contract);
+    an ``int > 1`` or a :class:`~repro.core.chaos_replay.ReplayLoad`
+    replays the cell under concurrent load (``report.replay`` carries
+    the window stream, ``report.result`` is ``None``).
     """
+    if load is not None and load != 1:
+        from .chaos_replay import coerce_load, run_chaos_cell_under_load
+
+        return run_chaos_cell_under_load(
+            universe,
+            config,
+            names,
+            scenario=scenario,
+            scenario_label=scenario_label,
+            policy_label=policy_label,
+            load=coerce_load(load),
+        )
     if scenario is not None:
         scenario(universe)
     tracer, metrics = _make_telemetry(universe, trace)
     experiment = LeakageExperiment(universe, config, tracer=tracer, metrics=metrics)
-    result = experiment.run(names)
+    if load == 1:
+        from .replay import run_experiment_in_session
+
+        result = run_experiment_in_session(experiment, names)
+    else:
+        result = experiment.run(names)
     servfail = result.rcode_counts.get(RCode.SERVFAIL.name, 0)
     noerror = result.rcode_counts.get(RCode.NOERROR.name, 0)
     total = max(1, len(names))
@@ -386,6 +419,7 @@ def run_chaos_matrix(
     timeout: Optional[float] = None,
     retries: int = 0,
     quarantine: Optional[List] = None,
+    load=None,
 ) -> List[ChaosReport]:
     """Sweep fault scenarios × resolver policies.
 
@@ -405,6 +439,10 @@ def run_chaos_matrix(
     and the quarantined ones are appended to the caller's ``quarantine``
     list (or warned about).  ``fail_fast=True`` raises the first cell's
     typed failure instead.
+
+    ``load`` applies :func:`run_chaos_cell`'s execution regime to every
+    cell: ``load=1`` reproduces the serial sweep byte-identically
+    through the scheduler, higher loads replay every cell concurrently.
     """
     from .parallel import run_tasks_fault_tolerant
 
@@ -418,6 +456,7 @@ def run_chaos_matrix(
                 scenario_label=scenario_label,
                 policy_label=policy_label,
                 trace=trace,
+                load=load,
             )
 
         cell.cell_context = f"chaos '{scenario_label}' × '{policy_label}'"
@@ -477,7 +516,13 @@ class AdversaryReport:
     #: Case-2 leakage, to confirm the defence layer does not perturb
     #: the paper's measurement in the control cell.
     case2_queries: int
-    result: ExperimentResult = dataclasses.field(repr=False)
+    #: The full serial run (``None`` for under-load cells).
+    result: Optional[ExperimentResult] = dataclasses.field(
+        default=None, repr=False
+    )
+    #: The concurrent replay behind an under-load cell
+    #: (:class:`~repro.core.chaos_replay.ChaosReplayResult`).
+    replay: Optional[object] = dataclasses.field(default=None, repr=False)
 
     def describe(self) -> str:
         return (
@@ -508,6 +553,7 @@ def run_adversary_cell(
     policy_label: str = "",
     baseline_sends: Optional[int] = None,
     trace: bool = False,
+    load=None,
 ) -> AdversaryReport:
     """One cell: deploy the persona, run the workload, read the damage.
 
@@ -515,11 +561,33 @@ def run_adversary_cell(
     given, ``amplification`` is relative to it (else 1.0).  With
     ``trace=True`` the returned report's ``result.traces`` and
     ``result.metrics`` carry the cell's full telemetry.
+
+    ``load`` mirrors :func:`run_chaos_cell`: ``None`` serial, ``1``
+    single-session scheduler (byte-identical), ``int > 1`` /
+    :class:`~repro.core.chaos_replay.ReplayLoad` concurrent replay.
     """
+    if load is not None and load != 1:
+        from .chaos_replay import coerce_load, run_adversary_cell_under_load
+
+        return run_adversary_cell_under_load(
+            universe,
+            config,
+            names,
+            adversary=adversary,
+            adversary_label=adversary_label,
+            policy_label=policy_label,
+            baseline_sends=baseline_sends,
+            load=coerce_load(load),
+        )
     persona = adversary(universe) if adversary is not None else None
     tracer, metrics = _make_telemetry(universe, trace)
     experiment = LeakageExperiment(universe, config, tracer=tracer, metrics=metrics)
-    result = experiment.run(names)
+    if load == 1:
+        from .replay import run_experiment_in_session
+
+        result = run_experiment_in_session(experiment, names)
+    else:
+        result = experiment.run(names)
     resolver = experiment.resolver
     sends = _upstream_sends(result, resolver)
     if baseline_sends:
@@ -561,6 +629,7 @@ def run_adversary_matrix(
     timeout: Optional[float] = None,
     retries: int = 0,
     quarantine: Optional[List] = None,
+    load=None,
 ) -> List[AdversaryReport]:
     """Sweep adversary personas × hardening policies.
 
@@ -604,6 +673,7 @@ def run_adversary_matrix(
                 policy_label=policy_label,
                 baseline_sends=baseline_sends,
                 trace=trace,
+                load=load,
             )
 
         cell.cell_context = f"adversary '{adversary_label}' × '{policy_label}'"

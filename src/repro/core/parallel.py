@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import math
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -245,6 +246,66 @@ def merge_metrics_snapshots(
     }
 
 
+#: Upper bounds (simulated seconds) of the session-latency histogram
+#: buckets carried by :class:`ReplayWindow`.  Log-spaced so retry
+#: storms (seconds of backoff) and cache hits (sub-millisecond) both
+#: resolve; the last bucket is a catch-all and quantiles clamp to it.
+#: Bucket *counts* are additive, which is what makes per-window p50/p99
+#: an exact monoid fold rather than an approximation of an
+#: unmergeable per-sample quantile.
+LATENCY_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0,
+)
+
+
+def empty_latency_buckets() -> Tuple[int, ...]:
+    """An all-zero bucket vector (also an identity of
+    :func:`merge_latency_buckets`, alongside the empty tuple)."""
+    return (0,) * len(LATENCY_BUCKET_BOUNDS)
+
+
+def latency_bucket_index(latency: float) -> int:
+    """The histogram bucket a session latency falls into (clamped into
+    the last, catch-all bucket)."""
+    for index, bound in enumerate(LATENCY_BUCKET_BOUNDS):
+        if latency <= bound:
+            return index
+    return len(LATENCY_BUCKET_BOUNDS) - 1
+
+
+def merge_latency_buckets(
+    a: Tuple[int, ...], b: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """Elementwise-add two bucket vectors; the empty tuple (and any
+    shorter vector, zero-padded) acts as identity."""
+    if not a:
+        return tuple(b)
+    if not b:
+        return tuple(a)
+    if len(a) < len(b):
+        a = a + (0,) * (len(b) - len(a))
+    elif len(b) < len(a):
+        b = b + (0,) * (len(a) - len(b))
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def latency_quantile(buckets: Sequence[int], q: float) -> float:
+    """The *q*-quantile latency implied by a bucket vector: the upper
+    bound of the first bucket whose cumulative count reaches rank
+    ``ceil(q * total)``.  Deterministic, merge-exact, and clamped to
+    the last finite bound — 0.0 for an empty histogram."""
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    rank = max(1, math.ceil(q * total))
+    cumulative = 0
+    for count, bound in zip(buckets, LATENCY_BUCKET_BOUNDS):
+        cumulative += count
+        if cumulative >= rank:
+            return bound
+    return LATENCY_BUCKET_BOUNDS[-1]
+
+
 @dataclasses.dataclass(frozen=True)
 class ReplayWindow:
     """Streaming-aggregation unit of a population-scale replay.
@@ -257,12 +318,21 @@ class ReplayWindow:
     merges use, so memory stays flat at millions of queries while the
     overall result is still an exact fold (associative, commutative,
     :func:`empty_replay_window` as identity; enforced by Hypothesis in
-    ``tests/core/test_replay.py``).
+    ``tests/core/test_replay.py`` and
+    ``tests/core/test_chaos_replay.py``).
 
     ``leaked_domains`` is the one set-valued field: it is bounded by the
     *domain population*, not the query volume, so carrying it in the
     monoid is O(domains) — the distinct-leak curve of paper Fig. 8
     without retaining a single packet.
+
+    The availability extension (chaos-under-load, PR 9) splits
+    ``failures`` into stub-visible SERVFAILs vs timeouts, carries the
+    resolver's per-window retry / served-stale activity, the admission
+    queue's deferrals and rejections, and a fixed-width latency
+    histogram (:data:`LATENCY_BUCKET_BOUNDS`) whose bucket counts add
+    under merge — so p50/p99 session latency is still an exact window
+    fold.
     """
 
     #: Simulated-time bounds of the window (identity: +inf / -inf).
@@ -290,6 +360,22 @@ class ReplayWindow:
     #: Sessions the scheduler admitted / finished inside the window.
     sessions_started: int = 0
     sessions_completed: int = 0
+    #: Availability split of ``failures``: stub-visible SERVFAIL
+    #: answers vs exhausted timeout budgets.
+    servfails: int = 0
+    timeouts: int = 0
+    #: Resolver-side activity over the window (metrics deltas):
+    #: upstream re-sends after a timeout and stale answers served
+    #: under ``serve_stale`` during an outage.
+    retries: int = 0
+    stale_served: int = 0
+    #: Admission-queue pressure: sessions deferred into the FIFO and
+    #: sessions shed outright by a bounded queue (``max_queue``).
+    admission_queued: int = 0
+    admission_rejected: int = 0
+    #: Session-latency histogram (counts per
+    #: :data:`LATENCY_BUCKET_BOUNDS` bucket; ``()`` is the identity).
+    latency_buckets: Tuple[int, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -310,13 +396,36 @@ class ReplayWindow:
     def mean_latency(self) -> float:
         return self.latency_sum / self.queries if self.queries else 0.0
 
+    @property
+    def servfail_rate(self) -> float:
+        """Stub queries answered SERVFAIL per completed query."""
+        return self.servfails / self.queries if self.queries else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        """Stub queries that exhausted their timeout budget per
+        completed query."""
+        return self.timeouts / self.queries if self.queries else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        return latency_quantile(self.latency_buckets, 0.50)
+
+    @property
+    def latency_p99(self) -> float:
+        return latency_quantile(self.latency_buckets, 0.99)
+
     def describe(self) -> str:
         return (
             f"[{self.start:,.0f}s..{self.end:,.0f}s] "
-            f"{self.queries} queries ({self.failures} failed), "
+            f"{self.queries} queries ({self.failures} failed: "
+            f"{self.servfails} servfail / {self.timeouts} timeout), "
             f"dlv={self.dlv_queries} case2={self.case2_queries} "
             f"({len(self.leaked_domains)} domains), "
-            f"cache-hit {self.cache_hit_rate:.1%}"
+            f"cache-hit {self.cache_hit_rate:.1%}, "
+            f"p50 {self.latency_p50:.3f}s p99 {self.latency_p99:.3f}s, "
+            f"retries={self.retries} stale={self.stale_served} "
+            f"shed={self.admission_rejected}"
         )
 
 
@@ -345,6 +454,15 @@ def merge_replay_windows(a: ReplayWindow, b: ReplayWindow) -> ReplayWindow:
         latency_max=max(a.latency_max, b.latency_max),
         sessions_started=a.sessions_started + b.sessions_started,
         sessions_completed=a.sessions_completed + b.sessions_completed,
+        servfails=a.servfails + b.servfails,
+        timeouts=a.timeouts + b.timeouts,
+        retries=a.retries + b.retries,
+        stale_served=a.stale_served + b.stale_served,
+        admission_queued=a.admission_queued + b.admission_queued,
+        admission_rejected=a.admission_rejected + b.admission_rejected,
+        latency_buckets=merge_latency_buckets(
+            a.latency_buckets, b.latency_buckets
+        ),
     )
 
 

@@ -22,6 +22,16 @@ Memory stays flat at any query volume, by construction:
   the streaming analogue of the sharded runner's
   :func:`~repro.core.parallel.merge_shard_results`.
 
+The session loop itself lives in :func:`drive_replay_sessions`, a
+name-source-agnostic driver shared with the chaos layer
+(:mod:`repro.core.chaos_replay`): the population replay feeds it
+popularity-weighted browsing profiles, the chaos replay feeds it the
+matrix cell's domain sample while a :class:`~repro.netsim.FaultPlan`
+outage or a byzantine persona is live on the same universe.  Each
+closed window carries the availability extension of the monoid —
+SERVFAIL/timeout split, resolver retry and served-stale deltas,
+admission queue/shed counts, and the mergeable latency histogram.
+
 The other entry point, :func:`run_experiment_in_session`, routes an
 unmodified :class:`~repro.core.experiment.LeakageExperiment` through the
 scheduler as a single session.  With one session there is nothing to
@@ -43,12 +53,14 @@ from ..dnscore import Name, RCode, RRType
 from ..netsim import EventScheduler, Priority, SchedulerStats, StreamingCapture
 from ..netsim.network import NetworkError, QueryTimeout
 from ..resolver import ResolverConfig, StubClient, correct_bind_config
-from ..workloads import DitlParams, generate_trace, iter_replay_arrivals
+from ..workloads import DitlParams, Universe, generate_trace, iter_replay_arrivals
 from .experiment import ExperimentResult, LeakageExperiment
 from .metrics import MetricsRegistry
 from .parallel import (
+    LATENCY_BUCKET_BOUNDS,
     ReplayWindow,
     empty_replay_window,
+    latency_bucket_index,
     merge_replay_windows,
 )
 from .population import make_profiles
@@ -76,6 +88,10 @@ class ReplayParams:
     window_seconds: float = 300.0
     #: Admission cap: in-flight sessions beyond this queue FIFO.
     max_concurrent: int = 64
+    #: Bound on the admission FIFO itself: arrivals beyond it are shed
+    #: (counted as failed queries and ``admission_rejected``).  ``None``
+    #: keeps the queue unbounded — the pre-chaos behaviour.
+    max_queue: Optional[int] = None
     seed: int = 2017
 
 
@@ -127,15 +143,18 @@ class _WindowAccum:
     """Mutable scratch for the window being filled (O(1) + leak set)."""
 
     __slots__ = (
-        "start", "queries", "failures", "dlv", "case1", "case2", "leaked",
+        "start", "queries", "failures", "servfails", "timeouts",
+        "dlv", "case1", "case2", "leaked",
         "packets", "wire_bytes", "dropped", "latency_sum", "latency_max",
-        "started", "completed",
+        "buckets", "started", "completed",
     )
 
     def __init__(self, start: float):
         self.start = start
         self.queries = 0
         self.failures = 0
+        self.servfails = 0
+        self.timeouts = 0
         self.dlv = 0
         self.case1 = 0
         self.case2 = 0
@@ -145,10 +164,20 @@ class _WindowAccum:
         self.dropped = 0
         self.latency_sum = 0.0
         self.latency_max = 0.0
+        self.buckets = [0] * len(LATENCY_BUCKET_BOUNDS)
         self.started = 0
         self.completed = 0
 
-    def freeze(self, end: float, cache_hits: int, cache_misses: int) -> ReplayWindow:
+    def freeze(
+        self,
+        end: float,
+        cache_hits: int,
+        cache_misses: int,
+        retries: int = 0,
+        stale_served: int = 0,
+        queued: int = 0,
+        rejected: int = 0,
+    ) -> ReplayWindow:
         return ReplayWindow(
             start=self.start,
             end=end,
@@ -167,29 +196,55 @@ class _WindowAccum:
             latency_max=self.latency_max,
             sessions_started=self.started,
             sessions_completed=self.completed,
+            servfails=self.servfails,
+            timeouts=self.timeouts,
+            retries=retries,
+            stale_served=stale_served,
+            admission_queued=queued,
+            admission_rejected=rejected,
+            latency_buckets=tuple(self.buckets),
         )
 
 
-def run_population_replay(
-    params: Optional[ReplayParams] = None,
-    config: Optional[ResolverConfig] = None,
+@dataclasses.dataclass
+class DriveOutcome:
+    """What one session-drive produced, before entry-point packaging."""
+
+    windows: List[ReplayWindow]
+    scheduler: SchedulerStats
+    #: The shared resolver the sessions exercised — still attached to
+    #: the universe, so callers can read engine/lookaside counters.
+    resolver: object
+    metrics: MetricsRegistry
+
+
+def drive_replay_sessions(
+    universe: Universe,
+    config: ResolverConfig,
+    next_name: Callable[[int], Name],
+    *,
+    users: int,
+    per_user_qps: float,
+    queries: int,
+    window_seconds: float,
+    max_concurrent: int,
+    max_queue: Optional[int] = None,
+    seed: int,
     progress: Optional[Callable[[ReplayWindow], None]] = None,
-) -> ReplayResult:
-    """Replay a DITL-shaped query stream from ``params.users`` concurrent
-    stubs against one shared look-aside resolver.
+) -> DriveOutcome:
+    """Drive a DITL-shaped arrival stream of concurrent stub sessions
+    against *universe*'s resolver, folding availability-extended
+    :class:`ReplayWindow` values on window boundaries.
 
-    ``progress`` (if given) receives each :class:`ReplayWindow` the
-    moment it closes — the streaming hook the CLI uses to print the
-    leak-rate curve while the replay runs.
+    ``next_name(user)`` supplies the name each scheduled arrival will
+    query — the one policy point where the population replay (browsing
+    profiles) and the chaos replay (matrix cell sample) differ.  The
+    caller may have scripted faults or deployed personas on *universe*
+    beforehand; this driver attaches telemetry, swaps in the streaming
+    capture, and runs the event loop, so per-window counters include
+    the resolver's retry/served-stale deltas and the admission queue's
+    deferrals and sheds.
     """
-    params = params or ReplayParams()
-    config = config or correct_bind_config()
-    started_wall = time.perf_counter()
-
-    workload = standard_workload(params.domains, seed=params.seed)
-    universe = standard_universe(
-        workload, filler_count=params.registry_filler, seed=params.seed
-    )
     metrics = MetricsRegistry()
     universe.attach_telemetry(metrics=metrics)
 
@@ -229,33 +284,62 @@ def run_population_replay(
 
     resolver = universe.make_resolver(config)
     stubs: Dict[int, StubClient] = {}
-    profiles = make_profiles(
-        workload, params.users, params.domains_per_user, seed=params.seed + 1
-    )
-    cursors = [0] * params.users
 
     clock = universe.clock
     windows: List[ReplayWindow] = []
     hits_counter = metrics.counter("cache.hits")
     misses_counter = metrics.counter("cache.misses")
+    retries_counter = metrics.counter("engine.retries")
+    stale_counter = metrics.counter("engine.stale_served")
     seen_hits = 0
     seen_misses = 0
+    seen_retries = 0
+    seen_stale = 0
+    seen_queued = 0
+    seen_rejected = 0
     arrivals = iter_replay_arrivals(
-        generate_trace(DitlParams(seed=params.seed, scale=0.001)),
-        users=params.users,
-        per_user_qps=params.per_user_qps,
-        limit=params.queries,
-        seed=params.seed + 2,
+        generate_trace(DitlParams(seed=seed, scale=0.001)),
+        users=users,
+        per_user_qps=per_user_qps,
+        limit=queries,
+        seed=seed + 2,
     )
     state = {"dispatched": 0, "completed": 0, "arrivals_done": False}
 
-    with EventScheduler(clock, max_concurrent=params.max_concurrent) as scheduler:
+    def on_reject(session) -> None:
+        # A shed arrival is a query the population issued and the
+        # service refused: it fails without a latency sample, and the
+        # dispatch ledger must still advance or the loop never drains.
+        accum.queries += 1
+        accum.failures += 1
+        state["completed"] += 1
+
+    with EventScheduler(
+        clock,
+        max_concurrent=max_concurrent,
+        max_queue=max_queue,
+        on_reject=on_reject,
+    ) as scheduler:
 
         def close_window(end: float) -> None:
             nonlocal accum, seen_hits, seen_misses
+            nonlocal seen_retries, seen_stale, seen_queued, seen_rejected
             hits, misses = hits_counter.value, misses_counter.value
-            window = accum.freeze(end, hits - seen_hits, misses - seen_misses)
+            retries, stale = retries_counter.value, stale_counter.value
+            queued = scheduler.stats.queued
+            rejected = scheduler.stats.rejected
+            window = accum.freeze(
+                end,
+                hits - seen_hits,
+                misses - seen_misses,
+                retries=retries - seen_retries,
+                stale_served=stale - seen_stale,
+                queued=queued - seen_queued,
+                rejected=rejected - seen_rejected,
+            )
             seen_hits, seen_misses = hits, misses
+            seen_retries, seen_stale = retries, stale
+            seen_queued, seen_rejected = queued, rejected
             windows.append(window)
             accum = _WindowAccum(end)
             if progress is not None:
@@ -272,17 +356,27 @@ def run_population_replay(
                 stub = stubs[user]
                 begun = clock.now
                 failed = False
+                servfailed = False
+                timed_out = False
                 try:
                     response = stub.query(name, RRType.A, dnssec_ok=True)
-                    failed = response.rcode is RCode.SERVFAIL
-                except (QueryTimeout, NetworkError):
+                    if response.rcode is RCode.SERVFAIL:
+                        failed = servfailed = True
+                except QueryTimeout:
+                    failed = timed_out = True
+                except NetworkError:
                     failed = True
                 accum.queries += 1
                 if failed:
                     accum.failures += 1
+                if servfailed:
+                    accum.servfails += 1
+                if timed_out:
+                    accum.timeouts += 1
                 latency = clock.now - begun
                 accum.latency_sum += latency
                 accum.latency_max = max(accum.latency_max, latency)
+                accum.buckets[latency_bucket_index(latency)] += 1
                 accum.completed += 1
                 state["completed"] += 1
             return session
@@ -293,9 +387,7 @@ def run_population_replay(
             except StopIteration:
                 state["arrivals_done"] = True
                 return
-            profile = profiles[user]
-            name = profile.names[cursors[user] % len(profile.names)]
-            cursors[user] += 1
+            name = next_name(user)
             index = state["dispatched"]
             state["dispatched"] += 1
 
@@ -320,25 +412,79 @@ def run_population_replay(
             close_window(clock.now)
             if not finished():
                 scheduler.call_at(
-                    clock.now + params.window_seconds, boundary,
+                    clock.now + window_seconds, boundary,
                     label="window",
                 )
 
         schedule_next_arrival()
-        scheduler.call_at(params.window_seconds, boundary, label="window")
+        scheduler.call_at(window_seconds, boundary, label="window")
         stats = scheduler.run()
 
     if accum.queries or accum.packets or not windows:
         close_window(clock.now)
 
+    return DriveOutcome(
+        windows=windows, scheduler=stats, resolver=resolver, metrics=metrics
+    )
+
+
+def fold_windows(windows: Sequence[ReplayWindow]) -> ReplayWindow:
+    """The monoid fold of *windows* (identity for an empty sequence)."""
     overall = empty_replay_window()
     for window in windows:
         overall = merge_replay_windows(overall, window)
+    return overall
+
+
+def run_population_replay(
+    params: Optional[ReplayParams] = None,
+    config: Optional[ResolverConfig] = None,
+    progress: Optional[Callable[[ReplayWindow], None]] = None,
+) -> ReplayResult:
+    """Replay a DITL-shaped query stream from ``params.users`` concurrent
+    stubs against one shared look-aside resolver.
+
+    ``progress`` (if given) receives each :class:`ReplayWindow` the
+    moment it closes — the streaming hook the CLI uses to print the
+    leak-rate curve while the replay runs.
+    """
+    params = params or ReplayParams()
+    config = config or correct_bind_config()
+    started_wall = time.perf_counter()
+
+    workload = standard_workload(params.domains, seed=params.seed)
+    universe = standard_universe(
+        workload, filler_count=params.registry_filler, seed=params.seed
+    )
+    profiles = make_profiles(
+        workload, params.users, params.domains_per_user, seed=params.seed + 1
+    )
+    cursors = [0] * params.users
+
+    def next_name(user: int) -> Name:
+        profile = profiles[user]
+        name = profile.names[cursors[user] % len(profile.names)]
+        cursors[user] += 1
+        return name
+
+    outcome = drive_replay_sessions(
+        universe,
+        config,
+        next_name,
+        users=params.users,
+        per_user_qps=params.per_user_qps,
+        queries=params.queries,
+        window_seconds=params.window_seconds,
+        max_concurrent=params.max_concurrent,
+        max_queue=params.max_queue,
+        seed=params.seed,
+        progress=progress,
+    )
     return ReplayResult(
         params=params,
-        windows=windows,
-        overall=overall,
-        scheduler=stats,
+        windows=outcome.windows,
+        overall=fold_windows(outcome.windows),
+        scheduler=outcome.scheduler,
         wall_seconds=time.perf_counter() - started_wall,
     )
 

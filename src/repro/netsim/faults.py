@@ -246,6 +246,17 @@ class FaultPlan:
     def faulted_addresses(self) -> Tuple[str, ...]:
         return tuple(self._faults)
 
+    def outage_windows(self) -> Tuple[Tuple[str, OutageWindow], ...]:
+        """Every scripted outage as ``(address, window)`` pairs, in
+        insertion order.  The chaos-replay driver derives its
+        during/after fault bounds from this without reaching into the
+        plan's private schedule."""
+        return tuple(
+            (address, window)
+            for address, entry in self._faults.items()
+            for window in entry.outages
+        )
+
     def describe(self) -> str:
         parts: List[str] = []
         if self._default_loss_rate > 0:

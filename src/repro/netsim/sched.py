@@ -50,6 +50,16 @@ threads): surplus dispatches queue FIFO and start the moment a slot
 frees, which both bounds memory at population scale and models
 resolver-side admission queueing.  Pool threads are reused across
 sessions, so a million-query replay churns zero threads after warm-up.
+
+``max_queue`` additionally bounds the admission queue itself: when the
+FIFO is full a new session is **rejected** instead of queued — the
+load-shedding a real resolver applies when its accept queue overflows
+during a retry storm.  Rejections are counted in
+:attr:`SchedulerStats.rejected` and reported to the optional
+``on_reject`` callback so a replay driver can account the shed query
+(the chaos replay counts it as a failed stub query).  The default
+``max_queue=None`` keeps the queue unbounded — the pre-existing
+behaviour, byte for byte.
 """
 
 from __future__ import annotations
@@ -99,6 +109,7 @@ class SchedulerStats:
     resumes: int = 0
     timers: int = 0
     queued: int = 0
+    rejected: int = 0
     peak_active: int = 0
     peak_queue: int = 0
     threads_created: int = 0
@@ -107,7 +118,8 @@ class SchedulerStats:
         return (
             f"sessions={self.completed}/{self.spawned} "
             f"resumes={self.resumes} timers={self.timers} "
-            f"queued={self.queued} peak_active={self.peak_active} "
+            f"queued={self.queued} rejected={self.rejected} "
+            f"peak_active={self.peak_active} "
             f"peak_queue={self.peak_queue} threads={self.threads_created}"
         )
 
@@ -178,11 +190,21 @@ class EventScheduler:
         clock: SimClock,
         max_concurrent: int = 256,
         journal: Optional[List[Tuple[float, str, str]]] = None,
+        max_queue: Optional[int] = None,
+        on_reject: Optional[Callable[[Session], None]] = None,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (or None for unbounded)")
         self._clock = clock
         self._max_concurrent = max_concurrent
+        #: Admission-queue capacity (``None`` = unbounded FIFO).  A
+        #: session arriving with all slots busy and the queue full is
+        #: rejected: it never runs, ``stats.rejected`` increments, and
+        #: ``on_reject`` (if any) is invoked with the shed session.
+        self._max_queue = max_queue
+        self._on_reject = on_reject
         #: Optional dispatch journal: ``(time, kind, label)`` appended in
         #: execution order — the determinism fingerprint the property
         #: tests compare.  ``None`` (default) records nothing.
@@ -356,6 +378,16 @@ class EventScheduler:
 
     def _admit(self, session: Session) -> None:
         if self._active >= self._max_concurrent:
+            if (
+                self._max_queue is not None
+                and len(self._admission) >= self._max_queue
+            ):
+                session.done = True
+                self.stats.rejected += 1
+                self._record("rejected", session)
+                if self._on_reject is not None:
+                    self._on_reject(session)
+                return
             self._admission.append(session)
             self.stats.queued += 1
             self.stats.peak_queue = max(self.stats.peak_queue, len(self._admission))

@@ -188,6 +188,10 @@ class IterativeEngine:
         self._metrics = metrics
         self.queries_sent = 0
         self.timeouts = 0
+        #: Upstream re-sends actually scheduled after a timeout (the
+        #: retry-storm signal the chaos replay windows surface; one less
+        #: than the attempt count on a fully failing exchange).
+        self.retries = 0
         self.failovers = 0
         self.stale_served = 0
         self.lame_skips = 0
@@ -319,6 +323,9 @@ class IterativeEngine:
                 self.health.record_failure(dst)
                 last_error = timeout
                 if attempt + 1 < attempts:
+                    self.retries += 1
+                    if metrics is not None:
+                        metrics.inc("engine.retries")
                     # Retry pacing via the scheduler-friendly absolute
                     # deadline; under the event loop this suspends the
                     # session so other clients' traffic interleaves

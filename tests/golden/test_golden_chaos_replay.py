@@ -1,0 +1,119 @@
+"""Golden-file regression for chaos-replay fingerprints.
+
+Pins, per seed, the full canonical payload of one small chaos replay —
+a strict-policy resolver riding out a scripted registry SERVFAIL outage
+under four concurrent users — plus its SHA-256 fingerprint.  Any drift
+in the event scheduler's dispatch order, the availability window
+accounting, or the fault scripting shows up as a readable JSON diff
+here before it shows up anywhere else.
+
+On intentional behaviour changes, regenerate with::
+
+    pytest tests/golden --update-golden
+
+and commit the resulting JSON diff.
+"""
+
+import difflib
+import json
+import pathlib
+
+import pytest
+
+from repro.core import (
+    ReplayLoad,
+    chaos_replay_fingerprint,
+    chaos_replay_payload,
+    registry_outage_scenario,
+    run_chaos_replay,
+    standard_universe,
+    standard_workload,
+)
+from repro.dnscore import RCode
+from repro.resolver import DlvOutagePolicy, correct_bind_config
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+SEEDS = (2016, 2017, 2018)
+DOMAINS = 15
+FILLER = 50
+FAULT_START = 100.0
+FAULT_END = 700.0
+
+
+def compute_chaos_payload(seed):
+    workload = standard_workload(DOMAINS, seed=seed)
+    universe = standard_universe(workload, filler_count=FILLER, seed=seed)
+    names = [spec.name for spec in workload.domains]
+    load = ReplayLoad(
+        users=4,
+        per_user_qps=0.05,
+        queries=80,
+        window_seconds=200.0,
+        max_concurrent=16,
+        seed=seed,
+    )
+    result = run_chaos_replay(
+        universe,
+        correct_bind_config(dlv_outage_policy=DlvOutagePolicy.SERVFAIL),
+        names,
+        scenario=registry_outage_scenario(
+            rcode=RCode.SERVFAIL, start=FAULT_START, end=FAULT_END
+        ),
+        scenario_label="registry-servfail",
+        policy_label="strict",
+        load=load,
+    )
+    return {
+        "seed": seed,
+        "domains": DOMAINS,
+        "filler": FILLER,
+        "fingerprint": chaos_replay_fingerprint(result),
+        "payload": chaos_replay_payload(result),
+    }
+
+
+def _render(payload):
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(seed):
+    return GOLDEN_DIR / f"golden_chaos_seed_{seed}.json"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_replay_matches_golden(seed, update_golden):
+    observed = _render(compute_chaos_payload(seed))
+    path = golden_path(seed)
+    if update_golden:
+        path.write_text(observed, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden file {path.name}; generate it with "
+        f"`pytest tests/golden --update-golden` and commit it"
+    )
+    expected = path.read_text(encoding="utf-8")
+    if observed != expected:
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                observed.splitlines(keepends=True),
+                fromfile=f"golden/{path.name}",
+                tofile="observed",
+            )
+        )
+        pytest.fail(
+            f"chaos replay drifted from golden for seed {seed}:\n{diff}"
+        )
+
+
+def test_chaos_golden_files_are_committed_for_every_seed():
+    missing = [
+        golden_path(seed).name
+        for seed in SEEDS
+        if not golden_path(seed).exists()
+    ]
+    assert not missing, (
+        f"golden files not committed: {missing}; run "
+        f"`pytest tests/golden --update-golden`"
+    )

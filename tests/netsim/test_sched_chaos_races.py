@@ -1,0 +1,266 @@
+"""Race and load-shedding regressions for chaos-under-load replays.
+
+Two families, both pinned because the chaos replay driver depends on
+them:
+
+* **Delivery-beats-timeout inside an outage window** — when a scripted
+  :class:`FaultPlan` outage is active and many sessions are in flight,
+  a response delivered at exactly a timeout's instant must still win,
+  on both the ``call_at`` (plain callback) and in-session
+  (``clock.advance`` resumption) paths.  Seeded across three seeds so
+  the surrounding concurrent noise cannot mask an ordering regression.
+* **Bounded admission** — ``max_queue`` sheds arrivals beyond the FIFO
+  bound deterministically: the shed session never runs, the journal
+  records it, ``stats.rejected`` counts it, and the ``on_reject``
+  callback fires (the hook the replay driver uses to keep its
+  dispatch ledger consistent).
+"""
+
+import random
+
+import pytest
+
+from repro.dnscore import RCode
+from repro.netsim import EventScheduler, Priority, SimClock
+from repro.netsim.faults import FaultPlan
+
+SEEDS = (11, 23, 47)
+
+OUTAGE_START = 10.0
+OUTAGE_END = 50.0
+RACE_INSTANT = 25.0  # inside [OUTAGE_START, OUTAGE_END)
+
+
+def make_outage_plan(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed).add_outage(
+        "198.51.100.1", start=OUTAGE_START, end=OUTAGE_END, rcode=None
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_call_at_delivery_beats_timeout_inside_outage_window(seed):
+    """The registry black-hole makes timeouts *common* at the race
+    instant; a delivery landing on the same float must still dispatch
+    first, whatever order the events were inserted in and however many
+    concurrent sessions surround them."""
+    plan = make_outage_plan(seed)
+    window = plan.active_outage("198.51.100.1", RACE_INSTANT)
+    assert window is not None and window.rcode is None
+
+    rng = random.Random(seed)
+    scheduler = EventScheduler(SimClock(), max_concurrent=64)
+    clock = scheduler.clock
+    order = []
+
+    def noise_session(idx, offset):
+        def run():
+            clock.advance(offset)
+            order.append(("noise", idx))
+        return run
+
+    events = [
+        ("timeout", Priority.TIMEOUT),
+        ("delivery", Priority.DELIVERY),
+        ("timer", Priority.TIMER),
+        ("dispatch", Priority.DISPATCH),
+    ]
+    rng.shuffle(events)
+    with scheduler:
+        for idx in range(8):
+            # Concurrent sessions suspended across the race instant.
+            scheduler.spawn(
+                noise_session(idx, OUTAGE_START + rng.random() * 30.0),
+                at=rng.random() * 5.0,
+                tiebreak=(idx,),
+            )
+        for kind, priority in events:
+            scheduler.call_at(
+                RACE_INSTANT,
+                lambda k=kind: order.append(("race", k)),
+                priority=priority,
+            )
+        scheduler.run()
+
+    race = [kind for tag, kind in order if tag == "race"]
+    assert race == ["delivery", "timeout", "dispatch", "timer"], f"seed={seed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_in_session_delivery_beats_timeout_inside_outage_window(seed):
+    """The same race through session resumptions: one session resumes
+    as a delivery and another as a timeout at the same in-window float;
+    the delivery resumes first regardless of spawn order."""
+    plan = make_outage_plan(seed)
+    assert plan.active_outage("198.51.100.1", RACE_INSTANT) is not None
+
+    rng = random.Random(seed)
+    scheduler = EventScheduler(SimClock(), max_concurrent=64)
+    clock = scheduler.clock
+    order = []
+
+    def racer(kind, priority):
+        def run():
+            clock.advance(RACE_INSTANT, priority=priority)
+            order.append(("race", kind))
+        return run
+
+    def noise(idx):
+        offset = rng.random() * 20.0
+
+        def run():
+            clock.advance(offset)
+            order.append(("noise", idx))
+        return run
+
+    sessions = [
+        ("t", racer("timeout", Priority.TIMEOUT)),
+        ("d", racer("delivery", Priority.DELIVERY)),
+    ]
+    rng.shuffle(sessions)
+    with scheduler:
+        for idx in range(6):
+            scheduler.spawn(noise(idx), tiebreak=(100 + idx,))
+        for label, fn in sessions:
+            scheduler.spawn(fn, label=label)
+        scheduler.run()
+
+    race = [kind for tag, kind in order if tag == "race"]
+    assert race == ["delivery", "timeout"], f"seed={seed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_race_journal_is_seed_deterministic(seed):
+    """Running the identical seeded setup twice produces the identical
+    journal — the property the chaos golden files lean on."""
+
+    def run_once():
+        journal = []
+        rng = random.Random(seed)
+        scheduler = EventScheduler(
+            SimClock(), max_concurrent=8, journal=journal
+        )
+        clock = scheduler.clock
+        with scheduler:
+            for idx in range(10):
+                offset = rng.random() * 40.0
+                scheduler.spawn(
+                    (lambda off: lambda: clock.advance(off))(offset),
+                    at=rng.random() * 10.0,
+                    label=f"s{idx}",
+                    tiebreak=(idx,),
+                )
+            scheduler.call_at(
+                RACE_INSTANT, lambda: None, priority=Priority.DELIVERY,
+                label="delivery",
+            )
+            scheduler.call_at(
+                RACE_INSTANT, lambda: None, priority=Priority.TIMEOUT,
+                label="timeout",
+            )
+            scheduler.run()
+        return journal
+
+    assert run_once() == run_once()
+
+
+# ----------------------------------------------------------------------
+# Bounded admission (max_queue) — the load-shedding contract
+# ----------------------------------------------------------------------
+
+
+def long_session(clock, log, name):
+    def run():
+        log.append(f"start:{name}")
+        clock.advance(10.0)
+        log.append(f"end:{name}")
+    return run
+
+
+def test_max_queue_sheds_excess_arrivals():
+    journal = []
+    log = []
+    rejected = []
+    with EventScheduler(
+        SimClock(), max_concurrent=1, max_queue=1, journal=journal,
+        on_reject=rejected.append,
+    ) as scheduler:
+        clock = scheduler.clock
+        for idx in range(4):
+            scheduler.spawn(
+                long_session(clock, log, f"s{idx}"), label=f"s{idx}",
+                tiebreak=(idx,),
+            )
+        stats = scheduler.run()
+
+    # One ran immediately, one queued, two were shed.
+    assert stats.rejected == 2
+    assert stats.queued == 1
+    assert stats.completed == 2
+    assert [r.label for r in rejected] == ["s2", "s3"]
+    assert log == ["start:s0", "end:s0", "start:s1", "end:s1"]
+    assert [entry for entry in journal if entry[1] == "rejected"] == [
+        (0.0, "rejected", "s2"),
+        (0.0, "rejected", "s3"),
+    ]
+
+
+def test_rejected_sessions_are_marked_done():
+    rejected = []
+    with EventScheduler(
+        SimClock(), max_concurrent=1, max_queue=0, on_reject=rejected.append
+    ) as scheduler:
+        clock = scheduler.clock
+        log = []
+        for idx in range(3):
+            scheduler.spawn(
+                long_session(clock, log, f"s{idx}"), tiebreak=(idx,)
+            )
+        stats = scheduler.run()
+    assert stats.rejected == 2
+    assert all(session.done for session in rejected)
+
+
+def test_unbounded_queue_never_rejects():
+    with EventScheduler(SimClock(), max_concurrent=1) as scheduler:
+        clock = scheduler.clock
+        log = []
+        for idx in range(6):
+            scheduler.spawn(
+                long_session(clock, log, f"s{idx}"), tiebreak=(idx,)
+            )
+        stats = scheduler.run()
+    assert stats.rejected == 0
+    assert stats.completed == 6
+
+
+def test_negative_max_queue_is_rejected():
+    with pytest.raises(ValueError):
+        EventScheduler(SimClock(), max_queue=-1)
+
+
+def test_stats_describe_includes_rejections():
+    with EventScheduler(
+        SimClock(), max_concurrent=1, max_queue=0
+    ) as scheduler:
+        clock = scheduler.clock
+        log = []
+        for idx in range(2):
+            scheduler.spawn(
+                long_session(clock, log, f"s{idx}"), tiebreak=(idx,)
+            )
+        stats = scheduler.run()
+    assert "rejected=1" in stats.describe()
+
+
+def test_outage_window_rcode_variants_still_validate():
+    """The plan accessor the replay's fault-bounds derivation uses."""
+    plan = (
+        FaultPlan(seed=3)
+        .add_outage("a", start=5.0, end=10.0, rcode=RCode.SERVFAIL)
+        .add_outage("b", start=2.0, end=20.0)
+    )
+    windows = plan.outage_windows()
+    assert {(address, w.start, w.end) for address, w in windows} == {
+        ("a", 5.0, 10.0),
+        ("b", 2.0, 20.0),
+    }
